@@ -1,0 +1,112 @@
+// Command isel compiles an LLVM IR module (the supported subset of
+// internal/llvmir) to Virtual x86 with the instruction-selection pass of
+// internal/isel, and emits the compiler hints consumed by the VC
+// generator.
+//
+// Usage:
+//
+//	isel [-fn name] [-merge-stores] [-bug waw|narrow] [-hints file.hints] [-o out.vx86] input.ll
+//
+// With no -o/-hints the Virtual x86 program is printed to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/vcgen"
+	"repro/internal/vx86"
+)
+
+func main() {
+	fnName := flag.String("fn", "", "function to compile (default: the sole definition)")
+	mergeStores := flag.Bool("merge-stores", false, "enable the store-merging peephole (Figure 9c)")
+	strengthReduce := flag.Bool("strength-reduce", false, "enable power-of-two mul/div/rem strength reduction (§4.7)")
+	bug := flag.String("bug", "", "inject a miscompilation: waw (Figure 9b) or narrow (Figure 11b)")
+	out := flag.String("o", "", "write Virtual x86 output to this file (default stdout)")
+	hintsOut := flag.String("hints", "", "write compiler hints to this file")
+	syncOut := flag.String("sync", "", "write generated synchronization points to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: isel [flags] input.ll")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	check(err)
+	mod, err := llvmir.Parse(string(src))
+	check(err)
+	check(llvmir.Verify(mod))
+
+	fn := pickFunction(mod, *fnName)
+	opts := isel.Options{MergeStores: *mergeStores, StrengthReduce: *strengthReduce}
+	switch *bug {
+	case "":
+	case "waw":
+		opts.BugWAWStoreMerge = true
+	case "narrow":
+		opts.BugLoadNarrow = true
+	default:
+		fmt.Fprintf(os.Stderr, "isel: unknown -bug %q (want waw or narrow)\n", *bug)
+		os.Exit(2)
+	}
+
+	res, err := isel.Compile(mod, fn, opts)
+	check(err)
+
+	text := (&vx86.Program{Funcs: []*vx86.Function{res.Fn}}).String()
+	if *out == "" {
+		fmt.Print(text)
+	} else {
+		check(os.WriteFile(*out, []byte(text), 0o644))
+	}
+	if *hintsOut != "" {
+		check(os.WriteFile(*hintsOut, []byte(res.Hints.String()), 0o644))
+	}
+	if *syncOut != "" {
+		points, err := vcgen.Generate(fn, res.Fn, res.Hints, vcgen.Options{})
+		check(err)
+		f, err := os.Create(*syncOut)
+		check(err)
+		check(core.WriteSyncPoints(f, points))
+		check(f.Close())
+	}
+}
+
+func pickFunction(mod *llvmir.Module, name string) *llvmir.Function {
+	if name != "" {
+		fn := mod.Func(name)
+		if fn == nil || !fn.Defined() {
+			fmt.Fprintf(os.Stderr, "isel: no definition of @%s\n", name)
+			os.Exit(1)
+		}
+		return fn
+	}
+	var found *llvmir.Function
+	for _, f := range mod.Funcs {
+		if f.Defined() {
+			if found != nil {
+				fmt.Fprintln(os.Stderr, "isel: multiple definitions; use -fn")
+				os.Exit(1)
+			}
+			found = f
+		}
+	}
+	if found == nil {
+		fmt.Fprintln(os.Stderr, "isel: no function definition in input")
+		os.Exit(1)
+	}
+	return found
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "isel:", err)
+		os.Exit(1)
+	}
+}

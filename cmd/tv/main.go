@@ -1,0 +1,147 @@
+// Command tv runs the full translation-validation pipeline of the paper's
+// Figure 5 — ISel → hint generation → VC generation → KEQ — either on a
+// single LLVM IR file or as the paper's evaluation experiments.
+//
+// Usage:
+//
+//	tv file.ll                      validate one file (all definitions)
+//	tv -experiment fig6 [-n 300]    reproduce the Figure 6 outcome table
+//	tv -experiment fig7 [-n 300]    reproduce the Figure 7 distributions
+//	tv -experiment bugs             reproduce the §5.2 bug studies
+//
+// The -timeout, -max-nodes and -conflicts flags scale the paper's
+// per-function budgets (3 h / 12 GB) down to interactive sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/paperprogs"
+	"repro/internal/tv"
+	"repro/internal/vcgen"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "fig6, fig7, eval (both), or bugs")
+	n := flag.Int("n", 300, "corpus size for fig6/fig7")
+	timeout := flag.Duration("timeout", 20*time.Second, "per-function wall-clock budget")
+	maxNodes := flag.Uint64("max-nodes", 4_000_000, "per-function term-node budget (memory stand-in)")
+	conflicts := flag.Int64("conflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
+	inadequate := flag.Int("inadequate-every", 150, "validate every n-th function with coarse liveness (0 = never)")
+	negForm := flag.Bool("negative-form", false, "ablation: disable the positive-form SMT optimization")
+	progress := flag.Bool("progress", false, "print per-function progress")
+	flag.Parse()
+
+	budget := tv.Budget{Timeout: *timeout, MaxTermNodes: *maxNodes, ConflictBudget: *conflicts}
+	copts := core.Options{DisablePositiveForm: *negForm}
+
+	switch *experiment {
+	case "":
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: tv [flags] file.ll | tv -experiment fig6|fig7|bugs")
+			os.Exit(2)
+		}
+		validateFile(flag.Arg(0), copts, budget)
+	case "fig6", "fig7", "eval":
+		cfg := harness.Config{
+			Profile:         corpus.GCCLike(*n),
+			Budget:          budget,
+			InadequateEvery: *inadequate,
+			Checker:         copts,
+		}
+		if *progress {
+			cfg.Progress = os.Stderr
+		}
+		sum := harness.Run(cfg)
+		if *experiment == "fig6" || *experiment == "eval" {
+			sum.Figure6(os.Stdout)
+		}
+		if *experiment == "fig7" || *experiment == "eval" {
+			fmt.Println()
+			sum.Figure7(os.Stdout)
+		}
+	case "bugs":
+		runBugs(budget)
+	default:
+		fmt.Fprintf(os.Stderr, "tv: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func validateFile(path string, copts core.Options, budget tv.Budget) {
+	src, err := os.ReadFile(path)
+	check(err)
+	mod, err := llvmir.Parse(string(src))
+	check(err)
+	check(llvmir.Verify(mod))
+
+	failed := false
+	for _, fn := range mod.Funcs {
+		if !fn.Defined() {
+			continue
+		}
+		out := tv.Validate(mod, fn.Name, isel.Options{}, vcgen.Options{}, copts, budget)
+		fmt.Printf("@%-30s %-28s %8.2fs  %d points\n",
+			fn.Name, out.Class, out.Duration.Seconds(), out.Points)
+		if out.Class != tv.ClassSucceeded {
+			failed = true
+			if out.Err != nil {
+				fmt.Printf("    %v\n", out.Err)
+			}
+			if out.Report != nil {
+				for _, f := range out.Report.Failures {
+					fmt.Printf("    %s\n", f)
+				}
+			}
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runBugs(budget tv.Budget) {
+	experiments := []harness.BugExperiment{
+		{
+			Name:        "WAW store merge (Fig. 8/9, PR25154)",
+			Program:     paperprogs.WAWStores,
+			Fn:          "waw_foo",
+			GoodOptions: isel.Options{MergeStores: true},
+			BadOptions:  isel.Options{BugWAWStoreMerge: true},
+		},
+		{
+			Name:        "Load narrowing (Fig. 10/11, PR4737)",
+			Program:     paperprogs.LoadNarrow,
+			Fn:          "narrow_foo",
+			GoodOptions: isel.Options{},
+			BadOptions:  isel.Options{BugLoadNarrow: true},
+		},
+	}
+	var results []*harness.BugResult
+	ok := true
+	for _, e := range experiments {
+		r, err := harness.RunBug(e, budget)
+		check(err)
+		results = append(results, r)
+		ok = ok && r.BugCaught && r.GoodPassed
+	}
+	harness.RenderBugTable(os.Stdout, results)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tv:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,96 @@
+// Bugdetect: reintroduce the two real LLVM instruction-selection bugs of
+// the paper's §5.2 and show that the TV system rejects the buggy
+// translations while accepting the correct ones.
+//
+//   - Figure 8/9: a write-after-write dependency is reversed when the
+//     store-merging peephole sinks an earlier store past an overlapping one
+//     (LLVM PR25154).
+//   - Figure 10/11: load narrowing widens a 2-byte access into a 4-byte
+//     access that reads past the end of the object (LLVM PR4737; scaled
+//     from i96 to i48 — see DESIGN.md).
+//
+// Run with: go run ./examples/bugdetect
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/paperprogs"
+	"repro/internal/tv"
+	"repro/internal/vx86"
+)
+
+func main() {
+	budget := tv.Budget{Timeout: time.Minute}
+
+	fmt.Println("=== Figure 8: the LLVM input with a WAW dependency ===")
+	fmt.Print(paperprogs.WAWStores)
+	showCompiled("correct merge (Figure 9c)", paperprogs.WAWStores, "waw_foo",
+		isel.Options{MergeStores: true})
+	showCompiled("buggy merge (Figure 9b)", paperprogs.WAWStores, "waw_foo",
+		isel.Options{BugWAWStoreMerge: true})
+
+	fmt.Println("=== Figure 10: the load-narrowing input (scaled to i48) ===")
+	fmt.Printf("%s", paperprogs.LoadNarrow)
+	showCompiled("correct narrowing (Figure 11a)", paperprogs.LoadNarrow, "narrow_foo",
+		isel.Options{})
+	showCompiled("buggy widening (Figure 11b)", paperprogs.LoadNarrow, "narrow_foo",
+		isel.Options{BugLoadNarrow: true})
+
+	experiments := []harness.BugExperiment{
+		{
+			Name:        "WAW store merge (Fig. 8/9, PR25154)",
+			Program:     paperprogs.WAWStores,
+			Fn:          "waw_foo",
+			GoodOptions: isel.Options{MergeStores: true},
+			BadOptions:  isel.Options{BugWAWStoreMerge: true},
+		},
+		{
+			Name:        "Load narrowing (Fig. 10/11, PR4737)",
+			Program:     paperprogs.LoadNarrow,
+			Fn:          "narrow_foo",
+			GoodOptions: isel.Options{},
+			BadOptions:  isel.Options{BugLoadNarrow: true},
+		},
+	}
+	var results []*harness.BugResult
+	allGood := true
+	for _, e := range experiments {
+		r, err := harness.RunBug(e, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, r)
+		allGood = allGood && r.BugCaught && r.GoodPassed
+		if r.BuggyReport != nil {
+			fmt.Printf("--- KEQ failures for the buggy %s ---\n", e.Name)
+			for _, f := range r.BuggyReport.Failures {
+				fmt.Printf("  %s\n", f)
+			}
+			fmt.Println()
+		}
+	}
+	harness.RenderBugTable(os.Stdout, results)
+	if !allGood {
+		os.Exit(1)
+	}
+}
+
+func showCompiled(title, src, fn string, opts isel.Options) {
+	mod, err := llvmir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := isel.Compile(mod, mod.Func(fn), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- %s ---\n", title)
+	fmt.Println(&vx86.Program{Funcs: []*vx86.Function{res.Fn}})
+}

@@ -1,0 +1,87 @@
+// Regalloc: validate a register-allocation pass with the same checker —
+// the paper's "ongoing work" (§1). Unlike the ISel instance, both sides of
+// this equivalence are the SAME language (Virtual x86): the left program
+// still uses virtual registers and PHIs, the right program has been
+// rewritten by a spill-everything allocator (the shape of LLVM's -O0
+// RegAllocFast) with frame slots and eliminated PHIs.
+//
+// Run with: go run ./examples/regalloc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/paperprogs"
+	"repro/internal/regalloc"
+	"repro/internal/smt"
+	"repro/internal/vx86"
+)
+
+func main() {
+	mod, err := llvmir.Parse(paperprogs.ArithmSeqSum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := isel.Compile(mod, mod.Func("arithm_seq_sum"), isel.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := res.Fn
+
+	fmt.Println("=== Before allocation (virtual registers + PHIs) ===")
+	fmt.Println(&vx86.Program{Funcs: []*vx86.Function{before}})
+
+	alloc, err := regalloc.Allocate(before, regalloc.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== After allocation (frame slots, scratch registers, no PHIs) ===")
+	fmt.Println(&vx86.Program{Funcs: []*vx86.Function{alloc.Fn}})
+
+	points, err := regalloc.SyncPoints(before, alloc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== Synchronization points (vregs against their slots) ===")
+	if err := core.WriteSyncPoints(os.Stdout, points); err != nil {
+		log.Fatal(err)
+	}
+
+	verdict := check(mod, before, alloc.Fn, points)
+	fmt.Printf("\ncorrect allocator: %s\n", verdict)
+
+	buggy, err := regalloc.Allocate(before, regalloc.Options{BugClobberScratch: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict = check(mod, before, buggy.Fn, points)
+	fmt.Printf("allocator with scratch-clobber bug: %s\n", verdict)
+	if verdict != core.NotValidated {
+		os.Exit(1)
+	}
+}
+
+func check(mod *llvmir.Module, before, after *vx86.Function, points []*core.SyncPoint) core.Verdict {
+	ctx := smt.NewContext()
+	solver := smt.NewSolver(ctx)
+	layout := llvmir.BuildLayout(mod, mod.Func(before.Name))
+	ck := core.NewChecker(solver,
+		vx86.NewSem(ctx, before, layout),
+		vx86.NewSem(ctx, after, layout),
+		core.Options{})
+	rep, err := ck.Run(points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep.Verdict == core.NotValidated {
+		for _, f := range rep.Failures {
+			fmt.Printf("  failure: %s\n", f)
+		}
+	}
+	return rep.Verdict
+}

@@ -1,0 +1,273 @@
+// Package cfg provides language-independent control-flow-graph analyses:
+// reverse postorder, dominators, natural-loop detection, and backward
+// liveness. Both the LLVM IR and Virtual x86 packages expose their function
+// bodies through the Graph interface, and the verification-condition
+// generator (internal/vcgen) consumes the analyses to place synchronization
+// points (paper §4.5: loop entries and live-register constraints).
+package cfg
+
+import "sort"
+
+// Graph is a control-flow graph over named basic blocks. The entry block is
+// Blocks()[0]. Implementations must return deterministic orderings.
+type Graph interface {
+	Blocks() []string
+	Succs(block string) []string
+}
+
+// Preds computes the predecessor map of g, with deterministic ordering.
+func Preds(g Graph) map[string][]string {
+	preds := make(map[string][]string)
+	for _, b := range g.Blocks() {
+		preds[b] = nil
+	}
+	for _, b := range g.Blocks() {
+		for _, s := range g.Succs(b) {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// ReversePostorder returns the blocks of g reachable from the entry in
+// reverse postorder (entry first).
+func ReversePostorder(g Graph) []string {
+	seen := make(map[string]bool)
+	var post []string
+	var dfs func(string)
+	dfs = func(b string) {
+		seen[b] = true
+		for _, s := range g.Succs(b) {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	blocks := g.Blocks()
+	if len(blocks) == 0 {
+		return nil
+	}
+	dfs(blocks[0])
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// Dominators computes the immediate-dominator map using the
+// Cooper–Harvey–Kennedy iterative algorithm. The entry block maps to
+// itself. Unreachable blocks are absent from the result.
+func Dominators(g Graph) map[string]string {
+	rpo := ReversePostorder(g)
+	if len(rpo) == 0 {
+		return nil
+	}
+	index := make(map[string]int, len(rpo))
+	for i, b := range rpo {
+		index[b] = i
+	}
+	preds := Preds(g)
+	idom := make(map[string]string, len(rpo))
+	entry := rpo[0]
+	idom[entry] = entry
+
+	intersect := func(a, b string) string {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo[1:] {
+			var newIdom string
+			for _, p := range preds[b] {
+				if _, ok := idom[p]; !ok {
+					continue
+				}
+				if newIdom == "" {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom == "" {
+				continue
+			}
+			if idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom map.
+func Dominates(idom map[string]string, a, b string) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next, ok := idom[b]
+		if !ok || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// Loop describes a natural loop: its header block and body (including the
+// header). Latches are the sources of back edges into the header.
+type Loop struct {
+	Header  string
+	Body    map[string]bool
+	Latches []string
+}
+
+// NaturalLoops finds all natural loops of g: back edges t→h where h
+// dominates t; loops sharing a header are merged. Results are sorted by
+// header name for determinism.
+func NaturalLoops(g Graph) []Loop {
+	idom := Dominators(g)
+	preds := Preds(g)
+	byHeader := make(map[string]*Loop)
+	for _, b := range ReversePostorder(g) {
+		for _, s := range g.Succs(b) {
+			if !Dominates(idom, s, b) {
+				continue
+			}
+			// Back edge b→s.
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Body: map[string]bool{s: true}}
+				byHeader[s] = l
+			}
+			l.Latches = append(l.Latches, b)
+			// Body: all blocks reaching b without passing through s.
+			stack := []string{b}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Body[n] {
+					continue
+				}
+				l.Body[n] = true
+				stack = append(stack, preds[n]...)
+			}
+		}
+	}
+	headers := make([]string, 0, len(byHeader))
+	for h := range byHeader {
+		headers = append(headers, h)
+	}
+	sort.Strings(headers)
+	loops := make([]Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, *byHeader[h])
+	}
+	return loops
+}
+
+// LivenessInput augments a Graph with per-block use/def information for
+// backward liveness. use(b) is the set of names read in b before any
+// definition in b (upward-exposed uses); def(b) is the set of names defined
+// anywhere in b. EdgeUse(from,to) returns names used by phi-like
+// instructions in `to` along the edge from `from` (live at the end of
+// `from` only, not at the start of `to`).
+type LivenessInput interface {
+	Graph
+	UseDef(block string) (use, def map[string]bool)
+	EdgeUse(from, to string) map[string]bool
+}
+
+// Liveness computes live-in sets per block via the standard backward
+// dataflow fixpoint, with phi uses attributed to predecessor edges.
+func Liveness(g LivenessInput) map[string]map[string]bool {
+	blocks := ReversePostorder(g)
+	use := make(map[string]map[string]bool, len(blocks))
+	def := make(map[string]map[string]bool, len(blocks))
+	for _, b := range blocks {
+		u, d := g.UseDef(b)
+		use[b], def[b] = u, d
+	}
+	liveIn := make(map[string]map[string]bool, len(blocks))
+	for _, b := range blocks {
+		liveIn[b] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Iterate in postorder (reverse of RPO) for fast convergence.
+		for i := len(blocks) - 1; i >= 0; i-- {
+			b := blocks[i]
+			liveOut := make(map[string]bool)
+			for _, s := range g.Succs(b) {
+				for v := range liveIn[s] {
+					liveOut[v] = true
+				}
+				for v := range g.EdgeUse(b, s) {
+					liveOut[v] = true
+				}
+			}
+			// in = use ∪ (out − def)
+			in := make(map[string]bool, len(use[b])+len(liveOut))
+			for v := range use[b] {
+				in[v] = true
+			}
+			for v := range liveOut {
+				if !def[b][v] {
+					in[v] = true
+				}
+			}
+			if !sameSet(in, liveIn[b]) {
+				liveIn[b] = in
+				changed = true
+			}
+		}
+	}
+	return liveIn
+}
+
+// LiveOut derives the live-out set of a block from live-in sets.
+func LiveOut(g LivenessInput, liveIn map[string]map[string]bool, b string) map[string]bool {
+	out := make(map[string]bool)
+	for _, s := range g.Succs(b) {
+		for v := range liveIn[s] {
+			out[v] = true
+		}
+		for v := range g.EdgeUse(b, s) {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortedKeys returns the keys of a string set in sorted order (helper for
+// deterministic output across the repo).
+func SortedKeys(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,246 @@
+package cfg
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// mapGraph is a test Graph backed by literal maps.
+type mapGraph struct {
+	blocks []string
+	succs  map[string][]string
+	use    map[string][]string
+	def    map[string][]string
+	edge   map[[2]string][]string
+}
+
+func (g *mapGraph) Blocks() []string        { return g.blocks }
+func (g *mapGraph) Succs(b string) []string { return g.succs[b] }
+func (g *mapGraph) UseDef(b string) (map[string]bool, map[string]bool) {
+	return toSet(g.use[b]), toSet(g.def[b])
+}
+func (g *mapGraph) EdgeUse(from, to string) map[string]bool {
+	return toSet(g.edge[[2]string{from, to}])
+}
+
+func toSet(xs []string) map[string]bool {
+	s := make(map[string]bool, len(xs))
+	for _, x := range xs {
+		s[x] = true
+	}
+	return s
+}
+
+// diamond: entry → {then, else} → exit
+func diamond() *mapGraph {
+	return &mapGraph{
+		blocks: []string{"entry", "then", "else", "exit"},
+		succs: map[string][]string{
+			"entry": {"then", "else"},
+			"then":  {"exit"},
+			"else":  {"exit"},
+			"exit":  nil,
+		},
+	}
+}
+
+// loopGraph models: entry → header; header → {body, exit}; body → header.
+func loopGraph() *mapGraph {
+	return &mapGraph{
+		blocks: []string{"entry", "header", "body", "exit"},
+		succs: map[string][]string{
+			"entry":  {"header"},
+			"header": {"body", "exit"},
+			"body":   {"header"},
+			"exit":   nil,
+		},
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	rpo := ReversePostorder(diamond())
+	if rpo[0] != "entry" {
+		t.Errorf("rpo[0] = %q, want entry", rpo[0])
+	}
+	if rpo[len(rpo)-1] != "exit" {
+		t.Errorf("rpo last = %q, want exit", rpo[len(rpo)-1])
+	}
+	if len(rpo) != 4 {
+		t.Errorf("len(rpo) = %d, want 4", len(rpo))
+	}
+}
+
+func TestReversePostorderSkipsUnreachable(t *testing.T) {
+	g := diamond()
+	g.blocks = append(g.blocks, "dead")
+	g.succs["dead"] = []string{"exit"}
+	rpo := ReversePostorder(g)
+	for _, b := range rpo {
+		if b == "dead" {
+			t.Errorf("unreachable block in RPO")
+		}
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	idom := Dominators(diamond())
+	want := map[string]string{
+		"entry": "entry", "then": "entry", "else": "entry", "exit": "entry",
+	}
+	if !reflect.DeepEqual(idom, want) {
+		t.Errorf("idom = %v, want %v", idom, want)
+	}
+	if !Dominates(idom, "entry", "exit") {
+		t.Errorf("entry should dominate exit")
+	}
+	if Dominates(idom, "then", "exit") {
+		t.Errorf("then should not dominate exit")
+	}
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	idom := Dominators(loopGraph())
+	if idom["body"] != "header" || idom["exit"] != "header" || idom["header"] != "entry" {
+		t.Errorf("idom = %v", idom)
+	}
+}
+
+func TestNaturalLoops(t *testing.T) {
+	loops := NaturalLoops(loopGraph())
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != "header" {
+		t.Errorf("header = %q", l.Header)
+	}
+	if !l.Body["body"] || !l.Body["header"] || l.Body["entry"] || l.Body["exit"] {
+		t.Errorf("body = %v", l.Body)
+	}
+	if len(l.Latches) != 1 || l.Latches[0] != "body" {
+		t.Errorf("latches = %v", l.Latches)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := &mapGraph{
+		blocks: []string{"e", "h1", "h2", "b2", "l1", "x"},
+		succs: map[string][]string{
+			"e":  {"h1"},
+			"h1": {"h2", "x"},
+			"h2": {"b2", "l1"},
+			"b2": {"h2"},
+			"l1": {"h1"},
+			"x":  nil,
+		},
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 2 {
+		t.Fatalf("found %d loops, want 2", len(loops))
+	}
+	// Sorted by header: h1 before h2.
+	outer, inner := loops[0], loops[1]
+	if outer.Header != "h1" || inner.Header != "h2" {
+		t.Fatalf("headers = %q, %q", outer.Header, inner.Header)
+	}
+	if !outer.Body["h2"] || !outer.Body["l1"] || !outer.Body["b2"] {
+		t.Errorf("outer body = %v", outer.Body)
+	}
+	if inner.Body["h1"] || !inner.Body["b2"] {
+		t.Errorf("inner body = %v", inner.Body)
+	}
+}
+
+func TestIrreducibleSelfLoop(t *testing.T) {
+	g := &mapGraph{
+		blocks: []string{"e", "s"},
+		succs:  map[string][]string{"e": {"s"}, "s": {"s"}},
+	}
+	loops := NaturalLoops(g)
+	if len(loops) != 1 || loops[0].Header != "s" {
+		t.Fatalf("loops = %v", loops)
+	}
+	if len(loops[0].Body) != 1 {
+		t.Errorf("self-loop body = %v", loops[0].Body)
+	}
+}
+
+func TestLivenessStraightLine(t *testing.T) {
+	// entry: uses a, defines b; exit: uses b.
+	g := &mapGraph{
+		blocks: []string{"entry", "exit"},
+		succs:  map[string][]string{"entry": {"exit"}, "exit": nil},
+		use:    map[string][]string{"entry": {"a"}, "exit": {"b"}},
+		def:    map[string][]string{"entry": {"b"}},
+	}
+	live := Liveness(g)
+	if got := SortedKeys(live["entry"]); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("live-in(entry) = %v", got)
+	}
+	if got := SortedKeys(live["exit"]); !reflect.DeepEqual(got, []string{"b"}) {
+		t.Errorf("live-in(exit) = %v", got)
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// header uses i (cond); body defines nothing but uses s; body→header.
+	// n used only in header: stays live around the loop.
+	g := loopGraph()
+	g.use = map[string][]string{"header": {"i", "n"}, "body": {"s"}, "exit": {"s"}}
+	g.def = map[string][]string{"body": {"i"}, "entry": {"i", "n", "s"}}
+	live := Liveness(g)
+	for _, v := range []string{"n", "s"} {
+		if !live["header"][v] {
+			t.Errorf("%s not live-in at header: %v", v, SortedKeys(live["header"]))
+		}
+		if !live["body"][v] {
+			t.Errorf("%s not live-in at body: %v", v, SortedKeys(live["body"]))
+		}
+	}
+	if live["entry"]["i"] {
+		t.Errorf("i live-in at entry despite def")
+	}
+	if len(live["entry"]) != 0 {
+		t.Errorf("live-in(entry) = %v, want empty", SortedKeys(live["entry"]))
+	}
+}
+
+func TestLivenessPhiEdgeUses(t *testing.T) {
+	// Phi in exit reads x along then-edge and y along else-edge. x must be
+	// live-out of then only; neither is live-in at exit.
+	g := diamond()
+	g.def = map[string][]string{"entry": {"x", "y"}}
+	g.edge = map[[2]string][]string{
+		{"then", "exit"}: {"x"},
+		{"else", "exit"}: {"y"},
+	}
+	live := Liveness(g)
+	if !live["then"]["x"] || live["then"]["y"] {
+		t.Errorf("live-in(then) = %v", SortedKeys(live["then"]))
+	}
+	if !live["else"]["y"] || live["else"]["x"] {
+		t.Errorf("live-in(else) = %v", SortedKeys(live["else"]))
+	}
+	if len(live["exit"]) != 0 {
+		t.Errorf("live-in(exit) = %v, want empty", SortedKeys(live["exit"]))
+	}
+	out := LiveOut(g, live, "then")
+	if got := SortedKeys(out); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("live-out(then) = %v", got)
+	}
+}
+
+func TestPredsDeterministic(t *testing.T) {
+	g := diamond()
+	p1 := Preds(g)
+	p2 := Preds(g)
+	if !reflect.DeepEqual(p1, p2) {
+		t.Errorf("Preds not deterministic")
+	}
+	got := p1["exit"]
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, []string{"else", "then"}) {
+		t.Errorf("preds(exit) = %v", got)
+	}
+}

@@ -1,0 +1,541 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smt"
+)
+
+// --- A tiny mock language for exercising the checker in isolation ---
+//
+// A toy program maps each location to a step function that produces the
+// symbolic successors. Registers are 32-bit; reads of unbound registers
+// materialize fresh variables (the same lazy-havoc convention the real
+// semantics use).
+
+type toyState struct {
+	sem   *toySem
+	loc   Location
+	regs  map[string]*smt.Term
+	pc    *smt.Term
+	final bool
+	err   string
+	ret   *smt.Term
+}
+
+func (s *toyState) Loc() Location       { return s.loc }
+func (s *toyState) PathCond() *smt.Term { return s.pc }
+func (s *toyState) MemTerm() *smt.Term  { return nil }
+func (s *toyState) IsFinal() bool       { return s.final }
+func (s *toyState) ErrorKind() string   { return s.err }
+func (s *toyState) Observable(name string) (*smt.Term, error) {
+	if name == "ret" {
+		if s.ret == nil {
+			return nil, errString("no return value at " + string(s.loc))
+		}
+		return s.ret, nil
+	}
+	return s.get(name), nil
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func (s *toyState) get(name string) *smt.Term {
+	if t, ok := s.regs[name]; ok {
+		return t
+	}
+	s.sem.fresh++
+	t := s.sem.ctx.VarBV(string(s.sem.side)+"!"+name+"!"+itoa(s.sem.fresh), 32)
+	s.regs[name] = t
+	return t
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+func (s *toyState) clone() *toyState {
+	regs := make(map[string]*smt.Term, len(s.regs))
+	for k, v := range s.regs {
+		regs[k] = v
+	}
+	return &toyState{sem: s.sem, loc: s.loc, regs: regs, pc: s.pc, ret: s.ret}
+}
+
+type toySem struct {
+	ctx   *smt.Context
+	side  string
+	steps map[Location]func(*toyState) []State
+	fresh int
+}
+
+func (m *toySem) Instantiate(loc Location, presets map[string]*smt.Term, memT *smt.Term) (State, error) {
+	regs := make(map[string]*smt.Term, len(presets))
+	for k, v := range presets {
+		regs[k] = v
+	}
+	return &toyState{sem: m, loc: loc, regs: regs, pc: m.ctx.True()}, nil
+}
+
+func (m *toySem) Step(s State) ([]State, error) {
+	ts := s.(*toyState)
+	if ts.final || ts.err != "" {
+		return nil, nil
+	}
+	fn, ok := m.steps[ts.loc]
+	if !ok {
+		return nil, errString("no step function at " + string(ts.loc))
+	}
+	return fn(ts), nil
+}
+
+func (m *toySem) ObservableWidth(loc Location, name string) (uint8, error) { return 32, nil }
+
+func newPair(t *testing.T) (*smt.Context, *smt.Solver) {
+	t.Helper()
+	ctx := smt.NewContext()
+	return ctx, smt.NewSolver(ctx)
+}
+
+// exitState builds a final state holding a return value.
+func exitState(ts *toyState, ret *smt.Term) *toyState {
+	n := ts.clone()
+	n.loc = "exit"
+	n.final = true
+	n.ret = ret
+	return n
+}
+
+func run(t *testing.T, solver *smt.Solver, left, right Semantics, points []*SyncPoint, opts Options) *Report {
+	t.Helper()
+	ck := NewChecker(solver, left, right, opts)
+	rep, err := ck.Run(points)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func entryExitPoints(cons ...Constraint) []*SyncPoint {
+	return []*SyncPoint{
+		{ID: "p0", LocLeft: "entry", LocRight: "entry", Constraints: cons},
+		{ID: "p1", LocLeft: "exit", LocRight: "exit", Exiting: true,
+			Constraints: []Constraint{{Left: "ret", Right: "ret"}}},
+	}
+}
+
+func TestCheckerStraightLineEquivalent(t *testing.T) {
+	ctx, solver := newPair(t)
+	left := &toySem{ctx: ctx, side: "L"}
+	left.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			// ret = (x + y) + y
+			v := ctx.Add(ctx.Add(s.get("x"), s.get("y")), s.get("y"))
+			return []State{exitState(s, v)}
+		},
+	}
+	right := &toySem{ctx: ctx, side: "R"}
+	right.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			// ret = x + 2*y — needs the solver, not just normalization
+			v := ctx.Add(s.get("a"), ctx.Mul(ctx.BV(2, 32), s.get("b")))
+			return []State{exitState(s, v)}
+		},
+	}
+	points := entryExitPoints(
+		Constraint{Left: "x", Right: "a"},
+		Constraint{Left: "y", Right: "b"},
+	)
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != Validated {
+		t.Fatalf("verdict = %v; failures: %v", rep.Verdict, rep.Failures)
+	}
+}
+
+func TestCheckerStraightLineInequivalent(t *testing.T) {
+	ctx, solver := newPair(t)
+	left := &toySem{ctx: ctx, side: "L"}
+	left.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			return []State{exitState(s, ctx.Add(s.get("x"), s.get("y")))}
+		},
+	}
+	right := &toySem{ctx: ctx, side: "R"}
+	right.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			return []State{exitState(s, ctx.Sub(s.get("a"), s.get("b")))}
+		},
+	}
+	points := entryExitPoints(
+		Constraint{Left: "x", Right: "a"},
+		Constraint{Left: "y", Right: "b"},
+	)
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != NotValidated {
+		t.Fatalf("x+y vs x-y validated")
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatalf("no failures reported")
+	}
+}
+
+// branchingSem builds a two-armed program: if cond(x) then ret=a(x) at exit
+// else ret=b(x).
+func branchingSem(ctx *smt.Context, side string, cond func(x *smt.Term) *smt.Term,
+	thenV, elseV func(x *smt.Term) *smt.Term) *toySem {
+	m := &toySem{ctx: ctx, side: side}
+	m.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			x := s.get("x")
+			c := cond(x)
+			sT := s.clone()
+			sT.pc = ctx.AndB(s.pc, c)
+			sT.loc = "then"
+			sF := s.clone()
+			sF.pc = ctx.AndB(s.pc, ctx.Not(c))
+			sF.loc = "else"
+			return []State{sT, sF}
+		},
+		"then": func(s *toyState) []State {
+			return []State{exitState(s, thenV(s.get("x")))}
+		},
+		"else": func(s *toyState) []State {
+			return []State{exitState(s, elseV(s.get("x")))}
+		},
+	}
+	return m
+}
+
+func TestCheckerBranchingEquivalent(t *testing.T) {
+	ctx, solver := newPair(t)
+	ten := ctx.BV(10, 32)
+	// Left branches on x <u 10; right on ¬(10 ≤u x): same predicate,
+	// different syntax, so pairing requires real SMT queries.
+	left := branchingSem(ctx, "L",
+		func(x *smt.Term) *smt.Term { return ctx.Ult(x, ten) },
+		func(x *smt.Term) *smt.Term { return ctx.Add(x, ctx.BV(1, 32)) },
+		func(x *smt.Term) *smt.Term { return x })
+	right := branchingSem(ctx, "R",
+		func(x *smt.Term) *smt.Term { return ctx.Not(ctx.Ule(ten, x)) },
+		func(x *smt.Term) *smt.Term { return ctx.Sub(x, ctx.BV(0xFFFFFFFF, 32)) }, // x+1
+		func(x *smt.Term) *smt.Term { return x })
+	points := entryExitPoints(Constraint{Left: "x", Right: "x"})
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != Validated {
+		t.Fatalf("verdict = %v; failures: %v", rep.Verdict, rep.Failures)
+	}
+	if rep.Stats.PairQueries == 0 {
+		t.Errorf("expected SMT pairing queries for syntactically distinct conditions")
+	}
+}
+
+func TestCheckerBranchingSwappedArms(t *testing.T) {
+	ctx, solver := newPair(t)
+	ten := ctx.BV(10, 32)
+	left := branchingSem(ctx, "L",
+		func(x *smt.Term) *smt.Term { return ctx.Ult(x, ten) },
+		func(x *smt.Term) *smt.Term { return ctx.Add(x, ctx.BV(1, 32)) },
+		func(x *smt.Term) *smt.Term { return x })
+	// Right swaps the arms without swapping the condition: inequivalent.
+	right := branchingSem(ctx, "R",
+		func(x *smt.Term) *smt.Term { return ctx.Ult(x, ten) },
+		func(x *smt.Term) *smt.Term { return x },
+		func(x *smt.Term) *smt.Term { return ctx.Add(x, ctx.BV(1, 32)) })
+	points := entryExitPoints(Constraint{Left: "x", Right: "x"})
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != NotValidated {
+		t.Fatalf("swapped-arm program validated")
+	}
+}
+
+func TestCheckerAblationNegativeForm(t *testing.T) {
+	// The naive ¬φ2 query form must reach the same verdict (slower).
+	ctx, solver := newPair(t)
+	ten := ctx.BV(10, 32)
+	mk := func(side string) *toySem {
+		return branchingSem(ctx, side,
+			func(x *smt.Term) *smt.Term { return ctx.Ult(x, ten) },
+			func(x *smt.Term) *smt.Term { return ctx.Add(x, ctx.BV(1, 32)) },
+			func(x *smt.Term) *smt.Term { return x })
+	}
+	points := entryExitPoints(Constraint{Left: "x", Right: "x"})
+	rep := run(t, solver, mk("L"), mk("R"), points,
+		Options{DisablePositiveForm: true, DisablePCFastPath: true})
+	if rep.Verdict != Validated {
+		t.Fatalf("negative-form verdict = %v; failures: %v", rep.Verdict, rep.Failures)
+	}
+}
+
+// loopSem builds: i=0 at entry; head: if i <u n → body else exit(acc);
+// body: acc += k; i += 1 → head. Register names are shared across sides.
+func loopSem(ctx *smt.Context, side string) *toySem {
+	one := ctx.BV(1, 32)
+	m := &toySem{ctx: ctx, side: side}
+	m.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			n := s.clone()
+			n.regs["i"] = ctx.BV(0, 32)
+			n.regs["acc"] = ctx.BV(0, 32)
+			n.loc = "head"
+			return []State{n}
+		},
+		"head": func(s *toyState) []State {
+			c := ctx.Ult(s.get("i"), s.get("n"))
+			sT := s.clone()
+			sT.pc = ctx.AndB(s.pc, c)
+			sT.loc = "body"
+			sF := s.clone()
+			sF.pc = ctx.AndB(s.pc, ctx.Not(c))
+			sF.loc = "exit"
+			sF.final = true
+			sF.ret = s.get("acc")
+			return []State{sT, sF}
+		},
+		"body": func(s *toyState) []State {
+			n := s.clone()
+			n.regs["acc"] = ctx.Add(s.get("acc"), s.get("k"))
+			n.regs["i"] = ctx.Add(s.get("i"), one)
+			n.loc = "head"
+			return []State{n}
+		},
+	}
+	return m
+}
+
+func TestCheckerLoop(t *testing.T) {
+	ctx, solver := newPair(t)
+	left := loopSem(ctx, "L")
+	right := loopSem(ctx, "R")
+	points := []*SyncPoint{
+		{ID: "p0", LocLeft: "entry", LocRight: "entry", Constraints: []Constraint{
+			{Left: "n", Right: "n"}, {Left: "k", Right: "k"},
+		}},
+		{ID: "p1", LocLeft: "head", LocRight: "head", Constraints: []Constraint{
+			{Left: "n", Right: "n"}, {Left: "k", Right: "k"},
+			{Left: "i", Right: "i"}, {Left: "acc", Right: "acc"},
+		}},
+		{ID: "p2", LocLeft: "exit", LocRight: "exit", Exiting: true,
+			Constraints: []Constraint{{Left: "ret", Right: "ret"}}},
+	}
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != Validated {
+		t.Fatalf("loop verdict = %v; failures: %v", rep.Verdict, rep.Failures)
+	}
+}
+
+func TestCheckerLoopMissingCutFails(t *testing.T) {
+	// Without the loop-head point the sync relation is not a cut: the
+	// checker must fail with an error (MaxSteps exceeded), not validate.
+	ctx, solver := newPair(t)
+	left := loopSem(ctx, "L")
+	right := loopSem(ctx, "R")
+	points := []*SyncPoint{
+		{ID: "p0", LocLeft: "entry", LocRight: "entry", Constraints: []Constraint{
+			{Left: "n", Right: "n"}, {Left: "k", Right: "k"},
+		}},
+		{ID: "p2", LocLeft: "exit", LocRight: "exit", Exiting: true,
+			Constraints: []Constraint{{Left: "ret", Right: "ret"}}},
+	}
+	ck := NewChecker(solver, left, right, Options{MaxSteps: 64})
+	_, err := ck.Run(points)
+	if err == nil {
+		t.Fatalf("missing loop cut did not error")
+	}
+	if !strings.Contains(err.Error(), "cut") {
+		t.Errorf("error %q does not mention the cut", err)
+	}
+}
+
+// ubSem is like a straight-line program but the left side branches to an
+// overflow error state when x = 7 (modeling nsw UB), while the right side
+// computes unconditionally.
+func TestCheckerUBExcuse(t *testing.T) {
+	ctx, solver := newPair(t)
+	seven := ctx.BV(7, 32)
+	left := &toySem{ctx: ctx, side: "L"}
+	left.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			x := s.get("x")
+			bad := ctx.Eq(x, seven)
+			errS := s.clone()
+			errS.pc = ctx.AndB(s.pc, bad)
+			errS.loc = ErrorLoc("overflow")
+			errS.err = "overflow"
+			okS := s.clone()
+			okS.pc = ctx.AndB(s.pc, ctx.Not(bad))
+			return []State{errS, exitStateFrom(okS, ctx.Add(x, ctx.BV(1, 32)))}
+		},
+	}
+	right := &toySem{ctx: ctx, side: "R"}
+	right.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			return []State{exitState(s, ctx.Add(s.get("x"), ctx.BV(1, 32)))}
+		},
+	}
+	points := entryExitPoints(Constraint{Left: "x", Right: "x"})
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != Validated {
+		t.Fatalf("UB-excused program not validated: %v", rep.Failures)
+	}
+}
+
+func exitStateFrom(s *toyState, ret *smt.Term) *toyState {
+	s.loc = "exit"
+	s.final = true
+	s.ret = ret
+	return s
+}
+
+func TestCheckerRightErrorNotExcused(t *testing.T) {
+	// The RIGHT side introduces an error (like the out-of-bounds load of
+	// Figure 10/11) with no matching left error: must not validate, in
+	// either mode.
+	ctx, solver := newPair(t)
+	left := &toySem{ctx: ctx, side: "L"}
+	left.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			return []State{exitState(s, s.get("x"))}
+		},
+	}
+	right := &toySem{ctx: ctx, side: "R"}
+	right.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			errS := s.clone()
+			errS.loc = ErrorLoc("oob")
+			errS.err = "oob"
+			return []State{errS}
+		},
+	}
+	points := entryExitPoints(Constraint{Left: "x", Right: "x"})
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != NotValidated {
+		t.Fatalf("right-side error state validated")
+	}
+	rep = run(t, solver, left, right, points, Options{Mode: Refinement})
+	if rep.Verdict != NotValidated {
+		t.Fatalf("right-side error state validated as refinement")
+	}
+}
+
+func TestCheckerRefinementAllowsExtraRightBehavior(t *testing.T) {
+	// Right side branches; left always takes one arm. Equivalence fails,
+	// refinement succeeds.
+	ctx, solver := newPair(t)
+	left := &toySem{ctx: ctx, side: "L"}
+	left.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			// pc restricted to x <u 10, then returns x.
+			c := ctx.Ult(s.get("x"), ctx.BV(10, 32))
+			n := s.clone()
+			n.pc = ctx.AndB(s.pc, c)
+			return []State{exitStateFrom(n, s.get("x"))}
+		},
+	}
+	right := branchingSem(ctx, "R",
+		func(x *smt.Term) *smt.Term { return ctx.Ult(x, ctx.BV(10, 32)) },
+		func(x *smt.Term) *smt.Term { return x },
+		func(x *smt.Term) *smt.Term { return ctx.BV(99, 32) })
+	points := entryExitPoints(Constraint{Left: "x", Right: "x"})
+	rep := run(t, solver, left, right, points, Options{Mode: Refinement})
+	if rep.Verdict != Validated {
+		t.Fatalf("refinement verdict = %v; failures: %v", rep.Verdict, rep.Failures)
+	}
+	rep = run(t, solver, left, right, points, Options{Mode: Equivalence})
+	if rep.Verdict != NotValidated {
+		t.Fatalf("equivalence validated despite unmatched right arm")
+	}
+}
+
+func TestSyncPointRoundTrip(t *testing.T) {
+	points := []*SyncPoint{
+		{ID: "p0", LocLeft: "entry", LocRight: "entry", MemEqual: true,
+			Constraints: []Constraint{{Left: "%a0", Right: "edi"}, {Left: "1", Right: "%vr9"}}},
+		{ID: "p3", LocLeft: "exit", LocRight: "exit", Exiting: true,
+			Constraints: []Constraint{{Left: "ret", Right: "eax"}}},
+	}
+	var b strings.Builder
+	if err := WriteSyncPoints(&b, points); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSyncPoints(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\ninput:\n%s", err, b.String())
+	}
+	if len(parsed) != 2 {
+		t.Fatalf("parsed %d points", len(parsed))
+	}
+	if parsed[0].ID != "p0" || !parsed[0].MemEqual || parsed[0].Exiting {
+		t.Errorf("p0 = %+v", parsed[0])
+	}
+	if len(parsed[0].Constraints) != 2 || parsed[0].Constraints[1].Left != "1" {
+		t.Errorf("p0 constraints = %+v", parsed[0].Constraints)
+	}
+	if !parsed[1].Exiting || parsed[1].Constraints[0].Right != "eax" {
+		t.Errorf("p3 = %+v", parsed[1])
+	}
+}
+
+func TestParseSyncPointsErrors(t *testing.T) {
+	bad := []string{
+		"sync p0 entry {\n}", // missing right loc
+		"sync p0 entry entry {\nno-equals-here\n}",
+		"}",
+		"sync p0 entry entry {\n",       // unterminated
+		"sync p0 entry entry flag {\n}", // unknown flag
+	}
+	for _, in := range bad {
+		if _, err := ParseSyncPoints(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q parsed without error", in)
+		}
+	}
+}
+
+func TestConstExprHelpers(t *testing.T) {
+	if !IsConstExpr("42") || !IsConstExpr("-1") || IsConstExpr("%x") || IsConstExpr("") || IsConstExpr("-") {
+		t.Errorf("IsConstExpr misclassifies")
+	}
+	v, err := ParseConstExpr("-1")
+	if err != nil || v != ^uint64(0) {
+		t.Errorf("ParseConstExpr(-1) = %d, %v", v, err)
+	}
+}
+
+func TestCheckerConstConstraint(t *testing.T) {
+	// Right side materializes the constant 1 into a register (like
+	// %vr9_32 = mov 1 in Figure 2); the sync point pins it with a
+	// constant constraint.
+	ctx, solver := newPair(t)
+	left := &toySem{ctx: ctx, side: "L"}
+	left.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			return []State{exitState(s, ctx.Add(s.get("x"), ctx.BV(1, 32)))}
+		},
+	}
+	right := &toySem{ctx: ctx, side: "R"}
+	right.steps = map[Location]func(*toyState) []State{
+		"entry": func(s *toyState) []State {
+			return []State{exitState(s, ctx.Add(s.get("x"), s.get("one")))}
+		},
+	}
+	points := entryExitPoints(
+		Constraint{Left: "x", Right: "x"},
+		Constraint{Left: "1", Right: "one"},
+	)
+	rep := run(t, solver, left, right, points, Options{})
+	if rep.Verdict != Validated {
+		t.Fatalf("const-constraint program not validated: %v", rep.Failures)
+	}
+}

@@ -1,0 +1,277 @@
+package core
+
+import "fmt"
+
+// This file implements the concrete side of the paper's formalization
+// (§7): cut transition systems over explicit state graphs, cut-successor
+// computation (Definition 7.3), cut-(bi)simulation checking exactly as
+// Algorithm 1 is stated, and the cut-abstract transition system of
+// Definition 7.5. It exists for three reasons: it documents the theory the
+// symbolic checker implements, it lets tests exercise Algorithm 1 against
+// hand-built transition systems (e.g. the partial-redundancy-elimination
+// example of Figure 4), and it supports property tests comparing the
+// abstract and concrete formulations.
+
+// ConcreteTS is a finite, explicitly enumerated cut transition system
+// (S, ξ, →, C) with states identified by strings.
+type ConcreteTS struct {
+	Init  string
+	Succs map[string][]string
+	Cut   map[string]bool
+}
+
+// Validate checks basic well-formedness: the initial state exists and is a
+// cut state (Definition 7.1 requires ξ ∈ C).
+func (t *ConcreteTS) Validate() error {
+	if _, ok := t.Succs[t.Init]; !ok {
+		return fmt.Errorf("core: initial state %q not in state set", t.Init)
+	}
+	if !t.Cut[t.Init] {
+		return fmt.Errorf("core: initial state %q not a cut state", t.Init)
+	}
+	for s, next := range t.Succs {
+		for _, n := range next {
+			if _, ok := t.Succs[n]; !ok {
+				return fmt.Errorf("core: transition %q→%q leaves the state set", s, n)
+			}
+		}
+	}
+	return nil
+}
+
+// CutSuccessors implements next_i of Algorithm 1 / Definition 7.3: the set
+// of cut states reachable from s through non-cut states only. It returns
+// an error if some path can avoid the cut forever (then C is not a cut for
+// s, violating Definition 7.1).
+func (t *ConcreteTS) CutSuccessors(s string) ([]string, error) {
+	var ret []string
+	inRet := make(map[string]bool)
+	visited := make(map[string]bool) // non-cut intermediate states seen
+	work := []string{s}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, n2 := range t.Succs[n] {
+			if t.Cut[n2] {
+				if !inRet[n2] {
+					inRet[n2] = true
+					ret = append(ret, n2)
+				}
+				continue
+			}
+			if visited[n2] {
+				continue // diamond re-entry; cycles are detected below
+			}
+			visited[n2] = true
+			work = append(work, n2)
+		}
+	}
+	// A cycle within the visited non-cut states means some execution from
+	// s avoids the cut forever: C is not a cut for s (Definition 7.1).
+	if cyc := findCycle(t, visited); cyc != "" {
+		return nil, fmt.Errorf("core: cycle through non-cut state %q (C is not a cut)", cyc)
+	}
+	return ret, nil
+}
+
+// findCycle returns a state on a cycle within the induced subgraph over
+// `within` (non-cut states), or "" if that subgraph is acyclic.
+func findCycle(t *ConcreteTS, within map[string]bool) string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(within))
+	var visit func(string) string
+	visit = func(n string) string {
+		color[n] = grey
+		for _, n2 := range t.Succs[n] {
+			if !within[n2] {
+				continue
+			}
+			switch color[n2] {
+			case grey:
+				return n2
+			case white:
+				if c := visit(n2); c != "" {
+					return c
+				}
+			}
+		}
+		color[n] = black
+		return ""
+	}
+	for n := range within {
+		if color[n] == white {
+			if c := visit(n); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}
+
+// IsCutFor verifies Definition 7.1 globally: every complete trace from
+// every cut state passes through the cut again (or terminates in it).
+func (t *ConcreteTS) IsCutFor() error {
+	for s := range t.Succs {
+		if !t.Cut[s] && s != t.Init {
+			continue
+		}
+		if _, err := t.CutSuccessors(s); err != nil {
+			return err
+		}
+		// Terminating executions must terminate in C: a final state (no
+		// successors) reachable through non-cut states would have been
+		// returned by CutSuccessors only if it is in C; a non-cut final
+		// state is a violation. Detect it directly.
+		if err := t.checkNoncutFinals(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *ConcreteTS) checkNoncutFinals(s string) error {
+	seen := map[string]bool{s: true}
+	work := []string{s}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, n2 := range t.Succs[n] {
+			if t.Cut[n2] || seen[n2] {
+				continue
+			}
+			if len(t.Succs[n2]) == 0 {
+				return fmt.Errorf("core: terminating state %q outside the cut", n2)
+			}
+			seen[n2] = true
+			work = append(work, n2)
+		}
+	}
+	return nil
+}
+
+// StatePair relates a state of T1 with a state of T2.
+type StatePair struct{ L, R string }
+
+// CheckCutBisim is the concrete Algorithm 1 exactly as given in the paper:
+// it checks whether the relation P is a cut-bisimulation between t1 and
+// t2. Acceptability of the pairs in P (A-membership, Theorem 2.3) is the
+// caller's responsibility, as in the paper.
+func CheckCutBisim(t1, t2 *ConcreteTS, P []StatePair) (bool, error) {
+	return checkCutRelation(t1, t2, P, true)
+}
+
+// CheckCutSim checks whether P is a cut-simulation of t1 by t2
+// (refinement: only the left successors must be matched; the footnote to
+// Algorithm 1).
+func CheckCutSim(t1, t2 *ConcreteTS, P []StatePair) (bool, error) {
+	return checkCutRelation(t1, t2, P, false)
+}
+
+func checkCutRelation(t1, t2 *ConcreteTS, P []StatePair, bisim bool) (bool, error) {
+	if err := t1.Validate(); err != nil {
+		return false, err
+	}
+	if err := t2.Validate(); err != nil {
+		return false, err
+	}
+	inP := make(map[StatePair]bool, len(P))
+	for _, p := range P {
+		if !t1.Cut[p.L] || !t2.Cut[p.R] {
+			return false, fmt.Errorf("core: pair (%q,%q) relates non-cut states", p.L, p.R)
+		}
+		inP[p] = true
+	}
+	// main() of Algorithm 1.
+	for _, p := range P {
+		n1, err := t1.CutSuccessors(p.L)
+		if err != nil {
+			return false, err
+		}
+		n2, err := t2.CutSuccessors(p.R)
+		if err != nil {
+			return false, err
+		}
+		black1 := make(map[string]bool)
+		black2 := make(map[string]bool)
+		for _, a := range n1 {
+			for _, b := range n2 {
+				if inP[StatePair{a, b}] {
+					black1[a] = true
+					black2[b] = true
+				}
+			}
+		}
+		for _, a := range n1 {
+			if !black1[a] {
+				return false, nil
+			}
+		}
+		if bisim {
+			for _, b := range n2 {
+				if !black2[b] {
+					return false, nil
+				}
+			}
+		}
+	}
+	return true, nil
+}
+
+// CutAbstract builds the cut-abstract transition system of Definition 7.5:
+// states are the cut states of t, transitions are cut-successor steps.
+func (t *ConcreteTS) CutAbstract() (*ConcreteTS, error) {
+	out := &ConcreteTS{Init: t.Init, Succs: make(map[string][]string), Cut: make(map[string]bool)}
+	for s := range t.Succs {
+		if !t.Cut[s] {
+			continue
+		}
+		succ, err := t.CutSuccessors(s)
+		if err != nil {
+			return nil, err
+		}
+		out.Succs[s] = succ
+		out.Cut[s] = true
+	}
+	return out, nil
+}
+
+// StrongBisim checks whether P is a strong bisimulation between two
+// transition systems where every state is a cut state (used to validate
+// Lemma 7.6: cut-bisimulation on T = bisimulation on the cut-abstraction).
+func StrongBisim(t1, t2 *ConcreteTS, P []StatePair) (bool, error) {
+	inP := make(map[StatePair]bool, len(P))
+	for _, p := range P {
+		inP[p] = true
+	}
+	for _, p := range P {
+		for _, a := range t1.Succs[p.L] {
+			matched := false
+			for _, b := range t2.Succs[p.R] {
+				if inP[StatePair{a, b}] {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return false, nil
+			}
+		}
+		for _, b := range t2.Succs[p.R] {
+			matched := false
+			for _, a := range t1.Succs[p.L] {
+				if inP[StatePair{a, b}] {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

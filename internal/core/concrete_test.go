@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// fig4Left and fig4Right reproduce the partial-redundancy-elimination
+// example of Figure 4: the left program computes x=a+b then branches
+// nondeterministically; the right program branches first. P1 and Q1 are
+// the "irrelevant" intermediate states that strong bisimulation chokes on.
+func fig4Left() *ConcreteTS {
+	return &ConcreteTS{
+		Init: "P0",
+		Succs: map[string][]string{
+			"P0": {"P1"},
+			"P1": {"P2", "P3"},
+			"P2": {},
+			"P3": {},
+		},
+		Cut: map[string]bool{"P0": true, "P2": true, "P3": true},
+	}
+}
+
+func fig4Right() *ConcreteTS {
+	return &ConcreteTS{
+		Init: "Q0",
+		Succs: map[string][]string{
+			"Q0": {"Q1", "Q3"},
+			"Q1": {"Q2"},
+			"Q2": {},
+			"Q3": {},
+		},
+		Cut: map[string]bool{"Q0": true, "Q2": true, "Q3": true},
+	}
+}
+
+var fig4P = []StatePair{{"P0", "Q0"}, {"P2", "Q2"}, {"P3", "Q3"}}
+
+func TestFigure4CutBisimulation(t *testing.T) {
+	ok, err := CheckCutBisim(fig4Left(), fig4Right(), fig4P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("Figure 4 relation rejected")
+	}
+}
+
+func TestFigure4StrongBisimulationFails(t *testing.T) {
+	// The same relation is NOT a strong bisimulation on the raw systems:
+	// P0's only successor P1 has no related partner.
+	ok, err := StrongBisim(fig4Left(), fig4Right(), fig4P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("strong bisimulation accepted the Figure 4 relation")
+	}
+}
+
+func TestLemma76CutAbstractEquivalence(t *testing.T) {
+	// Lemma 7.6: a cut-bisimulation on T is a strong bisimulation on the
+	// cut-abstract system of T.
+	a1, err := fig4Left().CutAbstract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := fig4Right().CutAbstract()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := StrongBisim(a1, a2, fig4P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("cut-bisimulation is not a bisimulation on the cut abstraction")
+	}
+}
+
+func TestCutBisimRejectsWrongPairing(t *testing.T) {
+	// Swap the exits: P2 related to Q3 and P3 to Q2. Still covers the
+	// locations, but then CutSuccessors(P0) = {P2,P3} must pair against
+	// {Q2,Q3}: with the swap, all pairs exist — this is actually fine for
+	// a nondeterministic system. Remove one exit pair instead.
+	bad := []StatePair{{"P0", "Q0"}, {"P2", "Q2"}}
+	ok, err := CheckCutBisim(fig4Left(), fig4Right(), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("relation missing the P3/Q3 pair accepted")
+	}
+}
+
+func TestCutSimulationOneSided(t *testing.T) {
+	// Left has fewer behaviors: only the P2 exit. A cut-simulation (left
+	// refined by right) holds, a cut-bisimulation does not.
+	left := &ConcreteTS{
+		Init: "P0",
+		Succs: map[string][]string{
+			"P0": {"P1"}, "P1": {"P2"}, "P2": {},
+		},
+		Cut: map[string]bool{"P0": true, "P2": true},
+	}
+	P := []StatePair{{"P0", "Q0"}, {"P2", "Q2"}}
+	ok, err := CheckCutSim(left, fig4Right(), P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("refinement rejected")
+	}
+	ok, err = CheckCutBisim(left, fig4Right(), P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("bisimulation accepted despite extra right behavior Q3")
+	}
+}
+
+func TestCutSuccessorsDiamond(t *testing.T) {
+	// Non-cut diamond must not be mistaken for a cycle.
+	ts := &ConcreteTS{
+		Init: "s",
+		Succs: map[string][]string{
+			"s": {"a", "b"}, "a": {"m"}, "b": {"m"}, "m": {"t"}, "t": {},
+		},
+		Cut: map[string]bool{"s": true, "t": true},
+	}
+	succ, err := ts.CutSuccessors("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(succ) != 1 || succ[0] != "t" {
+		t.Fatalf("succ = %v, want [t]", succ)
+	}
+}
+
+func TestCutSuccessorsDetectsNonCut(t *testing.T) {
+	// A loop that never crosses the cut: C is not a cut (Definition 7.1).
+	ts := &ConcreteTS{
+		Init: "s",
+		Succs: map[string][]string{
+			"s": {"a"}, "a": {"b"}, "b": {"a"},
+		},
+		Cut: map[string]bool{"s": true},
+	}
+	if _, err := ts.CutSuccessors("s"); err == nil {
+		t.Fatalf("non-cut loop not detected")
+	}
+	if err := ts.IsCutFor(); err == nil {
+		t.Fatalf("IsCutFor accepted a non-cut")
+	}
+}
+
+func TestIsCutForNoncutFinal(t *testing.T) {
+	ts := &ConcreteTS{
+		Init: "s",
+		Succs: map[string][]string{
+			"s": {"a"}, "a": {},
+		},
+		Cut: map[string]bool{"s": true},
+	}
+	if err := ts.IsCutFor(); err == nil {
+		t.Fatalf("terminating state outside cut not detected")
+	}
+}
+
+func TestValidateRejectsBadSystems(t *testing.T) {
+	bad := &ConcreteTS{
+		Init:  "s",
+		Succs: map[string][]string{"s": {"ghost"}},
+		Cut:   map[string]bool{"s": true},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("dangling transition accepted")
+	}
+	bad2 := &ConcreteTS{
+		Init:  "s",
+		Succs: map[string][]string{"s": {}},
+		Cut:   map[string]bool{},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatalf("non-cut initial state accepted")
+	}
+}
+
+func TestCheckRejectsNonCutPairs(t *testing.T) {
+	P := []StatePair{{"P0", "Q0"}, {"P1", "Q1"}} // P1/Q1 are not cut states
+	if _, err := CheckCutBisim(fig4Left(), fig4Right(), P); err == nil {
+		t.Fatalf("pairs over non-cut states accepted")
+	}
+}
+
+func TestLoopingCutSystem(t *testing.T) {
+	// An infinite system (reactive loop) where the loop head is in the
+	// cut: cut successors of the head include the head itself.
+	ts := &ConcreteTS{
+		Init: "init",
+		Succs: map[string][]string{
+			"init": {"head"},
+			"head": {"body", "exit"},
+			"body": {"head"},
+			"exit": {},
+		},
+		Cut: map[string]bool{"init": true, "head": true, "exit": true},
+	}
+	if err := ts.IsCutFor(); err != nil {
+		t.Fatal(err)
+	}
+	succ, err := ts.CutSuccessors("head")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"head": true, "exit": true}
+	if len(succ) != 2 || !want[succ[0]] || !want[succ[1]] {
+		t.Fatalf("succ(head) = %v", succ)
+	}
+	// Two identical copies are cut-bisimilar via the identity relation.
+	P := []StatePair{{"init", "init"}, {"head", "head"}, {"exit", "exit"}}
+	ok, err := CheckCutBisim(ts, ts, P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("identity relation rejected on self")
+	}
+}
+
+// TestLemma76Property is a property test of Lemma 7.6 on random cut
+// transition systems: a relation is a cut-bisimulation on (T1, T2) exactly
+// when it is a strong bisimulation on their cut abstractions.
+func TestLemma76Property(t *testing.T) {
+	gen := func(rng *rand.Rand, prefix string) *ConcreteTS {
+		n := 3 + rng.Intn(5)
+		ts := &ConcreteTS{
+			Init:  prefix + "0",
+			Succs: map[string][]string{},
+			Cut:   map[string]bool{prefix + "0": true},
+		}
+		names := make([]string, n)
+		for i := range names {
+			names[i] = fmt.Sprintf("%s%d", prefix, i)
+			ts.Succs[names[i]] = nil
+		}
+		for i, s := range names {
+			// Edges go mostly forward so that cuts are easy to maintain;
+			// back edges only to cut states (keeps C a valid cut).
+			for _, tgt := range names {
+				if rng.Intn(3) != 0 {
+					continue
+				}
+				ts.Succs[s] = append(ts.Succs[s], tgt)
+			}
+			// Every third state is a cut state.
+			if i%2 == 0 {
+				ts.Cut[s] = true
+			}
+		}
+		// Make C a cut: any non-cut state on a cycle breaks Definition 7.1;
+		// simply make every state with a back edge a cut state.
+		for s, outs := range ts.Succs {
+			for _, tgt := range outs {
+				if tgt <= s {
+					ts.Cut[s] = true
+					ts.Cut[tgt] = true
+				}
+			}
+		}
+		return ts
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		t1 := gen(rng, "a")
+		t2 := gen(rng, "b")
+		if t1.IsCutFor() != nil || t2.IsCutFor() != nil {
+			return true // generator produced a non-cut; skip
+		}
+		// Random candidate relation over cut states.
+		var P []StatePair
+		for s1 := range t1.Cut {
+			for s2 := range t2.Cut {
+				if rng.Intn(3) == 0 {
+					P = append(P, StatePair{s1, s2})
+				}
+			}
+		}
+		P = append(P, StatePair{t1.Init, t2.Init})
+		got, err := CheckCutBisim(t1, t2, P)
+		if err != nil {
+			return true // cut violation discovered dynamically; skip
+		}
+		a1, err := t1.CutAbstract()
+		if err != nil {
+			return true
+		}
+		a2, err := t2.CutAbstract()
+		if err != nil {
+			return true
+		}
+		want, err := StrongBisim(a1, a2, P)
+		if err != nil {
+			return true
+		}
+		if got != want {
+			t.Logf("seed %d: cut-bisim=%v, abstract strong bisim=%v", seed, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package core implements the paper's primary contribution: cut transition
+// systems, cut-bisimulation (paper §2, §7), and the KEQ language-parametric
+// equivalence checking algorithm (paper §3, Algorithm 1, §8).
+//
+// The checker is parameterized by two Semantics values — one per language —
+// and a candidate synchronization relation P (the verification condition).
+// It has no knowledge of the languages involved or of the transformation
+// that produced the right-hand program: everything language-specific flows
+// through the State and Semantics interfaces, mirroring how the original
+// KEQ accepts two K semantic definitions.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/smt"
+)
+
+// Location identifies a program point for cut membership. Locations are
+// opaque to the checker except for equality; the conventions used by the
+// bundled languages are:
+//
+//	entry                      function entry
+//	exit                       function exit (after return)
+//	block:<B>:from:<P>         start of block B entered from P (pre-phi)
+//	call:<callee>:<n>:before   immediately before the n-th call site
+//	call:<callee>:<n>:after    immediately after the n-th call site
+//	error:<kind>               an undefined-behavior error state
+type Location string
+
+// ErrorLocPrefix prefixes all error-state locations.
+const ErrorLocPrefix = "error:"
+
+// ErrorLoc builds the location for an error state of the given kind
+// (e.g. "oob", "overflow", "divzero").
+func ErrorLoc(kind string) Location { return Location(ErrorLocPrefix + kind) }
+
+// State is a symbolic program configuration. A State is immutable once
+// returned by a Semantics.
+type State interface {
+	// Loc returns the state's cut location key.
+	Loc() Location
+	// PathCond returns the accumulated path condition (a Bool term).
+	PathCond() *smt.Term
+	// Observable resolves a name from a synchronization-point constraint
+	// (a register, "ret", ...) to its value term in this state.
+	Observable(name string) (*smt.Term, error)
+	// MemTerm returns the state's memory as an smt array term, or nil if
+	// the language has no memory.
+	MemTerm() *smt.Term
+	// IsFinal reports whether the state has terminated normally.
+	IsFinal() bool
+	// ErrorKind returns the undefined-behavior kind ("oob", "overflow",
+	// ...) when the state is an error state, and "" otherwise.
+	ErrorKind() string
+}
+
+// IsError reports whether s is an undefined-behavior error state.
+func IsError(s State) bool { return s.ErrorKind() != "" }
+
+// Semantics is the language-parametric interface KEQ requires: the ability
+// to instantiate a symbolic state at a location and to compute symbolic
+// successors. It corresponds to the API the K framework provided to the
+// original implementation.
+type Semantics interface {
+	// Instantiate builds a symbolic state at loc. presets maps observable
+	// names to terms the state must start from (the shared variables
+	// created from synchronization-point constraints); unmentioned
+	// observables materialize as fresh unconstrained variables on first
+	// read. memTerm, when non-nil, is the array term both sides share as
+	// their initial memory.
+	Instantiate(loc Location, presets map[string]*smt.Term, memTerm *smt.Term) (State, error)
+	// Step returns the symbolic one-step successors of s. Final and error
+	// states have no successors. Each successor's path condition extends
+	// the parent's.
+	Step(s State) ([]State, error)
+	// ObservableWidth reports the bit width of a constraint observable at
+	// loc (needed to create shared variables of the right sort).
+	ObservableWidth(loc Location, name string) (uint8, error)
+}
+
+// Mode selects between equivalence (cut-bisimulation) and refinement
+// (cut-simulation: every left behavior is matched on the right).
+type Mode int8
+
+// Checking modes.
+const (
+	Equivalence Mode = iota
+	Refinement
+)
+
+func (m Mode) String() string {
+	if m == Refinement {
+		return "refinement"
+	}
+	return "equivalence"
+}
+
+// Verdict is the outcome of a validation run.
+type Verdict int8
+
+// Verdicts. NotValidated does not mean the programs are inequivalent —
+// only that P was not shown to be a cut-bisimulation (paper: TV systems
+// may raise false alarms but never accept a wrong translation).
+const (
+	NotValidated Verdict = iota
+	Validated
+)
+
+func (v Verdict) String() string {
+	if v == Validated {
+		return "validated"
+	}
+	return "not validated"
+}
+
+// Failure describes why a synchronization point could not be discharged.
+type Failure struct {
+	Point   string // sync point ID being checked
+	Side    string // "left", "right", or "pair"
+	Loc     Location
+	Reason  string
+	Counter *smt.Assign // countermodel when available
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("point %s [%s @ %s]: %s", f.Point, f.Side, f.Loc, f.Reason)
+}

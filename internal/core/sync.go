@@ -1,0 +1,230 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Constraint is one equality obligation of a synchronization point: the
+// left expression (evaluated in the left state) must equal the right
+// expression (evaluated in the right state). Each expression is either an
+// observable name or a decimal integer literal.
+type Constraint struct {
+	Left  string
+	Right string
+}
+
+// IsConstExpr reports whether a constraint expression is an integer literal.
+func IsConstExpr(e string) bool {
+	if e == "" {
+		return false
+	}
+	if e[0] == '-' && len(e) > 1 {
+		e = e[1:]
+	}
+	for _, r := range e {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseConstExpr parses an integer-literal constraint expression.
+func ParseConstExpr(e string) (uint64, error) {
+	neg := false
+	if strings.HasPrefix(e, "-") {
+		neg = true
+		e = e[1:]
+	}
+	v, err := strconv.ParseUint(e, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad constant expression %q: %v", e, err)
+	}
+	if neg {
+		return -v, nil
+	}
+	return v, nil
+}
+
+// SyncPoint is one element of the synchronization relation P: a pair of
+// locations plus the equality constraints that related states must satisfy
+// (paper §4.5). MemEqual additionally requires the two memories to be
+// equal. Exiting marks points that act only as proof targets (function
+// exits and before-call points) and are never symbolically executed from.
+type SyncPoint struct {
+	ID          string
+	LocLeft     Location
+	LocRight    Location
+	Constraints []Constraint
+	MemEqual    bool
+	Exiting     bool
+}
+
+func (p *SyncPoint) String() string {
+	var b strings.Builder
+	writeSyncPoint(&b, p)
+	return b.String()
+}
+
+// WriteSyncPoints serializes a synchronization relation in the textual
+// format accepted by ParseSyncPoints (and by cmd/keq).
+func WriteSyncPoints(w io.Writer, points []*SyncPoint) error {
+	var b strings.Builder
+	for i, p := range points {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		writeSyncPoint(&b, p)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSyncPoint(b *strings.Builder, p *SyncPoint) {
+	fmt.Fprintf(b, "sync %s %s %s", p.ID, p.LocLeft, p.LocRight)
+	if p.Exiting {
+		b.WriteString(" exiting")
+	}
+	b.WriteString(" {\n")
+	for _, c := range p.Constraints {
+		fmt.Fprintf(b, "  %s = %s\n", c.Left, c.Right)
+	}
+	if p.MemEqual {
+		b.WriteString("  mem\n")
+	}
+	b.WriteString("}\n")
+}
+
+// ParseSyncPoints parses the textual synchronization-relation format:
+//
+//	sync <id> <locLeft> <locRight> [exiting] {
+//	  <leftExpr> = <rightExpr>
+//	  mem
+//	}
+//
+// Lines starting with '#' are comments.
+func ParseSyncPoints(r io.Reader) ([]*SyncPoint, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var points []*SyncPoint
+	var cur *SyncPoint
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "sync "):
+			if cur != nil {
+				return nil, fmt.Errorf("line %d: nested sync block", lineNo)
+			}
+			rest := strings.TrimSuffix(strings.TrimPrefix(line, "sync "), "{")
+			fields := strings.Fields(rest)
+			if len(fields) < 3 || len(fields) > 4 {
+				return nil, fmt.Errorf("line %d: malformed sync header %q", lineNo, line)
+			}
+			cur = &SyncPoint{
+				ID:       fields[0],
+				LocLeft:  Location(fields[1]),
+				LocRight: Location(fields[2]),
+			}
+			if len(fields) == 4 {
+				if fields[3] != "exiting" {
+					return nil, fmt.Errorf("line %d: unknown flag %q", lineNo, fields[3])
+				}
+				cur.Exiting = true
+			}
+			if !strings.HasSuffix(line, "{") {
+				return nil, fmt.Errorf("line %d: sync header must end with '{'", lineNo)
+			}
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: '}' outside sync block", lineNo)
+			}
+			points = append(points, cur)
+			cur = nil
+		case line == "mem":
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: constraint outside sync block", lineNo)
+			}
+			cur.MemEqual = true
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("line %d: constraint outside sync block", lineNo)
+			}
+			parts := strings.SplitN(line, "=", 2)
+			if len(parts) != 2 {
+				return nil, fmt.Errorf("line %d: malformed constraint %q", lineNo, line)
+			}
+			cur.Constraints = append(cur.Constraints, Constraint{
+				Left:  strings.TrimSpace(parts[0]),
+				Right: strings.TrimSpace(parts[1]),
+			})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("unterminated sync block %q", cur.ID)
+	}
+	return points, nil
+}
+
+// Relation is a synchronization relation with location-pair indexing.
+type Relation struct {
+	Points []*SyncPoint
+	index  map[[2]Location][]*SyncPoint
+}
+
+// NewRelation indexes the given synchronization points.
+func NewRelation(points []*SyncPoint) *Relation {
+	r := &Relation{Points: points, index: make(map[[2]Location][]*SyncPoint)}
+	for _, p := range points {
+		k := [2]Location{p.LocLeft, p.LocRight}
+		r.index[k] = append(r.index[k], p)
+	}
+	return r
+}
+
+// Candidates returns the sync points whose location pair matches (l1, l2).
+func (r *Relation) Candidates(l1, l2 Location) []*SyncPoint {
+	return r.index[[2]Location{l1, l2}]
+}
+
+// LeftLocs returns the set of left-side locations mentioned in P (these are
+// the left program's cut locations, in addition to final and error states).
+func (r *Relation) LeftLocs() map[Location]bool {
+	out := make(map[Location]bool, len(r.Points))
+	for _, p := range r.Points {
+		out[p.LocLeft] = true
+	}
+	return out
+}
+
+// RightLocs returns the set of right-side locations mentioned in P.
+func (r *Relation) RightLocs() map[Location]bool {
+	out := make(map[Location]bool, len(r.Points))
+	for _, p := range r.Points {
+		out[p.LocRight] = true
+	}
+	return out
+}
+
+// SortPoints orders points deterministically by ID (entry first if present).
+func SortPoints(points []*SyncPoint) {
+	sort.Slice(points, func(i, j int) bool {
+		pi, pj := points[i], points[j]
+		if (pi.LocLeft == "entry") != (pj.LocLeft == "entry") {
+			return pi.LocLeft == "entry"
+		}
+		return pi.ID < pj.ID
+	})
+}

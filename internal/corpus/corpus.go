@@ -1,0 +1,456 @@
+// Package corpus generates synthetic LLVM IR functions for the evaluation
+// harness. It is the stand-in for the 4732 supported GCC/SPEC 2006
+// functions of the paper's §5.1 (SPEC sources are licensed and clang is
+// unavailable in this environment; see DESIGN.md for the substitution
+// argument): a seeded, deterministic generator whose functions exercise
+// the same ISel → VC-gen → KEQ code paths with a long-tailed size
+// distribution mimicking Figure 7.
+package corpus
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/llvmir"
+)
+
+// Profile tunes generation.
+type Profile struct {
+	// Seed makes the corpus reproducible.
+	Seed int64
+	// Functions is the corpus size.
+	Functions int
+	// MeanSize and SizeSigma shape the log-normal instruction-count
+	// distribution (Figure 7's right panel).
+	MeanSize  float64
+	SizeSigma float64
+	// MemoryWeight, LoopWeight, CallWeight and BranchWeight bias the
+	// feature mix (0..1 each).
+	MemoryWeight float64
+	LoopWeight   float64
+	CallWeight   float64
+	BranchWeight float64
+}
+
+// GCCLike is the default profile used by the Figure 6/7 reproduction:
+// mostly small functions with a heavy tail, moderate memory traffic.
+func GCCLike(functions int) Profile {
+	return Profile{
+		Seed:         2006,
+		Functions:    functions,
+		MeanSize:     2.8, // e^2.8 ≈ 16 instructions median
+		SizeSigma:    0.9,
+		MemoryWeight: 0.5,
+		LoopWeight:   0.45,
+		CallWeight:   0.3,
+		BranchWeight: 0.6,
+	}
+}
+
+// Function is one generated workload item.
+type Function struct {
+	Name string
+	Src  string // full module text (globals + declarations + definition)
+}
+
+// Generate produces the corpus. Every function parses and verifies; the
+// generator panics otherwise (it is a bug in the generator, not an input
+// condition).
+func Generate(p Profile) []Function {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]Function, 0, p.Functions)
+	for i := 0; i < p.Functions; i++ {
+		name := fmt.Sprintf("fn%04d", i)
+		g := &fgen{
+			rng:     rand.New(rand.NewSource(rng.Int63())),
+			profile: p,
+			name:    name,
+		}
+		src := g.generate()
+		m, err := llvmir.Parse(src)
+		if err != nil {
+			panic(fmt.Sprintf("corpus: generated function %s does not parse: %v\n%s", name, err, src))
+		}
+		if err := llvmir.Verify(m); err != nil {
+			panic(fmt.Sprintf("corpus: generated function %s does not verify: %v\n%s", name, err, src))
+		}
+		out = append(out, Function{Name: name, Src: src})
+	}
+	return out
+}
+
+// fgen builds one function as structured code, guaranteeing SSA and
+// verifier cleanliness by construction.
+type fgen struct {
+	rng     *rand.Rand
+	profile Profile
+	name    string
+
+	b       strings.Builder
+	tmpN    int
+	blockN  int
+	globals []string // emitted global declarations
+	decls   map[string]int
+	vals    []val // SSA values available in the current scope
+	budget  int
+}
+
+type val struct {
+	name string // with % sigil or literal
+	bits int
+}
+
+func (g *fgen) fresh() string {
+	g.tmpN++
+	return fmt.Sprintf("%%t%d", g.tmpN)
+}
+
+func (g *fgen) freshBlock(stem string) string {
+	g.blockN++
+	return fmt.Sprintf("%s%d", stem, g.blockN)
+}
+
+func (g *fgen) line(format string, args ...interface{}) {
+	fmt.Fprintf(&g.b, "  "+format+"\n", args...)
+}
+
+func (g *fgen) label(name string) {
+	fmt.Fprintf(&g.b, "%s:\n", name)
+}
+
+// pick returns a random available value of the given width, or a literal.
+func (g *fgen) pick(bits int) string {
+	var cands []string
+	for _, v := range g.vals {
+		if v.bits == bits {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 || g.rng.Intn(4) == 0 {
+		return fmt.Sprintf("%d", g.rng.Intn(1000))
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// pickReg is like pick but never a literal (for instructions that require
+// at least one register operand to stay interesting).
+func (g *fgen) pickReg(bits int) (string, bool) {
+	var cands []string
+	for _, v := range g.vals {
+		if v.bits == bits {
+			cands = append(cands, v.name)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[g.rng.Intn(len(cands))], true
+}
+
+func (g *fgen) addVal(name string, bits int) {
+	g.vals = append(g.vals, val{name: name, bits: bits})
+}
+
+var binOps = []string{"add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"}
+var cmpPreds = []string{"eq", "ne", "ult", "ule", "slt", "sle", "ugt", "sge"}
+
+func (g *fgen) generate() string {
+	size := int(math.Exp(g.rng.NormFloat64()*g.profile.SizeSigma + g.profile.MeanSize))
+	if size < 3 {
+		size = 3
+	}
+	if size > 400 {
+		size = 400
+	}
+	g.budget = size
+	g.decls = make(map[string]int)
+
+	nParams := 1 + g.rng.Intn(4)
+	params := make([]string, nParams)
+	for i := range params {
+		params[i] = fmt.Sprintf("i32 %%p%d", i)
+		g.addVal(fmt.Sprintf("%%p%d", i), 32)
+	}
+	nGlobals := 0
+	if g.rng.Float64() < g.profile.MemoryWeight {
+		nGlobals = 1 + g.rng.Intn(3)
+	}
+	for i := 0; i < nGlobals; i++ {
+		n := 4 + g.rng.Intn(8)
+		g.globals = append(g.globals,
+			fmt.Sprintf("@g%s%d = external global [%d x i32]", g.name, i, n))
+	}
+
+	g.label("entry")
+	g.stmts(0)
+	// Return a combination of whatever is available.
+	r := g.pick(32)
+	if !strings.HasPrefix(r, "%") {
+		t := g.fresh()
+		g.line("%s = add i32 %s, 0", t, r)
+		r = t
+	}
+	g.line("ret i32 %s", r)
+
+	var out strings.Builder
+	for _, gl := range g.globals {
+		out.WriteString(gl + "\n")
+	}
+	for _, d := range declLines(g.decls) {
+		out.WriteString(d + "\n")
+	}
+	fmt.Fprintf(&out, "define i32 @%s(%s) {\n%s}\n",
+		g.name, strings.Join(params, ", "), g.b.String())
+	return out.String()
+}
+
+func declLines(decls map[string]int) []string {
+	var names []string
+	for n := range decls {
+		names = append(names, n)
+	}
+	// deterministic order
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		args := make([]string, decls[n])
+		for i := range args {
+			args[i] = "i32"
+		}
+		out = append(out, fmt.Sprintf("declare i32 @%s(%s)", n, strings.Join(args, ", ")))
+	}
+	return out
+}
+
+// stmts emits a statement sequence until the budget runs out. depth bounds
+// structural nesting.
+func (g *fgen) stmts(depth int) {
+	for g.budget > 0 {
+		g.budget--
+		r := g.rng.Float64()
+		switch {
+		case r < 0.45:
+			g.arith()
+		case r < 0.45+0.2*g.profile.BranchWeight && depth < 3:
+			g.ifElse(depth)
+		case r < 0.45+0.2*g.profile.BranchWeight+0.15*g.profile.LoopWeight && depth < 2:
+			g.loop(depth)
+		case r < 0.45+0.2*g.profile.BranchWeight+0.15*g.profile.LoopWeight+0.2*g.profile.MemoryWeight && len(g.globals) > 0:
+			g.memory()
+		case g.profile.CallWeight > 0 && r > 1-0.15*g.profile.CallWeight:
+			g.call()
+		default:
+			g.arith()
+		}
+	}
+}
+
+// division emits a guarded signed or unsigned division: the divisor is
+// masked and odd-ified into 1..255 so concrete runs never trap, while the
+// symbolic side still proves the (infeasible) UB branches away.
+func (g *fgen) division() {
+	src := g.pick(32)
+	if !strings.HasPrefix(src, "%") {
+		src = "%p0"
+	}
+	masked := g.fresh()
+	g.line("%s = and i32 %s, 255", masked, g.pick(32))
+	div := g.fresh()
+	g.line("%s = or i32 %s, 1", div, masked)
+	op := []string{"udiv", "urem", "sdiv", "srem"}[g.rng.Intn(4)]
+	t := g.fresh()
+	g.line("%s = %s i32 %s, %s", t, op, src, div)
+	g.addVal(t, 32)
+}
+
+func (g *fgen) arith() {
+	if g.rng.Intn(12) == 0 {
+		g.division()
+		return
+	}
+	op := binOps[g.rng.Intn(len(binOps))]
+	a := g.pick(32)
+	b := g.pick(32)
+	if !strings.HasPrefix(a, "%") && !strings.HasPrefix(b, "%") {
+		a = "%p0"
+	}
+	// Bound shift amounts to keep them meaningful.
+	if op == "shl" || op == "lshr" || op == "ashr" {
+		b = fmt.Sprintf("%d", g.rng.Intn(31)+1)
+	}
+	t := g.fresh()
+	g.line("%s = %s i32 %s, %s", t, op, a, b)
+	g.addVal(t, 32)
+}
+
+func (g *fgen) ifElse(depth int) {
+	a, ok := g.pickReg(32)
+	if !ok {
+		g.arith()
+		return
+	}
+	pred := cmpPreds[g.rng.Intn(len(cmpPreds))]
+	c := g.fresh()
+	g.line("%s = icmp %s i32 %s, %s", c, pred, a, g.pick(32))
+	thenB := g.freshBlock("then")
+	elseB := g.freshBlock("else")
+	joinB := g.freshBlock("join")
+	g.line("br i1 %s, label %%%s, label %%%s", c, thenB, elseB)
+
+	// Values defined inside the arms are merged by one phi; the arm-local
+	// value pools are discarded afterwards to preserve dominance.
+	saved := append([]val(nil), g.vals...)
+
+	g.label(thenB)
+	tv := g.armValue()
+	g.line("br label %%%s", joinB)
+	g.vals = append([]val(nil), saved...)
+
+	g.label(elseB)
+	ev := g.armValue()
+	g.line("br label %%%s", joinB)
+	g.vals = append([]val(nil), saved...)
+
+	g.label(joinB)
+	m := g.fresh()
+	g.line("%s = phi i32 [ %s, %%%s ], [ %s, %%%s ]", m, tv, thenB, ev, elseB)
+	g.addVal(m, 32)
+	_ = depth
+}
+
+// armValue emits a couple of instructions in a branch arm and returns the
+// arm's result value (always a fresh register so the phi is interesting).
+func (g *fgen) armValue() string {
+	n := 1 + g.rng.Intn(3)
+	var last string
+	for i := 0; i < n; i++ {
+		op := binOps[g.rng.Intn(6)] // no shifts in arms, keep it compact
+		t := g.fresh()
+		g.line("%s = %s i32 %s, %s", t, op, g.pick(32), g.pick(32))
+		g.addVal(t, 32)
+		last = t
+	}
+	return last
+}
+
+// loop emits a counted loop with one induction variable and one
+// accumulator (the arithm_seq_sum shape).
+func (g *fgen) loop(depth int) {
+	bound, ok := g.pickReg(32)
+	if !ok {
+		g.arith()
+		return
+	}
+	// Bound the trip count so the concrete interpreter terminates fast.
+	bmask := g.fresh()
+	g.line("%s = and i32 %s, 31", bmask, bound)
+	accInit := g.pick(32)
+	head := g.freshBlock("head")
+	body := g.freshBlock("body")
+	done := g.freshBlock("done")
+	pre := g.curBlockRef()
+	g.line("br label %%%s", head)
+
+	iv := g.fresh()
+	acc := g.fresh()
+	ivNext := g.fresh()
+	accNext := g.fresh()
+	cond := g.fresh()
+
+	g.label(head)
+	g.line("%s = phi i32 [ 0, %%%s ], [ %s, %%%s ]", iv, pre, ivNext, body)
+	g.line("%s = phi i32 [ %s, %%%s ], [ %s, %%%s ]", acc, accInit, pre, accNext, body)
+	g.line("%s = icmp ult i32 %s, %s", cond, iv, bmask)
+	g.line("br i1 %s, label %%%s, label %%%s", cond, body, done)
+
+	g.label(body)
+	op := binOps[g.rng.Intn(4)]
+	g.line("%s = %s i32 %s, %s", accNext, op, acc, g.pick(32))
+	g.line("%s = add i32 %s, 1", ivNext, iv)
+	g.line("br label %%%s", head)
+
+	g.label(done)
+	// Only loop-independent values plus the phis survive (dominance).
+	g.addVal(acc, 32)
+	_ = depth
+}
+
+// curBlockRef returns the label of the block currently being emitted, by
+// scanning backwards for the last label.
+func (g *fgen) curBlockRef() string {
+	s := g.b.String()
+	lines := strings.Split(s, "\n")
+	for i := len(lines) - 1; i >= 0; i-- {
+		l := lines[i]
+		if strings.HasSuffix(l, ":") && !strings.HasPrefix(l, " ") {
+			return strings.TrimSuffix(l, ":")
+		}
+	}
+	return "entry"
+}
+
+func (g *fgen) memory() {
+	gl := g.globals[g.rng.Intn(len(g.globals))]
+	name := strings.Fields(gl)[0] // "@gX"
+	var n int
+	fmt.Sscanf(gl[strings.Index(gl, "[")+1:], "%d", &n)
+	arrTy := fmt.Sprintf("[%d x i32]", n)
+
+	if g.rng.Intn(2) == 0 {
+		// Constant-index access.
+		idx := g.rng.Intn(n)
+		p := g.fresh()
+		g.line("%s = getelementptr inbounds %s, %s* %s, i64 0, i64 %d", p, arrTy, arrTy, name, idx)
+		if g.rng.Intn(2) == 0 {
+			v := g.fresh()
+			g.line("%s = load i32, i32* %s", v, p)
+			g.addVal(v, 32)
+		} else {
+			g.line("store i32 %s, i32* %s", g.pick(32), p)
+		}
+		return
+	}
+	// Guarded symbolic index: idx = (v urem n) keeps the access in bounds
+	// but the bounds proof is a real SMT obligation.
+	src, ok := g.pickReg(32)
+	if !ok {
+		src = "%p0"
+	}
+	m := g.fresh()
+	g.line("%s = urem i32 %s, %d", m, src, n)
+	w := g.fresh()
+	g.line("%s = zext i32 %s to i64", w, m)
+	p := g.fresh()
+	g.line("%s = getelementptr inbounds %s, %s* %s, i64 0, i64 %s", p, arrTy, arrTy, name, w)
+	if g.rng.Intn(2) == 0 {
+		v := g.fresh()
+		g.line("%s = load i32, i32* %s", v, p)
+		g.addVal(v, 32)
+	} else {
+		g.line("store i32 %s, i32* %s", g.pick(32), p)
+	}
+}
+
+func (g *fgen) call() {
+	arity := 1 + g.rng.Intn(2)
+	callee := fmt.Sprintf("ext%d", g.rng.Intn(3))
+	if old, ok := g.decls[callee]; ok && old != arity {
+		arity = old
+	}
+	g.decls[callee] = arity
+	args := make([]string, arity)
+	for i := range args {
+		args[i] = "i32 " + g.pick(32)
+	}
+	t := g.fresh()
+	g.line("%s = call i32 @%s(%s)", t, callee, strings.Join(args, ", "))
+	g.addVal(t, 32)
+}

@@ -1,0 +1,92 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/llvmir"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GCCLike(20))
+	b := Generate(GCCLike(20))
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Src != b[i].Src {
+			t.Fatalf("function %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateAllVerify(t *testing.T) {
+	// Generate panics internally on verifier failures; also double-check
+	// here and exercise a larger sample.
+	fns := Generate(GCCLike(150))
+	sizes := make([]int, 0, len(fns))
+	loops, mems, calls := 0, 0, 0
+	for _, f := range fns {
+		m, err := llvmir.Parse(f.Src)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if err := llvmir.Verify(m); err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		fn := m.Func(f.Name)
+		sizes = append(sizes, fn.NumInstrs())
+		for _, b := range fn.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case llvmir.OpPhi:
+					loops++ // phis only come from loops and diamonds
+				case llvmir.OpLoad, llvmir.OpStore:
+					mems++
+				case llvmir.OpCall:
+					calls++
+				}
+			}
+		}
+	}
+	if loops == 0 || mems == 0 || calls == 0 {
+		t.Errorf("feature mix degenerate: phis=%d mems=%d calls=%d", loops, mems, calls)
+	}
+	// Size distribution must be long-tailed: max well above median.
+	max, sum := 0, 0
+	for _, s := range sizes {
+		sum += s
+		if s > max {
+			max = s
+		}
+	}
+	mean := sum / len(sizes)
+	if max < 3*mean {
+		t.Errorf("sizes not long-tailed: mean=%d max=%d", mean, max)
+	}
+}
+
+func TestGeneratedFunctionsRun(t *testing.T) {
+	// Every generated function must execute cleanly in the reference
+	// interpreter on a couple of inputs (no UB by construction: shifts are
+	// bounded, memory accesses guarded, no nsw, no division).
+	fns := Generate(GCCLike(60))
+	for _, f := range fns {
+		m, _ := llvmir.Parse(f.Src)
+		fn := m.Func(f.Name)
+		for _, seed := range []uint64{0, 1, 0xFFFFFFFF, 12345} {
+			in := llvmir.NewInterp(m)
+			in.Externals = map[string]func([]uint64) uint64{
+				"ext0": func(a []uint64) uint64 { return a[0] + 1 },
+				"ext1": func(a []uint64) uint64 { return a[0] * 3 },
+				"ext2": func(a []uint64) uint64 { return 42 },
+			}
+			args := make([]uint64, len(fn.Params))
+			for i := range args {
+				args[i] = seed + uint64(i)
+			}
+			if _, err := in.Call(f.Name, args); err != nil {
+				t.Fatalf("%s(%v): %v\n%s", f.Name, args, err, f.Src)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package harness drives the paper's evaluation (§5): it validates a
+// corpus of functions under per-function budgets and renders the results
+// as the paper's tables and figures — the outcome breakdown of Figure 6,
+// the validation-time and code-size distributions of Figure 7, and the
+// bug-reintroduction experiments of §5.2.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/tv"
+	"repro/internal/vcgen"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Corpus profile.
+	Profile corpus.Profile
+	// Budget applied per function (the scaled-down analogue of the
+	// paper's 3 h / 12 GB limits).
+	Budget tv.Budget
+	// InadequateEvery, when > 0, validates every n-th function with the
+	// deliberately coarse liveness option, recreating the paper's
+	// "Other" failures caused by liveness inaccuracy (16 / 4732).
+	InadequateEvery int
+	// Checker options (ablations).
+	Checker core.Options
+	// Progress, when non-nil, receives one line per validated function.
+	Progress io.Writer
+}
+
+// ResultRow is one function's outcome.
+type ResultRow struct {
+	Fn       string
+	Class    tv.Class
+	Duration time.Duration
+	CodeSize int
+}
+
+// Summary aggregates an experiment.
+type Summary struct {
+	Rows  []ResultRow
+	Total int
+}
+
+// Run validates the whole corpus and returns the summary.
+func Run(cfg Config) *Summary {
+	fns := corpus.Generate(cfg.Profile)
+	sum := &Summary{Total: len(fns)}
+	for i, f := range fns {
+		mod, err := llvmir.Parse(f.Src)
+		if err != nil {
+			panic(fmt.Sprintf("harness: corpus function %s does not parse: %v", f.Name, err))
+		}
+		vopts := vcgen.Options{}
+		if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
+			vopts.CoarseLiveness = true
+		}
+		out := tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
+		row := ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration, CodeSize: out.CodeSize}
+		sum.Rows = append(sum.Rows, row)
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, "%4d/%d %-8s %-28s %8.2fs size=%d\n",
+				i+1, len(fns), f.Name, out.Class, out.Duration.Seconds(), out.CodeSize)
+		}
+	}
+	return sum
+}
+
+// Counts returns the per-class totals.
+func (s *Summary) Counts() map[tv.Class]int {
+	out := make(map[tv.Class]int)
+	for _, r := range s.Rows {
+		out[r.Class]++
+	}
+	return out
+}
+
+// Figure6 renders the outcome table in the layout of the paper's Figure 6.
+// NotValidated rows of a bug-free corpus are false alarms and fold into
+// "Other", exactly like the paper's inadequate-synchronization-point
+// failures.
+func (s *Summary) Figure6(w io.Writer) {
+	counts := s.Counts()
+	succeeded := counts[tv.ClassSucceeded]
+	timeout := counts[tv.ClassTimeout]
+	oom := counts[tv.ClassOOM]
+	other := counts[tv.ClassOther] + counts[tv.ClassNotValidated]
+	supported := s.Total - counts[tv.ClassUnsupported]
+
+	fmt.Fprintln(w, "Figure 6: Translation validation results (synthetic GCC-like corpus)")
+	fmt.Fprintln(w, "+------------------------------+------------+---------+")
+	fmt.Fprintln(w, "| Result                       | #Functions |       % |")
+	fmt.Fprintln(w, "+------------------------------+------------+---------+")
+	row := func(name string, n int) {
+		pct := 0.0
+		if supported > 0 {
+			pct = 100 * float64(n) / float64(supported)
+		}
+		fmt.Fprintf(w, "| %-28s | %10d | %6.2f%% |\n", name, n, pct)
+	}
+	row("Succeeded", succeeded)
+	row("Failed due to timeout", timeout)
+	row("Failed due to out-of-memory", oom)
+	row("Other", other)
+	fmt.Fprintln(w, "+------------------------------+------------+---------+")
+	row("Total", supported)
+	fmt.Fprintln(w, "+------------------------------+------------+---------+")
+	if un := counts[tv.ClassUnsupported]; un > 0 {
+		fmt.Fprintf(w, "(%d additional functions outside the supported fragment, excluded as in the paper)\n", un)
+	}
+}
+
+// Figure7 renders the two distributions of the paper's Figure 7 as text
+// histograms: validation time (log-scale buckets) and code size.
+func (s *Summary) Figure7(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7: Distributions of validation time and code size")
+	var times []float64
+	var sizes []int
+	for _, r := range s.Rows {
+		times = append(times, r.Duration.Seconds())
+		sizes = append(sizes, r.CodeSize)
+	}
+	fmt.Fprintf(w, "\nValidation time: mean %.2fs, median %.2fs\n",
+		mean(times), median(times))
+	histogram(w, "time", times, []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100},
+		func(v float64) string { return fmt.Sprintf("%6.2fs", v) })
+
+	sizesF := make([]float64, len(sizes))
+	for i, v := range sizes {
+		sizesF[i] = float64(v)
+	}
+	fmt.Fprintf(w, "\nCode size (LLVM instructions): mean %.0f, median %.0f\n",
+		mean(sizesF), median(sizesF))
+	histogram(w, "size", sizesF, []float64{4, 8, 16, 32, 64, 128, 256, 512},
+		func(v float64) string { return fmt.Sprintf("%6.0f", v) })
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// histogram prints counts per bucket with an ASCII bar.
+func histogram(w io.Writer, label string, xs []float64, edges []float64,
+	fmtEdge func(float64) string) {
+	counts := make([]int, len(edges)+1)
+	for _, x := range xs {
+		i := sort.SearchFloat64s(edges, x)
+		if i < len(edges) && x == edges[i] {
+			i++
+		}
+		counts[i]++
+	}
+	max := 1
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range counts {
+		var lo, hi string
+		switch {
+		case i == 0:
+			lo, hi = strings.Repeat(" ", len(fmtEdge(0))), "< "+strings.TrimSpace(fmtEdge(edges[0]))
+		case i == len(edges):
+			lo, hi = "≥ "+strings.TrimSpace(fmtEdge(edges[len(edges)-1])), ""
+		default:
+			lo, hi = strings.TrimSpace(fmtEdge(edges[i-1])), "– "+strings.TrimSpace(fmtEdge(edges[i]))
+		}
+		bar := strings.Repeat("#", int(math.Round(40*float64(c)/float64(max))))
+		fmt.Fprintf(w, "  %-18s %5d %s\n", strings.TrimSpace(lo+" "+hi), c, bar)
+	}
+}
+
+// BugExperiment reruns the §5.2 bug-reintroduction study: each bug is
+// injected into ISel and the triggering program is validated; the expected
+// outcome is rejection, while the bug-free compilation of the same program
+// validates.
+type BugExperiment struct {
+	Name        string
+	Program     string
+	Fn          string
+	BadOptions  isel.Options
+	GoodOptions isel.Options
+}
+
+// BugResult reports one bug experiment.
+type BugResult struct {
+	Name        string
+	GoodClass   tv.Class
+	BuggyClass  tv.Class
+	BugCaught   bool
+	GoodPassed  bool
+	GoodReport  *core.Report
+	BuggyReport *core.Report
+}
+
+// RunBug executes one bug experiment.
+func RunBug(e BugExperiment, budget tv.Budget) (*BugResult, error) {
+	mod, err := llvmir.Parse(e.Program)
+	if err != nil {
+		return nil, err
+	}
+	good := tv.Validate(mod, e.Fn, e.GoodOptions, vcgen.Options{}, core.Options{}, budget)
+	mod2, _ := llvmir.Parse(e.Program)
+	bad := tv.Validate(mod2, e.Fn, e.BadOptions, vcgen.Options{}, core.Options{}, budget)
+	return &BugResult{
+		Name:        e.Name,
+		GoodClass:   good.Class,
+		BuggyClass:  bad.Class,
+		GoodPassed:  good.Class == tv.ClassSucceeded,
+		BugCaught:   bad.Class == tv.ClassNotValidated,
+		GoodReport:  good.Report,
+		BuggyReport: bad.Report,
+	}, nil
+}
+
+// RenderBugTable prints the §5.2 experiment results.
+func RenderBugTable(w io.Writer, results []*BugResult) {
+	fmt.Fprintln(w, "Section 5.2: Evaluation with real LLVM bugs")
+	fmt.Fprintln(w, "+----------------------------------------+-----------------+-----------------+")
+	fmt.Fprintln(w, "| Bug                                    | Correct version | Buggy version   |")
+	fmt.Fprintln(w, "+----------------------------------------+-----------------+-----------------+")
+	for _, r := range results {
+		fmt.Fprintf(w, "| %-38s | %-15s | %-15s |\n", r.Name,
+			verdictWord(r.GoodPassed, "validated", "NOT VALIDATED"),
+			verdictWord(r.BugCaught, "rejected ✓", "MISSED ✗"))
+	}
+	fmt.Fprintln(w, "+----------------------------------------+-----------------+-----------------+")
+}
+
+func verdictWord(ok bool, yes, no string) string {
+	if ok {
+		return yes
+	}
+	return no
+}

@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/isel"
+	"repro/internal/paperprogs"
+	"repro/internal/tv"
+)
+
+func smallRun(t *testing.T) *Summary {
+	t.Helper()
+	return Run(Config{
+		Profile: corpus.Profile{
+			Seed: 7, Functions: 8, MeanSize: 2.0, SizeSigma: 0.5,
+			MemoryWeight: 0.4, LoopWeight: 0.4, CallWeight: 0.2, BranchWeight: 0.5,
+		},
+		Budget: tv.Budget{Timeout: 15 * time.Second},
+	})
+}
+
+func TestRunAndFigure6(t *testing.T) {
+	sum := smallRun(t)
+	if sum.Total != 8 || len(sum.Rows) != 8 {
+		t.Fatalf("total=%d rows=%d", sum.Total, len(sum.Rows))
+	}
+	counts := sum.Counts()
+	if counts[tv.ClassSucceeded] < 6 {
+		t.Errorf("only %d/8 succeeded: %v", counts[tv.ClassSucceeded], counts)
+	}
+	var b strings.Builder
+	sum.Figure6(&b)
+	out := b.String()
+	for _, want := range []string{"Succeeded", "Failed due to timeout",
+		"Failed due to out-of-memory", "Other", "Total", "%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure7Rendering(t *testing.T) {
+	sum := smallRun(t)
+	var b strings.Builder
+	sum.Figure7(&b)
+	out := b.String()
+	for _, want := range []string{"Validation time", "median", "Code size", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure7 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInadequateEveryProducesOther(t *testing.T) {
+	// Coarse liveness may or may not break a given function; the knob just
+	// routes functions through the degraded VC generator. Verify it runs
+	// end to end without panics and still never misclassifies successes as
+	// failures of the harness itself.
+	sum := Run(Config{
+		Profile: corpus.Profile{
+			Seed: 11, Functions: 4, MeanSize: 2.2, SizeSigma: 0.4,
+			LoopWeight: 1, BranchWeight: 0.5,
+		},
+		Budget:          tv.Budget{Timeout: 15 * time.Second},
+		InadequateEvery: 2,
+	})
+	if len(sum.Rows) != 4 {
+		t.Fatalf("rows = %d", len(sum.Rows))
+	}
+}
+
+func TestRunBugExperiments(t *testing.T) {
+	budget := tv.Budget{Timeout: time.Minute}
+	for _, e := range []BugExperiment{
+		{
+			Name: "waw", Program: paperprogs.WAWStores, Fn: "waw_foo",
+			GoodOptions: isel.Options{MergeStores: true},
+			BadOptions:  isel.Options{BugWAWStoreMerge: true},
+		},
+		{
+			Name: "narrow", Program: paperprogs.LoadNarrow, Fn: "narrow_foo",
+			GoodOptions: isel.Options{},
+			BadOptions:  isel.Options{BugLoadNarrow: true},
+		},
+	} {
+		r, err := RunBug(e, budget)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if !r.GoodPassed || !r.BugCaught {
+			t.Errorf("%s: good=%v caught=%v", e.Name, r.GoodPassed, r.BugCaught)
+		}
+	}
+}
+
+func TestRenderBugTable(t *testing.T) {
+	var b strings.Builder
+	RenderBugTable(&b, []*BugResult{
+		{Name: "x", GoodPassed: true, BugCaught: true},
+		{Name: "y", GoodPassed: false, BugCaught: false},
+	})
+	out := b.String()
+	if !strings.Contains(out, "rejected ✓") || !strings.Contains(out, "MISSED ✗") {
+		t.Errorf("table rendering wrong:\n%s", out)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var b strings.Builder
+	histogram(&b, "t", []float64{0.5, 1, 2, 100}, []float64{1, 10},
+		func(v float64) string { return "x" })
+	lines := strings.Count(b.String(), "\n")
+	if lines != 3 {
+		t.Errorf("histogram has %d buckets, want 3:\n%s", lines, b.String())
+	}
+}

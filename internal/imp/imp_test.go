@@ -1,0 +1,185 @@
+package imp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/smt"
+)
+
+func parse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseNestedStructure(t *testing.T) {
+	p := parse(t, `
+input a
+x := 0
+if (a < 10) {
+  if (a < 5) {
+    x := 1
+  } else {
+    x := 2
+  }
+}
+while (x < a) {
+  x := (x + 3)
+}
+return x
+`)
+	if p.NumLoops() != 1 {
+		t.Errorf("loops = %d", p.NumLoops())
+	}
+	vars := p.Vars()
+	if strings.Join(vars, ",") != "a,x" {
+		t.Errorf("vars = %v", vars)
+	}
+	got, err := Eval(p, map[string]uint32{"a": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=7: x=1 (7<10, 7>=5 → else → x=2... wait 7<5 false → x=2); then
+	// while 2<7: 2→5→8; 8<7 false → 8.
+	if got != 8 {
+		t.Errorf("Eval = %d, want 8", got)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	p := parse(t, "input a\nx := (a + 1)")
+	got, err := Eval(p, map[string]uint32{"a": 5})
+	if err != nil || got != 0 {
+		t.Errorf("implicit return: %d, %v", got, err)
+	}
+}
+
+func TestFlattenLabels(t *testing.T) {
+	p := parse(t, `
+input n
+i := 0
+while (i < n) {
+  i := (i + 1)
+}
+while (i < 100) {
+  i := (i + 2)
+}
+return i
+`)
+	blocks := Flatten(p)
+	labels := map[string]bool{}
+	for _, b := range blocks {
+		labels[b.Label] = true
+	}
+	for _, want := range []string{"entry", "loop:1", "loop:2"} {
+		if !labels[want] {
+			t.Errorf("missing block %q in %v", want, labels)
+		}
+	}
+	if locs := LoopLocs(p); len(locs) != 2 || locs[0] != "loop:1" {
+		t.Errorf("LoopLocs = %v", locs)
+	}
+}
+
+func TestEvalWrapsAt32Bits(t *testing.T) {
+	p := parse(t, "input a\nreturn (a * a)")
+	got, err := Eval(p, map[string]uint32{"a": 0xFFFFFFFF})
+	if err != nil || got != 1 {
+		t.Errorf("(-1)*(-1) = %d, %v", got, err)
+	}
+}
+
+// TestSymbolicMatchesEval: the IMP symbolic semantics agree with the
+// concrete evaluator on terminating runs.
+func TestSymbolicMatchesEval(t *testing.T) {
+	p := parse(t, `
+input a, b
+c := (a ^ b)
+if (c < b) {
+  c := (c + 7)
+} else {
+  c := (c - a)
+}
+return (c * 3)
+`)
+	ctx := smt.NewContext()
+	sem := NewSem(ctx, p)
+	s0, err := sem.Instantiate("entry", map[string]*smt.Term{
+		"a": ctx.VarBV("a", 32), "b": ctx.VarBV("b", 32),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finals []core.State
+	work := []core.State{s0}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		if cur.IsFinal() {
+			finals = append(finals, cur)
+			continue
+		}
+		succs, err := sem.Step(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range succs {
+			if !n.PathCond().IsFalse() {
+				work = append(work, n)
+			}
+		}
+	}
+	if len(finals) != 2 {
+		t.Fatalf("%d final states, want 2", len(finals))
+	}
+	f := func(a, b uint32) bool {
+		want, err := Eval(p, map[string]uint32{"a": a, "b": b})
+		if err != nil {
+			return false
+		}
+		assign := smt.NewAssign()
+		assign.BV["a"] = uint64(a)
+		assign.BV["b"] = uint64(b)
+		for _, fin := range finals {
+			ok, err := assign.EvalBool(fin.PathCond())
+			if err != nil {
+				return false
+			}
+			if !ok {
+				continue
+			}
+			ret, err := fin.Observable("ret")
+			if err != nil {
+				return false
+			}
+			got, err := assign.EvalBV(ret)
+			return err == nil && uint32(got) == want
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x := 1",                      // missing input line
+		"input a\nif (a < 1 {\n}",     // malformed condition
+		"input a\nreturn (a +",        // truncated expr
+		"input a\nwhile (a) {",        // unterminated
+		"input a\nfrobnicate",         // unknown statement
+		"input a\nreturn (a ? 1 : 2)", // unknown operator
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}

@@ -1,0 +1,936 @@
+// Package isel implements the Instruction Selection pass validated by the
+// paper's TV prototype (§4.1): it lowers the LLVM IR subset of
+// internal/llvmir to the Virtual x86 of internal/vx86 at -O0, one basic
+// block at a time, preserving block and call-site order.
+//
+// The pass doubles as the untrusted compiler under validation:
+//
+//   - It emits the compiler hints of §4.5 (register correspondence, block
+//     correspondence, materialized constants) consumed by internal/vcgen.
+//     The hint generator is deliberately trivial — the paper's point is
+//     that it requires no formal-methods expertise.
+//   - It carries two optional peephole optimizations, each with a bug
+//     switch reproducing a real LLVM miscompilation: the write-after-write
+//     store-merge bug of Figures 8/9 and the load-narrowing bug of
+//     Figures 10/11.
+package isel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/llvmir"
+	"repro/internal/vx86"
+)
+
+// Options selects optional peepholes and bug injection.
+type Options struct {
+	// MergeStores enables the (correct) store-merging peephole of
+	// Figure 9(c).
+	MergeStores bool
+	// BugWAWStoreMerge replaces the store merge with the buggy variant of
+	// Figure 9(b), which sinks the earlier store past intervening stores
+	// without an overlap check (implies MergeStores).
+	BugWAWStoreMerge bool
+	// BugLoadNarrow makes the load-narrowing pattern emit a full-width
+	// access as in Figure 11(b), reading past the end of the object.
+	BugLoadNarrow bool
+	// StrengthReduce rewrites multiplication and unsigned division by
+	// powers of two into shifts — the class of ISel strength reductions
+	// the paper's §4.7 calls out as hard for Z3 to re-prove (the
+	// bit-blasting solver here handles them directly).
+	StrengthReduce bool
+}
+
+// Hints is the compiler-emitted information consumed by the VC generator
+// (paper §4.5): nothing more than name correspondences.
+type Hints struct {
+	// RegMap maps an LLVM register name (no sigil) to the corresponding
+	// Virtual x86 observable (e.g. "%vr3_32").
+	RegMap map[string]string
+	// ConstMap maps a Virtual x86 observable to the constant the compiler
+	// materialized into it (e.g. "%vr9_32" -> 1 in Figure 2).
+	ConstMap map[string]uint64
+	// BlockMap maps LLVM block labels to Virtual x86 block labels.
+	BlockMap map[string]string
+}
+
+// Result bundles the output function with its hints.
+type Result struct {
+	Fn    *vx86.Function
+	Hints *Hints
+}
+
+// ErrUnsupported marks constructs outside the supported fragment (the
+// analogue of the paper's 840 functions excluded from the evaluation).
+type ErrUnsupported struct{ What string }
+
+func (e *ErrUnsupported) Error() string { return "isel: unsupported: " + e.What }
+
+// Compile lowers fn to Virtual x86.
+func Compile(mod *llvmir.Module, fn *llvmir.Function, opts Options) (*Result, error) {
+	c := &compiler{
+		mod:  mod,
+		fn:   fn,
+		opts: opts,
+		hints: &Hints{
+			RegMap:   make(map[string]string),
+			ConstMap: make(map[string]uint64),
+			BlockMap: make(map[string]string),
+		},
+		regMap:     make(map[string]vx86.Reg),
+		allocaObjs: make(map[string]string),
+		out:        &vx86.Function{Name: fn.Name},
+	}
+	if err := c.compile(); err != nil {
+		return nil, err
+	}
+	return &Result{Fn: c.out, Hints: c.hints}, nil
+}
+
+type compiler struct {
+	mod   *llvmir.Module
+	fn    *llvmir.Function
+	opts  Options
+	hints *Hints
+
+	out           *vx86.Function
+	cur           *vx86.Block
+	vregN         int
+	regMap        map[string]vx86.Reg // LLVM reg -> vx86 vreg
+	allocaObjs    map[string]string   // LLVM reg -> frame object name
+	skip          map[*llvmir.Instr]bool
+	pendingConsts []pendingConst
+}
+
+func (c *compiler) fresh(width uint8) vx86.Reg {
+	r := vx86.VReg(c.vregN, width)
+	c.vregN++
+	return r
+}
+
+func (c *compiler) emit(in *vx86.Instr) { c.cur.Instrs = append(c.cur.Instrs, in) }
+
+// lowWidth maps an LLVM register-sized type to the vx86 register width
+// (i1 values live in 8-bit registers).
+func lowWidth(ty llvmir.Type) (uint8, error) {
+	bits, err := llvmir.BitsOf(ty)
+	if err != nil {
+		return 0, &ErrUnsupported{What: fmt.Sprintf("value of type %s", ty)}
+	}
+	switch bits {
+	case 1:
+		return 8, nil
+	case 8, 16, 32, 64:
+		return uint8(bits), nil
+	}
+	return 0, &ErrUnsupported{What: fmt.Sprintf("register width i%d", bits)}
+}
+
+func (c *compiler) compile() error {
+	if !c.fn.Defined() {
+		return fmt.Errorf("isel: cannot compile declaration @%s", c.fn.Name)
+	}
+	// Pre-assign virtual registers to every LLVM register so that forward
+	// references (loop-carried phis) resolve.
+	regTys := llvmir.RegTypes(c.fn)
+	names := make([]string, 0, len(regTys))
+	for name := range regTys {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Block labels first (deterministic .LBBn numbering).
+	for i, b := range c.fn.Blocks {
+		c.hints.BlockMap[b.Name] = fmt.Sprintf(".LBB%d", i)
+	}
+	for _, name := range names {
+		ty := regTys[name]
+		if _, ok := ty.(llvmir.VoidType); ok {
+			continue
+		}
+		w, err := lowWidth(ty)
+		if err != nil {
+			// Non-standard widths (e.g. i48) are only reachable through
+			// the load-narrowing pattern, which bypasses the register map;
+			// any other use surfaces as "unmapped register" below.
+			continue
+		}
+		r := c.fresh(w)
+		c.regMap[name] = r
+		c.hints.RegMap[name] = r.String()
+	}
+
+	c.skip = make(map[*llvmir.Instr]bool)
+	for i, b := range c.fn.Blocks {
+		c.cur = &vx86.Block{Name: c.hints.BlockMap[b.Name]}
+		c.out.Blocks = append(c.out.Blocks, c.cur)
+		if i == 0 {
+			if err := c.lowerParams(); err != nil {
+				return err
+			}
+		}
+		if err := c.lowerBlock(b); err != nil {
+			return err
+		}
+	}
+	c.insertPhiConstMaterializations()
+	if c.opts.MergeStores || c.opts.BugWAWStoreMerge {
+		for _, b := range c.out.Blocks {
+			mergeStores(b, c.opts.BugWAWStoreMerge)
+		}
+	}
+	return nil
+}
+
+// lowerParams emits the parameter copies of the entry block (the COPY
+// cluster of Figure 2(b)) following the System V argument registers.
+func (c *compiler) lowerParams() error {
+	if len(c.fn.Params) > len(vx86.ArgRegs) {
+		return &ErrUnsupported{What: "more than six integer arguments"}
+	}
+	for i, p := range c.fn.Params {
+		w, err := lowWidth(p.Ty)
+		if err != nil {
+			return err
+		}
+		dst := c.regMap[p.Name]
+		src := vx86.Reg{Name: vx86.ArgRegs[i], Width: w}
+		c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: dst, HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(src)}})
+	}
+	return nil
+}
+
+// operand lowers a value into an instruction operand, emitting address
+// materialization when needed.
+func (c *compiler) operand(v llvmir.Value) (vx86.Operand, error) {
+	switch v.Kind {
+	case llvmir.VInt:
+		return vx86.ImmOp(int64(v.Int)), nil
+	case llvmir.VReg:
+		if obj, ok := c.allocaObjs[v.Name]; ok {
+			// Address of a stack slot as a value: materialize with lea.
+			dst := c.fresh(64)
+			c.emit(&vx86.Instr{Op: vx86.OpLea, Dst: dst, HasDst: true,
+				Addr: &vx86.Addr{Sym: obj}})
+			return vx86.RegOp(dst), nil
+		}
+		r, ok := c.regMap[v.Name]
+		if !ok {
+			return vx86.Operand{}, &ErrUnsupported{What: fmt.Sprintf("use of unmappable register %%%s", v.Name)}
+		}
+		return vx86.RegOp(r), nil
+	case llvmir.VGlobal:
+		dst := c.fresh(64)
+		c.emit(&vx86.Instr{Op: vx86.OpLea, Dst: dst, HasDst: true,
+			Addr: &vx86.Addr{Sym: "@" + v.Name, Off: int64(v.Off)}})
+		return vx86.RegOp(dst), nil
+	}
+	return vx86.Operand{}, fmt.Errorf("isel: bad value kind")
+}
+
+// addrOf lowers a pointer operand to an addressing-mode operand, folding
+// global and stack-slot symbols (so the peepholes see concrete addresses,
+// as SelectionDAG does).
+func (c *compiler) addrOf(v llvmir.Value) (*vx86.Addr, error) {
+	switch v.Kind {
+	case llvmir.VGlobal:
+		return &vx86.Addr{Sym: "@" + v.Name, Off: int64(v.Off)}, nil
+	case llvmir.VReg:
+		if obj, ok := c.allocaObjs[v.Name]; ok {
+			return &vx86.Addr{Sym: obj}, nil
+		}
+		r, ok := c.regMap[v.Name]
+		if !ok {
+			return nil, fmt.Errorf("isel: unmapped pointer register %%%s", v.Name)
+		}
+		if r.Width != 64 {
+			return nil, fmt.Errorf("isel: pointer register %%%s is %d-bit", v.Name, r.Width)
+		}
+		return &vx86.Addr{Base: &r}, nil
+	case llvmir.VInt:
+		return nil, &ErrUnsupported{What: "constant-integer pointer"}
+	}
+	return nil, fmt.Errorf("isel: bad pointer operand")
+}
+
+var aluOp = map[llvmir.Opcode]vx86.Op{
+	llvmir.OpAdd: vx86.OpAdd, llvmir.OpSub: vx86.OpSub, llvmir.OpMul: vx86.OpIMul,
+	llvmir.OpAnd: vx86.OpAnd, llvmir.OpOr: vx86.OpOr, llvmir.OpXor: vx86.OpXor,
+	llvmir.OpShl: vx86.OpShl, llvmir.OpLShr: vx86.OpShr, llvmir.OpAShr: vx86.OpSar,
+	llvmir.OpUDiv: vx86.OpUDiv, llvmir.OpURem: vx86.OpURem,
+	llvmir.OpSDiv: vx86.OpIDiv, llvmir.OpSRem: vx86.OpIRem,
+}
+
+var ccOfPred = map[llvmir.CmpPred]vx86.CC{
+	llvmir.CmpEQ: vx86.CCE, llvmir.CmpNE: vx86.CCNE,
+	llvmir.CmpULT: vx86.CCB, llvmir.CmpULE: vx86.CCBE,
+	llvmir.CmpUGT: vx86.CCA, llvmir.CmpUGE: vx86.CCAE,
+	llvmir.CmpSLT: vx86.CCL, llvmir.CmpSLE: vx86.CCLE,
+	llvmir.CmpSGT: vx86.CCG, llvmir.CmpSGE: vx86.CCGE,
+}
+
+var invCC = map[vx86.CC]vx86.CC{
+	vx86.CCE: vx86.CCNE, vx86.CCNE: vx86.CCE,
+	vx86.CCB: vx86.CCAE, vx86.CCAE: vx86.CCB,
+	vx86.CCBE: vx86.CCA, vx86.CCA: vx86.CCBE,
+	vx86.CCL: vx86.CCGE, vx86.CCGE: vx86.CCL,
+	vx86.CCLE: vx86.CCG, vx86.CCG: vx86.CCLE,
+	vx86.CCS: vx86.CCNS, vx86.CCNS: vx86.CCS,
+}
+
+func (c *compiler) lowerBlock(b *llvmir.Block) error {
+	for i, in := range b.Instrs {
+		if c.skip[in] {
+			continue
+		}
+		if err := c.lowerInstr(b, i, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) lowerInstr(b *llvmir.Block, idx int, in *llvmir.Instr) error {
+	switch in.Op {
+	case llvmir.OpPhi:
+		dst := c.regMap[in.Name]
+		phi := &vx86.Instr{Op: vx86.OpPhi, Dst: dst, HasDst: true}
+		for _, inc := range in.Incoming {
+			var op vx86.Operand
+			switch inc.Val.Kind {
+			case llvmir.VInt:
+				// Constants flowing into phis are materialized in the
+				// predecessor (like %vr9_32 = mov 1 in Figure 2); the
+				// actual insertion happens in a fixup pass once all blocks
+				// exist.
+				r := c.fresh(dst.Width)
+				c.hints.ConstMap[r.String()] = inc.Val.Int
+				c.pendingConsts = append(c.pendingConsts, pendingConst{
+					block: c.hints.BlockMap[inc.Pred], reg: r, val: int64(inc.Val.Int),
+				})
+				op = vx86.RegOp(r)
+			case llvmir.VReg:
+				rr, ok := c.regMap[inc.Val.Name]
+				if !ok {
+					return fmt.Errorf("isel: unmapped phi input %%%s", inc.Val.Name)
+				}
+				op = vx86.RegOp(rr)
+			default:
+				return &ErrUnsupported{What: "global address as phi input"}
+			}
+			phi.Phi = append(phi.Phi, vx86.PhiIn{Val: op, Pred: c.hints.BlockMap[inc.Pred]})
+		}
+		c.emit(phi)
+		return nil
+
+	case llvmir.OpAdd, llvmir.OpSub, llvmir.OpMul, llvmir.OpAnd, llvmir.OpOr,
+		llvmir.OpXor, llvmir.OpShl, llvmir.OpLShr, llvmir.OpAShr,
+		llvmir.OpUDiv, llvmir.OpURem, llvmir.OpSDiv, llvmir.OpSRem:
+		a, err := c.operand(in.Args[0])
+		if err != nil {
+			return err
+		}
+		bOp, err := c.operand(in.Args[1])
+		if err != nil {
+			return err
+		}
+		if c.opts.StrengthReduce && bOp.Kind == vx86.OImm {
+			if done := c.strengthReduce(in, a, uint64(bOp.Imm)); done {
+				return nil
+			}
+		}
+		c.emit(&vx86.Instr{Op: aluOp[in.Op], Dst: c.regMap[in.Name], HasDst: true,
+			Srcs: []vx86.Operand{a, bOp}})
+		return nil
+
+	case llvmir.OpICmp:
+		// Fused pattern: the compare immediately precedes a conditional
+		// branch on its result and has no other use — emit the flag-setting
+		// sub at the branch (handled by OpCondBr below).
+		if idx == len(b.Instrs)-2 {
+			term := b.Term()
+			if term.Op == llvmir.OpCondBr && term.Args[0].Kind == llvmir.VReg &&
+				term.Args[0].Name == in.Name && c.useCount(in.Name) == 1 {
+				return nil // lowered together with the terminator
+			}
+		}
+		// Materialized i1: sub + setcc into an 8-bit register.
+		if err := c.emitCompare(in); err != nil {
+			return err
+		}
+		c.emit(&vx86.Instr{Op: vx86.OpSetcc, Dst: c.regMap[in.Name], HasDst: true,
+			CC: ccOfPred[in.Pred]})
+		return nil
+
+	case llvmir.OpTrunc:
+		return c.lowerCast(in)
+	case llvmir.OpZExt, llvmir.OpSExt, llvmir.OpBitcast, llvmir.OpIntToPtr, llvmir.OpPtrToInt:
+		return c.lowerCast(in)
+
+	case llvmir.OpGEP:
+		return c.lowerGEP(in)
+
+	case llvmir.OpLoad:
+		return c.lowerLoad(b, idx, in)
+
+	case llvmir.OpStore:
+		return c.lowerStore(in)
+
+	case llvmir.OpAlloca:
+		c.allocaObjs[in.Name] = llvmir.AllocaObjectName(c.fn, in.Name)
+		return nil
+
+	case llvmir.OpBr:
+		c.emit(&vx86.Instr{Op: vx86.OpJmp, Label: c.hints.BlockMap[in.Labels[0]]})
+		return nil
+
+	case llvmir.OpCondBr:
+		return c.lowerCondBr(b, in)
+
+	case llvmir.OpRet:
+		if len(in.Args) > 0 {
+			w, err := lowWidth(in.Ty)
+			if err != nil {
+				return err
+			}
+			v, err := c.operand(in.Args[0])
+			if err != nil {
+				return err
+			}
+			c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: vx86.Reg{Name: "rax", Width: w},
+				HasDst: true, Srcs: []vx86.Operand{v}})
+		}
+		c.emit(&vx86.Instr{Op: vx86.OpRet})
+		return nil
+
+	case llvmir.OpCall:
+		return c.lowerCall(in)
+
+	case llvmir.OpSelect:
+		return c.lowerSelect(in)
+	}
+	return &ErrUnsupported{What: fmt.Sprintf("instruction %s", in)}
+}
+
+// strengthReduce lowers mul/udiv/urem by a power-of-two constant into
+// shifts and masks (returns false when the pattern does not apply).
+func (c *compiler) strengthReduce(in *llvmir.Instr, a vx86.Operand, k uint64) bool {
+	if k == 0 || k&(k-1) != 0 {
+		return false
+	}
+	sh := int64(0)
+	for v := k; v > 1; v >>= 1 {
+		sh++
+	}
+	dst := c.regMap[in.Name]
+	switch in.Op {
+	case llvmir.OpMul:
+		c.emit(&vx86.Instr{Op: vx86.OpShl, Dst: dst, HasDst: true,
+			Srcs: []vx86.Operand{a, vx86.ImmOp(sh)}})
+		return true
+	case llvmir.OpUDiv:
+		c.emit(&vx86.Instr{Op: vx86.OpShr, Dst: dst, HasDst: true,
+			Srcs: []vx86.Operand{a, vx86.ImmOp(sh)}})
+		return true
+	case llvmir.OpURem:
+		c.emit(&vx86.Instr{Op: vx86.OpAnd, Dst: dst, HasDst: true,
+			Srcs: []vx86.Operand{a, vx86.ImmOp(int64(k - 1))}})
+		return true
+	}
+	return false
+}
+
+// useCount counts uses of a register across the function.
+func (c *compiler) useCount(name string) int {
+	n := 0
+	for _, b := range c.fn.Blocks {
+		for _, in := range b.Instrs {
+			for _, v := range in.Args {
+				if v.Kind == llvmir.VReg && v.Name == name {
+					n++
+				}
+			}
+			for _, inc := range in.Incoming {
+				if inc.Val.Kind == llvmir.VReg && inc.Val.Name == name {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// emitCompare emits the flag-setting sub for an icmp (the SelectionDAG
+// lowering the paper shows in Figure 2: a sub whose result is unused).
+func (c *compiler) emitCompare(in *llvmir.Instr) error {
+	a, err := c.operand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	bOp, err := c.operand(in.Args[1])
+	if err != nil {
+		return err
+	}
+	w, err := lowWidth(in.Ty)
+	if err != nil {
+		return err
+	}
+	c.emit(&vx86.Instr{Op: vx86.OpSub, Dst: c.fresh(w), HasDst: true,
+		Srcs: []vx86.Operand{a, bOp}})
+	return nil
+}
+
+func (c *compiler) lowerCondBr(b *llvmir.Block, term *llvmir.Instr) error {
+	thenL := c.hints.BlockMap[term.Labels[0]]
+	elseL := c.hints.BlockMap[term.Labels[1]]
+	// Fused icmp?
+	if len(b.Instrs) >= 2 {
+		prev := b.Instrs[len(b.Instrs)-2]
+		if prev.Op == llvmir.OpICmp && term.Args[0].Kind == llvmir.VReg &&
+			term.Args[0].Name == prev.Name && c.useCount(prev.Name) == 1 {
+			if err := c.emitCompare(prev); err != nil {
+				return err
+			}
+			// Invert the condition and jump to the false target first,
+			// matching Figure 2 (`jae .LBB4; jmp .LBB2`).
+			c.emit(&vx86.Instr{Op: vx86.OpJcc, CC: invCC[ccOfPred[prev.Pred]], Label: elseL})
+			c.emit(&vx86.Instr{Op: vx86.OpJmp, Label: thenL})
+			return nil
+		}
+	}
+	// General i1 value: test the 8-bit register.
+	cond, err := c.operand(term.Args[0])
+	if err != nil {
+		return err
+	}
+	c.emit(&vx86.Instr{Op: vx86.OpTest, Srcs: []vx86.Operand{cond, cond}})
+	c.emit(&vx86.Instr{Op: vx86.OpJcc, CC: vx86.CCE, Label: elseL})
+	c.emit(&vx86.Instr{Op: vx86.OpJmp, Label: thenL})
+	return nil
+}
+
+func (c *compiler) lowerCast(in *llvmir.Instr) error {
+	srcBits, err := llvmir.BitsOf(in.SrcTy)
+	if err != nil {
+		return &ErrUnsupported{What: err.Error()}
+	}
+	dstW, err := lowWidth(in.Ty)
+	if err != nil {
+		return err
+	}
+	srcW, err := lowWidth(in.SrcTy)
+	if err != nil {
+		return err
+	}
+	src, err := c.operand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	if src.Kind != vx86.OReg {
+		// Constant operand: fold the cast and materialize the result.
+		folded := foldCast(in, uint64(src.Imm), srcBits)
+		c.emit(&vx86.Instr{Op: vx86.OpMov, Dst: c.regMap[in.Name], HasDst: true,
+			Srcs: []vx86.Operand{vx86.ImmOp(int64(folded))}})
+		return nil
+	}
+	dst := c.regMap[in.Name]
+	switch in.Op {
+	case llvmir.OpTrunc:
+		dstBits, _ := llvmir.BitsOf(in.Ty)
+		if dstBits == 1 {
+			// i1 truncation keeps bit 0 in an 8-bit register.
+			t := src.Reg
+			if srcW > 8 {
+				tr := c.fresh(8)
+				c.emit(&vx86.Instr{Op: vx86.OpTruncR, Dst: tr, HasDst: true, Srcs: []vx86.Operand{src}})
+				t = tr
+			}
+			c.emit(&vx86.Instr{Op: vx86.OpAnd, Dst: dst, HasDst: true,
+				Srcs: []vx86.Operand{vx86.RegOp(t), vx86.ImmOp(1)}})
+			return nil
+		}
+		c.emit(&vx86.Instr{Op: vx86.OpTruncR, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		return nil
+	case llvmir.OpZExt:
+		c.emit(&vx86.Instr{Op: vx86.OpMovzx, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		return nil
+	case llvmir.OpSExt:
+		if srcBits == 1 {
+			// 0/1 byte → 0/-1: widen then negate.
+			t := c.fresh(dstW)
+			c.emit(&vx86.Instr{Op: vx86.OpMovzx, Dst: t, HasDst: true, Srcs: []vx86.Operand{src}})
+			c.emit(&vx86.Instr{Op: vx86.OpNeg, Dst: dst, HasDst: true, Srcs: []vx86.Operand{vx86.RegOp(t)}})
+			return nil
+		}
+		c.emit(&vx86.Instr{Op: vx86.OpMovsx, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		return nil
+	case llvmir.OpBitcast:
+		c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		return nil
+	case llvmir.OpIntToPtr:
+		if srcW < 64 {
+			c.emit(&vx86.Instr{Op: vx86.OpMovzx, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		} else {
+			c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		}
+		return nil
+	case llvmir.OpPtrToInt:
+		if dstW < 64 {
+			c.emit(&vx86.Instr{Op: vx86.OpTruncR, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		} else {
+			c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: dst, HasDst: true, Srcs: []vx86.Operand{src}})
+		}
+		return nil
+	}
+	return &ErrUnsupported{What: "cast"}
+}
+
+func (c *compiler) lowerGEP(in *llvmir.Instr) error {
+	base, err := c.operand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	if base.Kind != vx86.OReg {
+		return &ErrUnsupported{What: "non-register gep base"}
+	}
+	cur := base.Reg
+	ty := in.SrcTy
+	constOff := int64(0)
+	elemTy := ty
+	for i, idxV := range in.Args[1:] {
+		var scale int
+		if i == 0 {
+			scale = llvmir.SizeOf(ty)
+		} else {
+			at, ok := elemTy.(llvmir.ArrayType)
+			if !ok {
+				return &ErrUnsupported{What: "gep into non-array with runtime index"}
+			}
+			scale = llvmir.SizeOf(at.Elem)
+			elemTy = at.Elem
+		}
+		if i == 0 {
+			elemTy = ty
+		}
+		if idxV.Kind == llvmir.VInt {
+			constOff += int64(int64(idxV.Int) * int64(scale))
+			continue
+		}
+		// Symbolic index: sign-extend to 64 bits, scale, add.
+		iv, err := c.operand(idxV)
+		if err != nil {
+			return err
+		}
+		iw, err := lowWidth(idxV.Ty)
+		if err != nil {
+			return err
+		}
+		i64reg := iv.Reg
+		if iw < 64 {
+			t := c.fresh(64)
+			c.emit(&vx86.Instr{Op: vx86.OpMovsx, Dst: t, HasDst: true, Srcs: []vx86.Operand{iv}})
+			i64reg = t
+		}
+		scaled := c.fresh(64)
+		c.emit(&vx86.Instr{Op: vx86.OpIMul, Dst: scaled, HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(i64reg), vx86.ImmOp(int64(scale))}})
+		sum := c.fresh(64)
+		c.emit(&vx86.Instr{Op: vx86.OpAdd, Dst: sum, HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(cur), vx86.RegOp(scaled)}})
+		cur = sum
+	}
+	dst := c.regMap[in.Name]
+	if constOff != 0 {
+		c.emit(&vx86.Instr{Op: vx86.OpLea, Dst: dst, HasDst: true,
+			Addr: &vx86.Addr{Base: &cur, Off: constOff}})
+	} else {
+		c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: dst, HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(cur)}})
+	}
+	return nil
+}
+
+func (c *compiler) lowerLoad(b *llvmir.Block, idx int, in *llvmir.Instr) error {
+	bits, err := llvmir.BitsOf(in.Ty)
+	if err != nil {
+		return &ErrUnsupported{What: err.Error()}
+	}
+	size := llvmir.SizeOf(in.Ty)
+	std := bits == 8 || bits == 16 || bits == 32 || bits == 64
+
+	if !std && bits != 1 {
+		// Non-standard widths are only supported through the narrowing
+		// pattern (load; lshr C; trunc), like SelectionDAG legalization.
+		return c.lowerNarrowPattern(b, idx, in)
+	}
+
+	addr, err := c.addrOf(in.Args[0])
+	if err != nil {
+		return err
+	}
+	if bits == 1 {
+		t := c.fresh(8)
+		c.emit(&vx86.Instr{Op: vx86.OpLoad, Dst: t, HasDst: true, Addr: addr, Size: 1})
+		c.emit(&vx86.Instr{Op: vx86.OpAnd, Dst: c.regMap[in.Name], HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(t), vx86.ImmOp(1)}})
+		return nil
+	}
+	c.emit(&vx86.Instr{Op: vx86.OpLoad, Dst: c.regMap[in.Name], HasDst: true,
+		Addr: addr, Size: size})
+	return nil
+}
+
+// lowerNarrowPattern matches `%v = load iW; %s = lshr iW %v, C; %t = trunc
+// iW %s to iT` and emits a narrow load of the selected bytes (Figure 11a).
+// With Options.BugLoadNarrow it emits the full iT-sized access instead,
+// which can read past the end of the object (Figure 11b).
+func (c *compiler) lowerNarrowPattern(b *llvmir.Block, idx int, load *llvmir.Instr) error {
+	wBits, _ := llvmir.BitsOf(load.Ty)
+	unsupported := &ErrUnsupported{What: fmt.Sprintf("load of i%d outside the narrowing pattern", wBits)}
+	if idx+2 >= len(b.Instrs) {
+		return unsupported
+	}
+	shr := b.Instrs[idx+1]
+	trunc := b.Instrs[idx+2]
+	if shr.Op != llvmir.OpLShr || shr.Args[0].Kind != llvmir.VReg || shr.Args[0].Name != load.Name ||
+		shr.Args[1].Kind != llvmir.VInt {
+		return unsupported
+	}
+	if trunc.Op != llvmir.OpTrunc || trunc.Args[0].Kind != llvmir.VReg || trunc.Args[0].Name != shr.Name {
+		return unsupported
+	}
+	if c.useCount(load.Name) != 1 || c.useCount(shr.Name) != 1 {
+		return unsupported
+	}
+	shift := shr.Args[1].Int
+	tBits, err := llvmir.BitsOf(trunc.Ty)
+	if err != nil || shift%8 != 0 || int(shift) >= wBits {
+		return unsupported
+	}
+	tW, err := lowWidth(trunc.Ty)
+	if err != nil {
+		return err
+	}
+	byteOff := int64(shift / 8)
+	availBytes := (wBits+7)/8 - int(byteOff)
+	narrow := availBytes
+	if tBits/8 < narrow {
+		narrow = tBits / 8
+	}
+	if narrow != 1 && narrow != 2 && narrow != 4 && narrow != 8 {
+		return unsupported
+	}
+	if c.opts.BugLoadNarrow {
+		// Figure 11(b): the access is widened to the destination width,
+		// reading availBytes..tBits/8 bytes past the object's end.
+		narrow = tBits / 8
+	}
+
+	addr, err := c.addrOf(load.Args[0])
+	if err != nil {
+		return err
+	}
+	addr.Off += byteOff
+	dst := c.regMap[trunc.Name]
+	if narrow*8 == int(tW) {
+		c.emit(&vx86.Instr{Op: vx86.OpLoad, Dst: dst, HasDst: true, Addr: addr, Size: narrow})
+	} else {
+		t := c.fresh(uint8(8 * narrow))
+		c.emit(&vx86.Instr{Op: vx86.OpLoad, Dst: t, HasDst: true, Addr: addr, Size: narrow})
+		c.emit(&vx86.Instr{Op: vx86.OpMovzx, Dst: dst, HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(t)}})
+	}
+	c.skip[shr] = true
+	c.skip[trunc] = true
+	return nil
+}
+
+func (c *compiler) lowerStore(in *llvmir.Instr) error {
+	bits, err := llvmir.BitsOf(in.Ty)
+	if err != nil {
+		return &ErrUnsupported{What: err.Error()}
+	}
+	if bits != 1 && bits != 8 && bits != 16 && bits != 32 && bits != 64 {
+		return &ErrUnsupported{What: fmt.Sprintf("store of i%d", bits)}
+	}
+	size := llvmir.SizeOf(in.Ty)
+	v, err := c.operand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	addr, err := c.addrOf(in.Args[1])
+	if err != nil {
+		return err
+	}
+	c.emit(&vx86.Instr{Op: vx86.OpStore, Addr: addr, Size: size, Srcs: []vx86.Operand{v}})
+	return nil
+}
+
+func (c *compiler) lowerCall(in *llvmir.Instr) error {
+	if len(in.Args) > len(vx86.ArgRegs) {
+		return &ErrUnsupported{What: "more than six call arguments"}
+	}
+	for i, a := range in.Args {
+		w, err := lowWidth(a.Ty)
+		if err != nil {
+			return err
+		}
+		op, err := c.operand(a)
+		if err != nil {
+			return err
+		}
+		c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: vx86.Reg{Name: vx86.ArgRegs[i], Width: w},
+			HasDst: true, Srcs: []vx86.Operand{op}})
+	}
+	c.emit(&vx86.Instr{Op: vx86.OpCall, Callee: in.Callee})
+	if in.Name != "" {
+		w, err := lowWidth(in.Ty)
+		if err != nil {
+			return err
+		}
+		c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: c.regMap[in.Name], HasDst: true,
+			Srcs: []vx86.Operand{vx86.RegOp(vx86.Reg{Name: "rax", Width: w})}})
+	}
+	return nil
+}
+
+// lowerSelect emits a branch-free mask-based select (no CMOV in the
+// modeled subset): r = (a & mask) | (b & ~mask) with mask = -zext(cond).
+func (c *compiler) lowerSelect(in *llvmir.Instr) error {
+	w, err := lowWidth(in.Ty)
+	if err != nil {
+		return err
+	}
+	cond, err := c.operand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	a, err := c.operand(in.Args[1])
+	if err != nil {
+		return err
+	}
+	bOp, err := c.operand(in.Args[2])
+	if err != nil {
+		return err
+	}
+	if cond.Kind != vx86.OReg {
+		return &ErrUnsupported{What: "constant select condition"}
+	}
+	wide := c.fresh(w)
+	if w == 8 {
+		c.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: wide, HasDst: true, Srcs: []vx86.Operand{cond}})
+	} else {
+		c.emit(&vx86.Instr{Op: vx86.OpMovzx, Dst: wide, HasDst: true, Srcs: []vx86.Operand{cond}})
+	}
+	maskR := c.fresh(w)
+	c.emit(&vx86.Instr{Op: vx86.OpNeg, Dst: maskR, HasDst: true, Srcs: []vx86.Operand{vx86.RegOp(wide)}})
+	t1 := c.fresh(w)
+	c.emit(&vx86.Instr{Op: vx86.OpAnd, Dst: t1, HasDst: true,
+		Srcs: []vx86.Operand{a, vx86.RegOp(maskR)}})
+	inv := c.fresh(w)
+	c.emit(&vx86.Instr{Op: vx86.OpNot, Dst: inv, HasDst: true, Srcs: []vx86.Operand{vx86.RegOp(maskR)}})
+	t2 := c.fresh(w)
+	c.emit(&vx86.Instr{Op: vx86.OpAnd, Dst: t2, HasDst: true,
+		Srcs: []vx86.Operand{bOp, vx86.RegOp(inv)}})
+	c.emit(&vx86.Instr{Op: vx86.OpOr, Dst: c.regMap[in.Name], HasDst: true,
+		Srcs: []vx86.Operand{vx86.RegOp(t1), vx86.RegOp(t2)}})
+	return nil
+}
+
+type pendingConst struct {
+	block string
+	reg   vx86.Reg
+	val   int64
+}
+
+// insertPhiConstMaterializations places `reg = mov val` into each
+// predecessor block right before its trailing control transfer.
+func (c *compiler) insertPhiConstMaterializations() {
+	for _, pc := range c.pendingConsts {
+		blk := c.out.BlockByName(pc.block)
+		if blk == nil {
+			continue
+		}
+		// Insert before the first control-transfer instruction (mov does
+		// not affect flags, so inserting between a compare and its jcc is
+		// safe).
+		pos := len(blk.Instrs)
+		for i, in := range blk.Instrs {
+			if in.Op == vx86.OpJcc || in.Op == vx86.OpJmp || in.Op == vx86.OpRet {
+				pos = i
+				break
+			}
+		}
+		mov := &vx86.Instr{Op: vx86.OpMov, Dst: pc.reg, HasDst: true,
+			Srcs: []vx86.Operand{vx86.ImmOp(pc.val)}}
+		blk.Instrs = append(blk.Instrs[:pos],
+			append([]*vx86.Instr{mov}, blk.Instrs[pos:]...)...)
+	}
+	c.pendingConsts = nil
+}
+
+// HintsString serializes hints in the textual format read by ParseHints.
+func (h *Hints) String() string {
+	var b strings.Builder
+	keys := make([]string, 0, len(h.RegMap))
+	for k := range h.RegMap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "reg %%%s %s\n", k, h.RegMap[k])
+	}
+	keys = keys[:0]
+	for k := range h.BlockMap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "block %s %s\n", k, h.BlockMap[k])
+	}
+	keys = keys[:0]
+	for k := range h.ConstMap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "const %s %d\n", k, h.ConstMap[k])
+	}
+	return b.String()
+}
+
+// ParseHints parses the textual hint format emitted by Hints.String.
+func ParseHints(src string) (*Hints, error) {
+	h := &Hints{
+		RegMap:   make(map[string]string),
+		ConstMap: make(map[string]uint64),
+		BlockMap: make(map[string]string),
+	}
+	for i, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("isel: hints line %d malformed: %q", i+1, line)
+		}
+		switch fields[0] {
+		case "reg":
+			h.RegMap[strings.TrimPrefix(fields[1], "%")] = fields[2]
+		case "block":
+			h.BlockMap[fields[1]] = fields[2]
+		case "const":
+			var v uint64
+			if _, err := fmt.Sscanf(fields[2], "%d", &v); err != nil {
+				return nil, fmt.Errorf("isel: hints line %d: bad constant", i+1)
+			}
+			h.ConstMap[fields[1]] = v
+		default:
+			return nil, fmt.Errorf("isel: hints line %d: unknown kind %q", i+1, fields[0])
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,458 @@
+package isel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/llvmir"
+	"repro/internal/mem"
+	"repro/internal/paperprogs"
+	"repro/internal/vx86"
+)
+
+func compile(t *testing.T, src, fn string, opts Options) (*llvmir.Module, *Result) {
+	t.Helper()
+	m, err := llvmir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := llvmir.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	res, err := Compile(m, m.Func(fn), opts)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return m, res
+}
+
+// runBoth executes the LLVM source function and its compiled Virtual x86
+// translation on the same arguments over identical memories, and compares
+// the result and the final memory contents.
+func runBoth(t *testing.T, m *llvmir.Module, res *Result, fn string, args []uint64) {
+	t.Helper()
+	f := m.Func(fn)
+
+	li := llvmir.NewInterp(m)
+	wantRet, lerr := li.Call(fn, args)
+
+	layout := mem.NewLayout()
+	for _, g := range m.Globals {
+		layout.Alloc("@"+g.Name, uint64(llvmir.SizeOf(g.Type)))
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == llvmir.OpAlloca {
+				layout.Alloc(llvmir.AllocaObjectName(f, in.Name), uint64(llvmir.SizeOf(in.Ty)))
+			}
+		}
+	}
+	prog := &vx86.Program{Funcs: []*vx86.Function{res.Fn}}
+	xi := vx86.NewInterp(prog, layout, mem.NewConcrete(layout))
+	widths := make([]uint8, len(f.Params))
+	for i, p := range f.Params {
+		bits, _ := llvmir.BitsOf(p.Ty)
+		widths[i] = uint8(bits)
+	}
+	gotRet, xerr := xi.CallWithArgs(fn, args, widths)
+
+	if (lerr == nil) != (xerr == nil) {
+		t.Fatalf("error mismatch: llvm=%v vx86=%v", lerr, xerr)
+	}
+	if lerr != nil {
+		return
+	}
+	if bits, err := llvmir.BitsOf(f.Ret); err == nil {
+		maskv := func(v uint64) uint64 {
+			if bits >= 64 {
+				return v
+			}
+			return v & ((1 << bits) - 1)
+		}
+		if maskv(wantRet) != maskv(gotRet) {
+			t.Fatalf("ret mismatch on %v: llvm=%d vx86=%d", args, maskv(wantRet), maskv(gotRet))
+		}
+	}
+	// Compare final global contents (both memories start zeroed).
+	for _, g := range m.Globals {
+		lo, _ := li.Layout.Find("@" + g.Name)
+		xo, _ := layout.Find("@" + g.Name)
+		for i := uint64(0); i < lo.Size; i++ {
+			lb, _ := li.Mem.Load(lo.Base+i, 1)
+			xb, _ := xi.Mem.Load(xo.Base+i, 1)
+			if lb != xb {
+				t.Fatalf("global @%s byte %d mismatch: llvm=%#x vx86=%#x", g.Name, i, lb, xb)
+			}
+		}
+	}
+}
+
+func TestCompileArithmSeqSum(t *testing.T) {
+	m, res := compile(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{})
+	if len(res.Fn.Blocks) != 5 {
+		t.Fatalf("blocks = %d, want 5", len(res.Fn.Blocks))
+	}
+	// The paper's Figure 2(b) structure: entry copies + const
+	// materialization, phi cluster at the loop header, flag-setting sub
+	// with jae/jmp.
+	entry := res.Fn.Entry()
+	copies := 0
+	movs := 0
+	for _, in := range entry.Instrs {
+		switch in.Op {
+		case vx86.OpCopy:
+			copies++
+		case vx86.OpMov:
+			movs++
+		}
+	}
+	if copies != 3 || movs != 1 {
+		t.Errorf("entry has %d copies and %d movs, want 3 and 1 (Figure 2b)", copies, movs)
+	}
+	header := res.Fn.Blocks[1]
+	phis := 0
+	for _, in := range header.Instrs {
+		if in.Op == vx86.OpPhi {
+			phis++
+		}
+	}
+	if phis != 3 {
+		t.Errorf("loop header has %d phis, want 3", phis)
+	}
+	var sawSub, sawJae bool
+	for _, in := range header.Instrs {
+		if in.Op == vx86.OpSub {
+			sawSub = true
+		}
+		if in.Op == vx86.OpJcc && in.CC == vx86.CCAE {
+			sawJae = true
+		}
+	}
+	if !sawSub || !sawJae {
+		t.Errorf("loop header missing sub/jae: sub=%v jae=%v\n%s", sawSub, sawJae,
+			(&vx86.Program{Funcs: []*vx86.Function{res.Fn}}).String())
+	}
+	// Hints must cover all LLVM registers and blocks.
+	for _, name := range []string{"a0", "d", "n", "s.0", "a.0", "i.0", "cmp", "add", "add1", "inc"} {
+		if _, ok := res.Hints.RegMap[name]; !ok {
+			t.Errorf("hint RegMap missing %%%s", name)
+		}
+	}
+	if len(res.Hints.BlockMap) != 5 {
+		t.Errorf("BlockMap = %v", res.Hints.BlockMap)
+	}
+	if len(res.Hints.ConstMap) != 1 {
+		t.Errorf("ConstMap = %v, want one materialized constant (1)", res.Hints.ConstMap)
+	}
+	f := func(a0, d uint32, n uint8) bool {
+		runBoth(t, m, res, "arithm_seq_sum", []uint64{uint64(a0), uint64(d), uint64(n % 20)})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileDifferentialSuite(t *testing.T) {
+	// Each source is compiled and differentially tested against the LLVM
+	// interpreter on a grid of small arguments.
+	sources := []struct {
+		src, fn string
+		arity   int
+	}{
+		{paperprogs.AllocaExample, "alloca_example", 1},
+		{paperprogs.MemSwap, "mem_swap", 0},
+		{paperprogs.WAWStores, "waw_foo", 0},
+		{`
+define i32 @casts(i32 %x) {
+entry:
+  %t = trunc i32 %x to i8
+  %z = zext i8 %t to i32
+  %s = sext i8 %t to i32
+  %r = add i32 %z, %s
+  ret i32 %r
+}`, "casts", 1},
+		{`
+define i64 @geps(i64 %i) {
+entry:
+  %p = getelementptr inbounds [10 x i32], [10 x i32]* @arr, i64 0, i64 %i
+  %q = ptrtoint i32* %p to i64
+  ret i64 %q
+}
+@arr = external global [10 x i32]`, "geps", 1},
+		{`
+define i32 @sel(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}`, "sel", 2},
+		{`
+define i32 @bitops(i32 %a, i32 %b) {
+entry:
+  %x = and i32 %a, %b
+  %y = or i32 %a, 240
+  %z = xor i32 %x, %y
+  %s = shl i32 %z, 3
+  %u = lshr i32 %s, 2
+  %v = ashr i32 %u, 1
+  ret i32 %v
+}`, "bitops", 2},
+		{`
+define i32 @loophi(i32 %n) {
+entry:
+  br label %head
+head:
+  %i = phi i32 [ 0, %entry ], [ %i2, %body ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %body ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %done
+body:
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  br label %head
+done:
+  ret i32 %acc
+}`, "loophi", 1},
+	}
+	argGrid := [][]uint64{
+		{}, {0}, {1}, {7}, {0xFFFFFFFF}, {0x80000000},
+		{0, 0}, {3, 4}, {0xFFFFFFFF, 1}, {5, 0x80000000},
+	}
+	for _, tc := range sources {
+		m, res := compile(t, tc.src, tc.fn, Options{})
+		for _, args := range argGrid {
+			if len(args) != tc.arity {
+				continue
+			}
+			// Keep loop counts small.
+			capped := make([]uint64, len(args))
+			for i, a := range args {
+				capped[i] = a
+				if tc.fn == "loophi" {
+					capped[i] = a % 50
+				}
+				if tc.fn == "geps" {
+					capped[i] = a % 10
+				}
+			}
+			runBoth(t, m, res, tc.fn, capped)
+		}
+	}
+}
+
+func TestCompileUnsupported(t *testing.T) {
+	srcs := []string{
+		// i48 load outside the narrowing pattern
+		`@a = external global i48
+define i32 @f() {
+entry:
+  %v = load i48, i48* @a
+  %t = trunc i48 %v to i32
+  ret i32 %t
+}`,
+		// i48 arithmetic
+		`define i48 @f(i48 %x) {
+entry:
+  %r = add i48 %x, 1
+  ret i48 %r
+}`,
+	}
+	for _, src := range srcs {
+		m, err := llvmir.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fn *llvmir.Function
+		for _, f := range m.Funcs {
+			if f.Defined() {
+				fn = f
+			}
+		}
+		if _, err := Compile(m, fn, Options{}); err == nil {
+			t.Errorf("unsupported program compiled:\n%s", src)
+		} else if _, ok := err.(*ErrUnsupported); !ok {
+			t.Errorf("error %v is not ErrUnsupported", err)
+		}
+	}
+}
+
+func TestWAWStoreMergeCorrect(t *testing.T) {
+	m, res := compile(t, paperprogs.WAWStores, "waw_foo", Options{MergeStores: true})
+	// The correct merge yields two stores: the merged 4-byte store first.
+	entry := res.Fn.Entry()
+	var stores []*vx86.Instr
+	for _, in := range entry.Instrs {
+		if in.Op == vx86.OpStore {
+			stores = append(stores, in)
+		}
+	}
+	if len(stores) != 2 {
+		t.Fatalf("got %d stores after merge, want 2:\n%s", len(stores),
+			(&vx86.Program{Funcs: []*vx86.Function{res.Fn}}).String())
+	}
+	if stores[0].Size != 4 || stores[0].Addr.Off != 0 {
+		t.Errorf("first store = %v, want 4 bytes at +0 (Figure 9c)", stores[0])
+	}
+	if stores[1].Size != 2 || stores[1].Addr.Off != 3 {
+		t.Errorf("second store = %v, want 2 bytes at +3", stores[1])
+	}
+	runBoth(t, m, res, "waw_foo", nil)
+}
+
+func TestWAWStoreMergeBuggy(t *testing.T) {
+	m, res := compile(t, paperprogs.WAWStores, "waw_foo", Options{BugWAWStoreMerge: true})
+	entry := res.Fn.Entry()
+	var stores []*vx86.Instr
+	for _, in := range entry.Instrs {
+		if in.Op == vx86.OpStore {
+			stores = append(stores, in)
+		}
+	}
+	if len(stores) != 2 {
+		t.Fatalf("got %d stores, want 2", len(stores))
+	}
+	// Figure 9(b): the 2-byte store at +3 now comes FIRST; the merged
+	// 4-byte store follows and wrongly overwrites byte 3.
+	if stores[0].Size != 2 || stores[0].Addr.Off != 3 {
+		t.Fatalf("first store = %v, want the +3 store (bug shape)", stores[0])
+	}
+	if stores[1].Size != 4 || stores[1].Addr.Off != 0 {
+		t.Fatalf("second store = %v, want merged 4-byte store", stores[1])
+	}
+	// The miscompilation is observable: byte 3 ends as 0, not 2.
+	f := m.Func("waw_foo")
+	layout := mem.NewLayout()
+	layout.Alloc("@b", 8)
+	_ = f
+	prog := &vx86.Program{Funcs: []*vx86.Function{res.Fn}}
+	xi := vx86.NewInterp(prog, layout, mem.NewConcrete(layout))
+	if _, err := xi.Call("waw_foo"); err != nil {
+		t.Fatal(err)
+	}
+	o, _ := layout.Find("@b")
+	b3, _ := xi.Mem.Load(o.Base+3, 1)
+	if b3 != 0 {
+		t.Fatalf("buggy translation produced b[3]=%d; expected the WAW violation (0)", b3)
+	}
+	li := llvmir.NewInterp(m)
+	if _, err := li.Call("waw_foo", nil); err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := li.Layout.Find("@b")
+	lb3, _ := li.Mem.Load(lo.Base+3, 1)
+	if lb3 != 2 {
+		t.Fatalf("source semantics give b[3]=%d, want 2", lb3)
+	}
+}
+
+func TestLoadNarrowCorrect(t *testing.T) {
+	m, res := compile(t, paperprogs.LoadNarrow, "narrow_foo", Options{})
+	// Correct translation: 2-byte load at @a+4, zero-extended (Figure 11a
+	// scaled down).
+	var load *vx86.Instr
+	for _, in := range res.Fn.Entry().Instrs {
+		if in.Op == vx86.OpLoad {
+			load = in
+		}
+	}
+	if load == nil || load.Size != 2 || load.Addr.Off != 4 {
+		t.Fatalf("load = %v, want 2 bytes at +4", load)
+	}
+	runBoth(t, m, res, "narrow_foo", nil)
+}
+
+func TestLoadNarrowBuggy(t *testing.T) {
+	m, res := compile(t, paperprogs.LoadNarrow, "narrow_foo", Options{BugLoadNarrow: true})
+	var load *vx86.Instr
+	for _, in := range res.Fn.Entry().Instrs {
+		if in.Op == vx86.OpLoad {
+			load = in
+		}
+	}
+	// Figure 11(b): a full 4-byte access at +4 — 2 bytes past @a's end.
+	if load == nil || load.Size != 4 || load.Addr.Off != 4 {
+		t.Fatalf("load = %v, want the widened 4-byte access", load)
+	}
+	// Concretely this traps as an out-of-bounds access.
+	layout := mem.NewLayout()
+	layout.Alloc("@a", 6)
+	layout.Alloc("@b", 4)
+	prog := &vx86.Program{Funcs: []*vx86.Function{res.Fn}}
+	xi := vx86.NewInterp(prog, layout, mem.NewConcrete(layout))
+	_, err := xi.Call("narrow_foo")
+	ub, ok := err.(*vx86.UBError)
+	if !ok || ub.Kind != "oob" {
+		t.Fatalf("buggy translation error = %v, want oob", err)
+	}
+	_ = m
+}
+
+func TestCompileCalls(t *testing.T) {
+	_, res := compile(t, paperprogs.CallExample, "call_example", Options{})
+	var call *vx86.Instr
+	callIdx := -1
+	for i, in := range res.Fn.Entry().Instrs {
+		if in.Op == vx86.OpCall {
+			call = in
+			callIdx = i
+		}
+	}
+	if call == nil || call.Callee != "callee" {
+		t.Fatalf("call missing: %v", call)
+	}
+	// The two preceding instructions set up edi and esi.
+	argSetup := res.Fn.Entry().Instrs[callIdx-2 : callIdx]
+	for i, in := range argSetup {
+		if in.Op != vx86.OpCopy || in.Dst.Virtual || in.Dst.Name != vx86.ArgRegs[i] {
+			t.Errorf("arg setup %d = %v", i, in)
+		}
+	}
+	// The result is copied out of eax right after.
+	after := res.Fn.Entry().Instrs[callIdx+1]
+	if after.Op != vx86.OpCopy || !after.Dst.Virtual ||
+		after.Srcs[0].Reg.Name != "rax" {
+		t.Errorf("result copy = %v", after)
+	}
+}
+
+func TestHintsRoundTrip(t *testing.T) {
+	_, res := compile(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{})
+	text := res.Hints.String()
+	parsed, err := ParseHints(text)
+	if err != nil {
+		t.Fatalf("ParseHints: %v\n%s", err, text)
+	}
+	if len(parsed.RegMap) != len(res.Hints.RegMap) ||
+		len(parsed.BlockMap) != len(res.Hints.BlockMap) ||
+		len(parsed.ConstMap) != len(res.Hints.ConstMap) {
+		t.Fatalf("round trip lost entries:\n%s", text)
+	}
+	for k, v := range res.Hints.RegMap {
+		if parsed.RegMap[k] != v {
+			t.Errorf("RegMap[%s] = %s, want %s", k, parsed.RegMap[k], v)
+		}
+	}
+	if !strings.Contains(text, "block entry .LBB0") {
+		t.Errorf("hints text missing block map:\n%s", text)
+	}
+}
+
+func TestCompiledOutputParses(t *testing.T) {
+	// The textual form of compiled output must round-trip through the
+	// vx86 parser (the cmd pipeline depends on it).
+	for _, tc := range []struct{ src, fn string }{
+		{paperprogs.ArithmSeqSum, "arithm_seq_sum"},
+		{paperprogs.WAWStores, "waw_foo"},
+		{paperprogs.LoadNarrow, "narrow_foo"},
+		{paperprogs.CallExample, "call_example"},
+		{paperprogs.AllocaExample, "alloca_example"},
+	} {
+		_, res := compile(t, tc.src, tc.fn, Options{})
+		text := (&vx86.Program{Funcs: []*vx86.Function{res.Fn}}).String()
+		if _, err := vx86.Parse(text); err != nil {
+			t.Errorf("%s: compiled output does not parse: %v\n%s", tc.fn, err, text)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package isel
+
+import (
+	"repro/internal/llvmir"
+	"repro/internal/vx86"
+)
+
+// foldCast evaluates a cast instruction over a constant operand.
+func foldCast(in *llvmir.Instr, v uint64, srcBits int) uint64 {
+	maskTo := func(val uint64, bits int) uint64 {
+		if bits >= 64 {
+			return val
+		}
+		return val & ((1 << bits) - 1)
+	}
+	switch in.Op {
+	case llvmir.OpSExt:
+		if srcBits < 64 && v&(1<<(srcBits-1)) != 0 {
+			v |= ^uint64(0) << srcBits
+		}
+	}
+	dstBits := 64
+	if it, ok := in.Ty.(llvmir.IntType); ok {
+		dstBits = it.Bits
+	}
+	return maskTo(v, dstBits)
+}
+
+// storeInfo summarizes a constant store to a symbol-addressed location —
+// the shape the store-merging peephole operates on (Figure 8's stores).
+type storeInfo struct {
+	idx  int
+	sym  string
+	off  int64
+	size int64
+	val  uint64
+}
+
+func (s storeInfo) overlaps(t storeInfo) bool {
+	return s.sym == t.sym && s.off < t.off+t.size && t.off < s.off+s.size
+}
+
+// contiguousWith reports whether s followed by t (or t followed by s)
+// forms one contiguous range, and returns the combined store.
+func combine(a, b storeInfo) (storeInfo, bool) {
+	if a.sym != b.sym || a.size+b.size > 8 {
+		return storeInfo{}, false
+	}
+	lo, hi := a, b
+	if b.off < a.off {
+		lo, hi = b, a
+	}
+	if lo.off+lo.size != hi.off {
+		return storeInfo{}, false
+	}
+	sz := lo.size + hi.size
+	if sz != 2 && sz != 4 && sz != 8 {
+		return storeInfo{}, false
+	}
+	val := lo.val&((1<<(8*lo.size))-1) | hi.val<<(8*lo.size)
+	return storeInfo{sym: lo.sym, off: lo.off, size: sz, val: val}, true
+}
+
+// mergeStores merges pairs of adjacent constant stores within a block into
+// wider stores (the SelectionDAG store-merging optimization the WAW bug of
+// Figures 8/9 lived in).
+//
+// Correct variant (buggy=false, Figure 9c): the later store is hoisted up
+// to the earlier store's position; legal only when no intervening store
+// overlaps the *later* store's range (hoisting it cannot then change any
+// byte's final writer), and when neither store overlaps the other.
+//
+// Buggy variant (buggy=true, Figure 9b): the merge is placed at the later
+// store's position, sinking the earlier store past intervening stores with
+// no overlap check — reversing write-after-write dependencies exactly as
+// the reintroduced LLVM bug did.
+func mergeStores(b *vx86.Block, buggy bool) {
+	for {
+		if !mergeOnce(b, buggy) {
+			return
+		}
+	}
+}
+
+func mergeOnce(b *vx86.Block, buggy bool) bool {
+	var stores []storeInfo
+	for i, in := range b.Instrs {
+		if in.Op != vx86.OpStore || in.Addr == nil || in.Addr.Sym == "" {
+			continue
+		}
+		if len(in.Srcs) != 1 || in.Srcs[0].Kind != vx86.OImm {
+			continue
+		}
+		stores = append(stores, storeInfo{
+			idx:  i,
+			sym:  in.Addr.Sym,
+			off:  in.Addr.Off,
+			size: int64(in.Size),
+			val:  uint64(in.Srcs[0].Imm),
+		})
+	}
+	for i := 0; i < len(stores); i++ {
+		for j := i + 1; j < len(stores); j++ {
+			a, c := stores[i], stores[j]
+			merged, ok := combine(a, c)
+			if !ok {
+				continue
+			}
+			if !buggy {
+				// Hoisting c up to a's position: every intervening store
+				// must be disjoint from c's range.
+				legal := true
+				for _, k := range stores[i+1 : j] {
+					if k.overlaps(c) {
+						legal = false
+						break
+					}
+				}
+				// Also require the pair itself to be disjoint (combine
+				// already guarantees it, but keep the check explicit).
+				if a.overlaps(c) {
+					legal = false
+				}
+				if !legal {
+					continue
+				}
+				replaceStore(b, a.idx, merged)
+				removeInstr(b, c.idx)
+				return true
+			}
+			// Buggy: merge at the LATER position, no overlap check against
+			// intervening stores — sinks `a` past them.
+			replaceStore(b, c.idx, merged)
+			removeInstr(b, a.idx)
+			return true
+		}
+	}
+	return false
+}
+
+func replaceStore(b *vx86.Block, idx int, s storeInfo) {
+	b.Instrs[idx] = &vx86.Instr{
+		Op:   vx86.OpStore,
+		Addr: &vx86.Addr{Sym: s.sym, Off: s.off},
+		Size: int(s.size),
+		Srcs: []vx86.Operand{vx86.ImmOp(int64(s.val))},
+	}
+}
+
+func removeInstr(b *vx86.Block, idx int) {
+	b.Instrs = append(b.Instrs[:idx], b.Instrs[idx+1:]...)
+}

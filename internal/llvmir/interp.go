@@ -1,0 +1,475 @@
+package llvmir
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// UBError reports that execution reached undefined behavior. Kind is one
+// of "oob", "overflow", "divzero" — the error-state taxonomy shared with
+// the symbolic semantics (paper §4.6).
+type UBError struct {
+	Kind   string
+	Detail string
+}
+
+func (e *UBError) Error() string {
+	return fmt.Sprintf("llvmir: undefined behavior (%s): %s", e.Kind, e.Detail)
+}
+
+// Interp is a concrete reference interpreter over the common memory model.
+// It defines the ground-truth behavior the symbolic semantics must agree
+// with (checked by differential property tests).
+type Interp struct {
+	Mod    *Module
+	Mem    *mem.Concrete
+	Layout *mem.Layout
+	// MaxSteps bounds total executed instructions (0 = 1e6).
+	MaxSteps int
+	// Externals supplies behavior for declared-only functions.
+	Externals map[string]func(args []uint64) uint64
+
+	steps   int
+	allocaN int
+}
+
+// NewInterp builds an interpreter with a fresh layout holding the module's
+// globals (initialized contents written to memory).
+func NewInterp(m *Module) *Interp {
+	layout := mem.NewLayout()
+	cm := mem.NewConcrete(layout)
+	for _, g := range m.Globals {
+		o := layout.Alloc("@"+g.Name, uint64(SizeOf(g.Type)))
+		for i, b := range g.Init {
+			// Initializer writes bypass no checks: they are in range.
+			if err := cm.Store(o.Base+uint64(i), 1, uint64(b)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return &Interp{Mod: m, Mem: cm, Layout: layout, MaxSteps: 1 << 20}
+}
+
+type frame struct {
+	fn   *Function
+	regs map[string]uint64
+}
+
+func maskBits(v uint64, bits int) uint64 {
+	if bits >= 64 {
+		return v
+	}
+	return v & ((1 << bits) - 1)
+}
+
+func sext(v uint64, bits int) int64 {
+	if bits >= 64 {
+		return int64(v)
+	}
+	if v&(1<<(bits-1)) != 0 {
+		return int64(v | ^uint64(0)<<bits)
+	}
+	return int64(v)
+}
+
+// Call runs the named function on the given argument values and returns
+// its result (0 for void functions).
+func (in *Interp) Call(name string, args []uint64) (uint64, error) {
+	f := in.Mod.Func(name)
+	if f == nil || !f.Defined() {
+		if ext, ok := in.Externals[name]; ok {
+			return ext(args), nil
+		}
+		return 0, fmt.Errorf("llvmir: call to unavailable function @%s", name)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("llvmir: @%s called with %d args, want %d", name, len(args), len(f.Params))
+	}
+	fr := &frame{fn: f, regs: make(map[string]uint64, len(f.Params))}
+	for i, p := range f.Params {
+		bits, err := BitsOf(p.Ty)
+		if err != nil {
+			return 0, err
+		}
+		fr.regs[p.Name] = maskBits(args[i], bits)
+	}
+	return in.run(fr)
+}
+
+func (in *Interp) run(fr *frame) (uint64, error) {
+	blk := fr.fn.Entry()
+	prev := ""
+	idx := 0
+	for {
+		if in.steps++; in.steps > in.maxSteps() {
+			return 0, errors.New("llvmir: step budget exhausted")
+		}
+		if idx >= len(blk.Instrs) {
+			return 0, fmt.Errorf("llvmir: fell off block %%%s", blk.Name)
+		}
+		ins := blk.Instrs[idx]
+
+		// Phis execute in parallel on block entry.
+		if ins.Op == OpPhi {
+			updates := make(map[string]uint64)
+			for idx < len(blk.Instrs) && blk.Instrs[idx].Op == OpPhi {
+				phi := blk.Instrs[idx]
+				found := false
+				for _, inc := range phi.Incoming {
+					if inc.Pred == prev {
+						v, err := in.value(fr, inc.Val)
+						if err != nil {
+							return 0, err
+						}
+						updates[phi.Name] = v
+						found = true
+						break
+					}
+				}
+				if !found {
+					return 0, fmt.Errorf("llvmir: phi %%%s has no incoming for predecessor %%%s", phi.Name, prev)
+				}
+				idx++
+			}
+			for k, v := range updates {
+				fr.regs[k] = v
+			}
+			continue
+		}
+
+		switch ins.Op {
+		case OpBr:
+			prev, blk, idx = blk.Name, fr.fn.BlockByName(ins.Labels[0]), 0
+			continue
+		case OpCondBr:
+			c, err := in.value(fr, ins.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			target := ins.Labels[1]
+			if c&1 == 1 {
+				target = ins.Labels[0]
+			}
+			prev, blk, idx = blk.Name, fr.fn.BlockByName(target), 0
+			continue
+		case OpRet:
+			if len(ins.Args) == 0 {
+				return 0, nil
+			}
+			return in.value(fr, ins.Args[0])
+		case OpCall:
+			args := make([]uint64, len(ins.Args))
+			for i, a := range ins.Args {
+				v, err := in.value(fr, a)
+				if err != nil {
+					return 0, err
+				}
+				args[i] = v
+			}
+			ret, err := in.Call(ins.Callee, args)
+			if err != nil {
+				return 0, err
+			}
+			if ins.Name != "" {
+				bits, err := BitsOf(ins.Ty)
+				if err != nil {
+					return 0, err
+				}
+				fr.regs[ins.Name] = maskBits(ret, bits)
+			}
+			idx++
+			continue
+		}
+
+		v, err := in.exec(fr, ins)
+		if err != nil {
+			return 0, err
+		}
+		if ins.Name != "" {
+			fr.regs[ins.Name] = v
+		}
+		idx++
+	}
+}
+
+func (in *Interp) maxSteps() int {
+	if in.MaxSteps == 0 {
+		return 1 << 20
+	}
+	return in.MaxSteps
+}
+
+// value evaluates an operand.
+func (in *Interp) value(fr *frame, v Value) (uint64, error) {
+	switch v.Kind {
+	case VInt:
+		return v.Int, nil
+	case VReg:
+		val, ok := fr.regs[v.Name]
+		if !ok {
+			return 0, fmt.Errorf("llvmir: read of undefined register %%%s", v.Name)
+		}
+		return val, nil
+	case VGlobal:
+		o, ok := in.Layout.Find("@" + v.Name)
+		if !ok {
+			return 0, fmt.Errorf("llvmir: unknown global @%s", v.Name)
+		}
+		return o.Base + v.Off, nil
+	}
+	return 0, fmt.Errorf("llvmir: bad operand kind %d", v.Kind)
+}
+
+// exec evaluates a non-control instruction.
+func (in *Interp) exec(fr *frame, ins *Instr) (uint64, error) {
+	val := func(i int) (uint64, error) { return in.value(fr, ins.Args[i]) }
+	switch ins.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		a, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := val(1)
+		if err != nil {
+			return 0, err
+		}
+		bits := ins.Ty.(IntType).Bits
+		return in.arith(ins, a, b, bits)
+	case OpICmp:
+		a, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		b, err := val(1)
+		if err != nil {
+			return 0, err
+		}
+		bits := 64
+		if it, ok := ins.Ty.(IntType); ok {
+			bits = it.Bits
+		}
+		return cmp(ins.Pred, a, b, bits), nil
+	case OpTrunc, OpPtrToInt:
+		a, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		return maskBits(a, ins.Ty.(IntType).Bits), nil
+	case OpZExt, OpBitcast, OpIntToPtr:
+		return val(0)
+	case OpSExt:
+		a, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		src := ins.SrcTy.(IntType).Bits
+		dst := ins.Ty.(IntType).Bits
+		return maskBits(uint64(sext(a, src)), dst), nil
+	case OpGEP:
+		base, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		off := int64(0)
+		cur := ins.SrcTy
+		for i, idxV := range ins.Args[1:] {
+			iv, err := in.value(fr, idxV)
+			if err != nil {
+				return 0, err
+			}
+			bits := 64
+			if it, ok := idxV.Ty.(IntType); ok {
+				bits = it.Bits
+			}
+			s := sext(iv, bits)
+			if i == 0 {
+				off += s * int64(SizeOf(cur))
+				continue
+			}
+			switch t := cur.(type) {
+			case ArrayType:
+				off += s * int64(SizeOf(t.Elem))
+				cur = t.Elem
+			default:
+				return 0, fmt.Errorf("llvmir: gep into non-array at runtime")
+			}
+		}
+		return base + uint64(off), nil
+	case OpLoad:
+		addr, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		size := SizeOf(ins.Ty)
+		v, err := in.Mem.Load(addr, size)
+		if err != nil {
+			var oob *mem.ErrOOB
+			if errors.As(err, &oob) {
+				return 0, &UBError{Kind: "oob", Detail: err.Error()}
+			}
+			return 0, err
+		}
+		if bits, berr := BitsOf(ins.Ty); berr == nil {
+			v = maskBits(v, bits)
+		}
+		return v, nil
+	case OpStore:
+		v, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		addr, err := val(1)
+		if err != nil {
+			return 0, err
+		}
+		size := SizeOf(ins.Ty)
+		if err := in.Mem.Store(addr, size, v); err != nil {
+			var oob *mem.ErrOOB
+			if errors.As(err, &oob) {
+				return 0, &UBError{Kind: "oob", Detail: err.Error()}
+			}
+			return 0, err
+		}
+		return 0, nil
+	case OpAlloca:
+		in.allocaN++
+		o := in.Layout.Alloc(fmt.Sprintf("%%%s.%s.%d", fr.fn.Name, ins.Name, in.allocaN),
+			uint64(SizeOf(ins.Ty)))
+		return o.Base, nil
+	case OpSelect:
+		c, err := val(0)
+		if err != nil {
+			return 0, err
+		}
+		if c&1 == 1 {
+			return val(1)
+		}
+		return val(2)
+	}
+	return 0, fmt.Errorf("llvmir: exec of unsupported op %s", opNames[ins.Op])
+}
+
+func (in *Interp) arith(ins *Instr, a, b uint64, bits int) (uint64, error) {
+	m := func(v uint64) uint64 { return maskBits(v, bits) }
+	switch ins.Op {
+	case OpAdd:
+		r := m(a + b)
+		if ins.NSW && addOverflows(a, b, r, bits) {
+			return 0, &UBError{Kind: "overflow", Detail: ins.String()}
+		}
+		return r, nil
+	case OpSub:
+		r := m(a - b)
+		if ins.NSW && subOverflows(a, b, r, bits) {
+			return 0, &UBError{Kind: "overflow", Detail: ins.String()}
+		}
+		return r, nil
+	case OpMul:
+		r := m(a * b)
+		if ins.NSW && mulOverflows(a, b, bits) {
+			return 0, &UBError{Kind: "overflow", Detail: ins.String()}
+		}
+		return r, nil
+	case OpUDiv:
+		if b == 0 {
+			return 0, &UBError{Kind: "divzero", Detail: ins.String()}
+		}
+		return a / b, nil
+	case OpURem:
+		if b == 0 {
+			return 0, &UBError{Kind: "divzero", Detail: ins.String()}
+		}
+		return a % b, nil
+	case OpSDiv, OpSRem:
+		bm := maskBits(b, bits)
+		if bm == 0 {
+			return 0, &UBError{Kind: "divzero", Detail: ins.String()}
+		}
+		sa, sb := sext(a, bits), sext(b, bits)
+		if sa == -(int64(1)<<(bits-1)) && sb == -1 {
+			return 0, &UBError{Kind: "overflow", Detail: ins.String()}
+		}
+		if ins.Op == OpSDiv {
+			return m(uint64(sa / sb)), nil
+		}
+		return m(uint64(sa % sb)), nil
+	case OpAnd:
+		return a & b, nil
+	case OpOr:
+		return a | b, nil
+	case OpXor:
+		return a ^ b, nil
+	case OpShl:
+		if b >= uint64(bits) {
+			return 0, nil
+		}
+		return m(a << b), nil
+	case OpLShr:
+		if b >= uint64(bits) {
+			return 0, nil
+		}
+		return a >> b, nil
+	case OpAShr:
+		sh := b
+		if sh >= uint64(bits) {
+			sh = uint64(bits) - 1
+		}
+		return m(uint64(sext(a, bits) >> sh)), nil
+	}
+	return 0, fmt.Errorf("llvmir: bad arith op")
+}
+
+func addOverflows(a, b, r uint64, bits int) bool {
+	sa, sb, sr := sext(a, bits) < 0, sext(b, bits) < 0, sext(r, bits) < 0
+	return sa == sb && sr != sa
+}
+
+func subOverflows(a, b, r uint64, bits int) bool {
+	sa, sb, sr := sext(a, bits) < 0, sext(b, bits) < 0, sext(r, bits) < 0
+	return sa != sb && sr != sa
+}
+
+func mulOverflows(a, b uint64, bits int) bool {
+	if bits > 32 {
+		// Matches the symbolic semantics: 64-bit nsw mul is treated as
+		// non-overflowing (see smt.MulOverflowSigned).
+		return false
+	}
+	sa, sb := sext(a, bits), sext(b, bits)
+	p := sa * sb
+	return sext(maskBits(uint64(p), bits), bits) != p
+}
+
+func cmp(pred CmpPred, a, b uint64, bits int) uint64 {
+	am, bm := maskBits(a, bits), maskBits(b, bits)
+	sa, sb := sext(am, bits), sext(bm, bits)
+	var r bool
+	switch pred {
+	case CmpEQ:
+		r = am == bm
+	case CmpNE:
+		r = am != bm
+	case CmpULT:
+		r = am < bm
+	case CmpULE:
+		r = am <= bm
+	case CmpUGT:
+		r = am > bm
+	case CmpUGE:
+		r = am >= bm
+	case CmpSLT:
+		r = sa < sb
+	case CmpSLE:
+		r = sa <= sb
+	case CmpSGT:
+		r = sa > sb
+	case CmpSGE:
+		r = sa >= sb
+	}
+	if r {
+		return 1
+	}
+	return 0
+}

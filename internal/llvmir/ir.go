@@ -1,0 +1,368 @@
+package llvmir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Module is a translation unit: globals plus function definitions and
+// declarations.
+type Module struct {
+	Globals []*Global
+	Funcs   []*Function
+}
+
+// Func returns the function named name (defined or declared).
+func (m *Module) Func(name string) *Function {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Global returns the global named name.
+func (m *Module) Global(name string) *Global {
+	for _, g := range m.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Global is a module-level variable. Type is the pointee type; the global
+// symbol itself has type Type*.
+type Global struct {
+	Name     string // without the @ sigil
+	Type     Type
+	External bool
+	Init     []byte // little-endian initial contents; nil means zero
+}
+
+// Function is a definition (Blocks non-nil) or declaration (Blocks nil).
+type Function struct {
+	Name   string // without the @ sigil
+	Ret    Type
+	Params []Param
+	Blocks []*Block
+}
+
+// Param is a formal function parameter.
+type Param struct {
+	Name string // without the % sigil
+	Ty   Type
+}
+
+// Defined reports whether the function has a body.
+func (f *Function) Defined() bool { return len(f.Blocks) > 0 }
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// BlockByName returns the block with the given label.
+func (f *Function) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the total instruction count of the function, the code
+// size metric used for the Figure 7 distribution.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Block is a basic block: phis (if any) first, exactly one terminator last.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+}
+
+// Term returns the block's terminator instruction.
+func (b *Block) Term() *Instr { return b.Instrs[len(b.Instrs)-1] }
+
+// Opcode enumerates the supported instructions.
+type Opcode uint8
+
+// Opcodes of the modeled LLVM IR subset.
+const (
+	OpAdd Opcode = iota
+	OpSub
+	OpMul
+	OpUDiv
+	OpURem
+	OpSDiv
+	OpSRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+	OpICmp
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpBitcast
+	OpIntToPtr
+	OpPtrToInt
+	OpGEP
+	OpLoad
+	OpStore
+	OpAlloca
+	OpBr     // unconditional: Labels[0]
+	OpCondBr // Args[0] is the i1 condition; Labels[0]=true, Labels[1]=false
+	OpRet    // Args[0] optional
+	OpCall
+	OpPhi
+	OpSelect
+)
+
+var opNames = map[Opcode]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpUDiv: "udiv", OpURem: "urem",
+	OpSDiv: "sdiv", OpSRem: "srem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpLShr: "lshr",
+	OpAShr: "ashr", OpICmp: "icmp", OpTrunc: "trunc", OpZExt: "zext",
+	OpSExt: "sext", OpBitcast: "bitcast", OpIntToPtr: "inttoptr",
+	OpPtrToInt: "ptrtoint", OpGEP: "getelementptr", OpLoad: "load",
+	OpStore: "store", OpAlloca: "alloca", OpBr: "br", OpCondBr: "br",
+	OpRet: "ret", OpCall: "call", OpPhi: "phi", OpSelect: "select",
+}
+
+// CmpPred is an icmp predicate.
+type CmpPred uint8
+
+// icmp predicates.
+const (
+	CmpEQ CmpPred = iota
+	CmpNE
+	CmpULT
+	CmpULE
+	CmpUGT
+	CmpUGE
+	CmpSLT
+	CmpSLE
+	CmpSGT
+	CmpSGE
+)
+
+var predNames = map[CmpPred]string{
+	CmpEQ: "eq", CmpNE: "ne", CmpULT: "ult", CmpULE: "ule", CmpUGT: "ugt",
+	CmpUGE: "uge", CmpSLT: "slt", CmpSLE: "sle", CmpSGT: "sgt", CmpSGE: "sge",
+}
+
+var predByName = func() map[string]CmpPred {
+	m := make(map[string]CmpPred, len(predNames))
+	for k, v := range predNames {
+		m[v] = k
+	}
+	return m
+}()
+
+// PhiIn is one incoming (value, predecessor) pair of a phi.
+type PhiIn struct {
+	Val  Value
+	Pred string
+}
+
+// Instr is one instruction.
+//
+// Field usage by opcode:
+//
+//	arith/bitwise:  Ty operand type, Args[0..1], NSW for add/sub/mul
+//	icmp:           Pred, Ty operand type, Args[0..1]; result is i1
+//	casts:          SrcTy → Ty, Args[0]
+//	gep:            SrcTy base pointee type, Args[0] base ptr, Args[1..] indices
+//	load:           Ty loaded type, Args[0] pointer
+//	store:          Ty stored type, Args[0] value, Args[1] pointer
+//	alloca:         Ty allocated type
+//	br/condbr:      Labels; Args[0] condition for condbr
+//	ret:            Args[0] unless void
+//	call:           Callee, Ty return type, Args arguments
+//	phi:            Ty, Incoming
+//	select:         Ty, Args[0] cond (i1), Args[1] true value, Args[2] false
+type Instr struct {
+	Op       Opcode
+	Name     string // result register (without %); "" when none
+	Ty       Type
+	SrcTy    Type
+	Args     []Value
+	Labels   []string
+	Incoming []PhiIn
+	Pred     CmpPred
+	NSW      bool
+	Callee   string
+}
+
+// VKind classifies operand values.
+type VKind uint8
+
+// Value kinds.
+const (
+	VInt    VKind = iota // integer constant
+	VReg                 // virtual register reference
+	VGlobal              // address of a global plus a constant byte offset
+)
+
+// Value is an instruction operand.
+type Value struct {
+	Kind VKind
+	Ty   Type
+	Int  uint64 // VInt: the constant
+	Name string // VReg / VGlobal
+	Off  uint64 // VGlobal: folded constant-GEP byte offset
+}
+
+// IntV builds an integer-constant operand.
+func IntV(ty Type, v uint64) Value { return Value{Kind: VInt, Ty: ty, Int: v} }
+
+// RegV builds a register operand.
+func RegV(ty Type, name string) Value { return Value{Kind: VReg, Ty: ty, Name: name} }
+
+// GlobalV builds a global-address operand.
+func GlobalV(ty Type, name string, off uint64) Value {
+	return Value{Kind: VGlobal, Ty: ty, Name: name, Off: off}
+}
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VInt:
+		return fmt.Sprintf("%d", int64(v.Int))
+	case VReg:
+		return "%" + v.Name
+	case VGlobal:
+		if v.Off == 0 {
+			return "@" + v.Name
+		}
+		return fmt.Sprintf("@%s+%d", v.Name, v.Off)
+	}
+	return "<bad value>"
+}
+
+// String renders the instruction in .ll-like syntax (diagnostic oriented;
+// constant-GEP operands print in the folded @g+off form).
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.Name != "" {
+		fmt.Fprintf(&b, "%%%s = ", in.Name)
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		nsw := ""
+		if in.NSW {
+			nsw = "nsw "
+		}
+		fmt.Fprintf(&b, "%s %s%s %s, %s", opNames[in.Op], nsw, in.Ty, in.Args[0], in.Args[1])
+	case OpICmp:
+		fmt.Fprintf(&b, "icmp %s %s %s, %s", predNames[in.Pred], in.Ty, in.Args[0], in.Args[1])
+	case OpTrunc, OpZExt, OpSExt, OpBitcast, OpIntToPtr, OpPtrToInt:
+		fmt.Fprintf(&b, "%s %s %s to %s", opNames[in.Op], in.SrcTy, in.Args[0], in.Ty)
+	case OpGEP:
+		fmt.Fprintf(&b, "getelementptr inbounds %s, %s %s", in.SrcTy, in.Args[0].Ty, in.Args[0])
+		for _, a := range in.Args[1:] {
+			fmt.Fprintf(&b, ", %s %s", a.Ty, a)
+		}
+	case OpLoad:
+		fmt.Fprintf(&b, "load %s, %s %s", in.Ty, in.Args[0].Ty, in.Args[0])
+	case OpStore:
+		fmt.Fprintf(&b, "store %s %s, %s %s", in.Ty, in.Args[0], in.Args[1].Ty, in.Args[1])
+	case OpAlloca:
+		fmt.Fprintf(&b, "alloca %s", in.Ty)
+	case OpBr:
+		fmt.Fprintf(&b, "br label %%%s", in.Labels[0])
+	case OpCondBr:
+		fmt.Fprintf(&b, "br i1 %s, label %%%s, label %%%s", in.Args[0], in.Labels[0], in.Labels[1])
+	case OpRet:
+		if len(in.Args) == 0 {
+			b.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&b, "ret %s %s", in.Ty, in.Args[0])
+		}
+	case OpCall:
+		fmt.Fprintf(&b, "call %s @%s(", in.Ty, in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s %s", a.Ty, a)
+		}
+		b.WriteByte(')')
+	case OpPhi:
+		fmt.Fprintf(&b, "phi %s ", in.Ty)
+		for i, inc := range in.Incoming {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "[ %s, %%%s ]", inc.Val, inc.Pred)
+		}
+	case OpSelect:
+		fmt.Fprintf(&b, "select i1 %s, %s %s, %s %s", in.Args[0], in.Ty, in.Args[1], in.Ty, in.Args[2])
+	default:
+		fmt.Fprintf(&b, "<op %d>", in.Op)
+	}
+	return b.String()
+}
+
+// IsTerminator reports whether the instruction ends a block.
+func (in *Instr) IsTerminator() bool {
+	switch in.Op {
+	case OpBr, OpCondBr, OpRet:
+		return true
+	}
+	return false
+}
+
+// String renders the module in parseable .ll-subset syntax.
+func (m *Module) String() string {
+	var b strings.Builder
+	for _, g := range m.Globals {
+		if g.External {
+			fmt.Fprintf(&b, "@%s = external global %s\n", g.Name, g.Type)
+		} else {
+			fmt.Fprintf(&b, "@%s = global %s zeroinitializer\n", g.Name, g.Type)
+		}
+	}
+	for _, f := range m.Funcs {
+		if !f.Defined() {
+			fmt.Fprintf(&b, "declare %s @%s(%s)\n", f.Ret, f.Name, paramTypes(f))
+			continue
+		}
+		fmt.Fprintf(&b, "define %s @%s(%s) {\n", f.Ret, f.Name, paramList(f))
+		for i, blk := range f.Blocks {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", in)
+			}
+		}
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func paramTypes(f *Function) string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.Ty.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+func paramList(f *Function) string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = fmt.Sprintf("%s %%%s", p.Ty, p.Name)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,925 @@
+package llvmir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a module in the supported .ll subset. See the package
+// comment for the covered language; notable syntax:
+//
+//	@g = external global [8 x i8]
+//	@a = global i48 zeroinitializer
+//	declare i32 @callee(i32)
+//	define i32 @f(i32 %x) { ... }
+//
+// Operands may be registers, integer literals, globals, and the constant
+// expressions `getelementptr inbounds (...)` and `bitcast (... to T)`,
+// which are folded to global+offset form at parse time.
+func Parse(src string) (*Module, error) {
+	p := &parser{lex: newLexer(src)}
+	m, err := p.module()
+	if err != nil {
+		return nil, fmt.Errorf("llvmir: line %d: %w", p.lex.line, err)
+	}
+	return m, nil
+}
+
+// ParseFunction parses a module and returns its sole defined function
+// (convenience for tests and examples).
+func ParseFunction(src string) (*Function, error) {
+	m, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var found *Function
+	for _, f := range m.Funcs {
+		if f.Defined() {
+			if found != nil {
+				return nil, fmt.Errorf("llvmir: multiple function definitions")
+			}
+			found = f
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("llvmir: no function definition")
+	}
+	return found, nil
+}
+
+// --- Lexer ---
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tWord
+	tLocal  // %name
+	tGlobal // @name
+	tInt
+	tPunct // single-rune punctuation
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	tok  token
+}
+
+func newLexer(src string) *lexer {
+	l := &lexer{src: src, line: 1}
+	l.next()
+	return l
+}
+
+func (l *lexer) next() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == ';': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	if l.pos >= len(l.src) {
+		l.tok = token{kind: tEOF}
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '%' || c == '@':
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start+1 : l.pos]
+		if c == '%' {
+			l.tok = token{kind: tLocal, text: text}
+		} else {
+			l.tok = token{kind: tGlobal, text: text}
+		}
+	case c == '-' || c >= '0' && c <= '9':
+		start := l.pos
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+		n, err := strconv.ParseInt(l.src[start:l.pos], 10, 64)
+		if err != nil {
+			// Out-of-range literal: parse as unsigned.
+			u, uerr := strconv.ParseUint(l.src[start:l.pos], 10, 64)
+			if uerr != nil {
+				l.tok = token{kind: tPunct, text: l.src[start:l.pos]}
+				return
+			}
+			n = int64(u)
+		}
+		l.tok = token{kind: tInt, num: n, text: l.src[start:l.pos]}
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		l.tok = token{kind: tWord, text: l.src[start:l.pos]}
+	default:
+		l.pos++
+		l.tok = token{kind: tPunct, text: string(c)}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' || c == '-' || unicode.IsLetter(rune(c)) || c >= '0' && c <= '9'
+}
+
+// --- Parser ---
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) tok() token { return p.lex.tok }
+func (p *parser) advance()   { p.lex.next() }
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.tok()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) eat(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	t := p.tok()
+	if !p.at(k, text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("<%d>", k)
+		}
+		return t, fmt.Errorf("expected %q, found %q", want, t.text)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) module() (*Module, error) {
+	m := &Module{}
+	for !p.at(tEOF, "") {
+		switch {
+		case p.tok().kind == tGlobal:
+			g, err := p.global()
+			if err != nil {
+				return nil, err
+			}
+			m.Globals = append(m.Globals, g)
+		case p.at(tWord, "define"):
+			f, err := p.define()
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, f)
+		case p.at(tWord, "declare"):
+			f, err := p.declare()
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, f)
+		default:
+			return nil, fmt.Errorf("unexpected top-level token %q", p.tok().text)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) global() (*Global, error) {
+	name := p.tok().text
+	p.advance()
+	if _, err := p.expect(tPunct, "="); err != nil {
+		return nil, err
+	}
+	g := &Global{Name: name}
+	if p.eat(tWord, "external") {
+		g.External = true
+	}
+	// Accept and ignore common linkage/attribute words.
+	for p.at(tWord, "private") || p.at(tWord, "internal") || p.at(tWord, "constant") ||
+		p.at(tWord, "unnamed_addr") || p.at(tWord, "dso_local") {
+		p.advance()
+	}
+	if !p.eat(tWord, "global") {
+		return nil, fmt.Errorf("expected 'global' in definition of @%s", name)
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	g.Type = ty
+	// Optional initializer: zeroinitializer or an integer for int types.
+	if !g.External {
+		switch {
+		case p.eat(tWord, "zeroinitializer"):
+		case p.tok().kind == tInt:
+			v := uint64(p.tok().num)
+			p.advance()
+			size := SizeOf(ty)
+			g.Init = make([]byte, size)
+			for i := 0; i < size && i < 8; i++ {
+				g.Init[i] = byte(v >> (8 * i))
+			}
+		}
+	}
+	// Optional ", align N".
+	p.skipAlign()
+	return g, nil
+}
+
+func (p *parser) skipAlign() {
+	if p.at(tPunct, ",") {
+		// Only consume if followed by align.
+		save := *p.lex
+		p.advance()
+		if p.eat(tWord, "align") {
+			if p.tok().kind == tInt {
+				p.advance()
+			}
+			return
+		}
+		*p.lex = save
+	}
+}
+
+func (p *parser) declare() (*Function, error) {
+	p.advance() // declare
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tGlobal, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &Function{Name: name.text, Ret: ret}
+	for !p.eat(tPunct, ")") {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pname := ""
+		if p.tok().kind == tLocal {
+			pname = p.tok().text
+			p.advance()
+		}
+		f.Params = append(f.Params, Param{Name: pname, Ty: ty})
+		if !p.eat(tPunct, ",") && !p.at(tPunct, ")") {
+			return nil, fmt.Errorf("expected ',' or ')' in parameter list")
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) define() (*Function, error) {
+	f, err := p.declare() // same header shape after the keyword
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	for !p.eat(tPunct, "}") {
+		blk, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		f.Blocks = append(f.Blocks, blk)
+	}
+	return f, nil
+}
+
+func (p *parser) block() (*Block, error) {
+	// Label: word ':' — the entry block label may be implicit in real
+	// LLVM, but this subset requires explicit labels.
+	lbl := p.tok()
+	if lbl.kind != tWord {
+		return nil, fmt.Errorf("expected block label, found %q", lbl.text)
+	}
+	p.advance()
+	if _, err := p.expect(tPunct, ":"); err != nil {
+		return nil, err
+	}
+	blk := &Block{Name: lbl.text}
+	for {
+		in, err := p.instr()
+		if err != nil {
+			return nil, fmt.Errorf("block %%%s: %w", blk.Name, err)
+		}
+		blk.Instrs = append(blk.Instrs, in)
+		if in.IsTerminator() {
+			return blk, nil
+		}
+	}
+}
+
+func (p *parser) parseType() (Type, error) {
+	var base Type
+	t := p.tok()
+	switch {
+	case t.kind == tWord && t.text == "void":
+		p.advance()
+		base = VoidType{}
+	case t.kind == tWord && strings.HasPrefix(t.text, "i"):
+		bits, err := strconv.Atoi(t.text[1:])
+		if err != nil || bits < 1 || bits > 64 {
+			return nil, fmt.Errorf("unsupported type %q", t.text)
+		}
+		p.advance()
+		base = IntType{bits}
+	case t.kind == tPunct && t.text == "[":
+		p.advance()
+		n := p.tok()
+		if n.kind != tInt || n.num < 0 {
+			return nil, fmt.Errorf("bad array length %q", n.text)
+		}
+		p.advance()
+		if _, err := p.expect(tWord, "x"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "]"); err != nil {
+			return nil, err
+		}
+		base = ArrayType{N: int(n.num), Elem: elem}
+	case t.kind == tPunct && t.text == "{":
+		p.advance()
+		st := StructType{}
+		for !p.eat(tPunct, "}") {
+			f, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			st.Fields = append(st.Fields, f)
+			if !p.eat(tPunct, ",") && !p.at(tPunct, "}") {
+				return nil, fmt.Errorf("expected ',' or '}' in struct type")
+			}
+		}
+		base = st
+	default:
+		return nil, fmt.Errorf("expected type, found %q", t.text)
+	}
+	for p.eat(tPunct, "*") {
+		base = PtrType{Elem: base}
+	}
+	return base, nil
+}
+
+// operand parses a value of the given (already parsed) type.
+func (p *parser) operand(ty Type) (Value, error) {
+	t := p.tok()
+	switch {
+	case t.kind == tLocal:
+		p.advance()
+		return RegV(ty, t.text), nil
+	case t.kind == tInt:
+		p.advance()
+		bits := 64
+		if it, ok := ty.(IntType); ok {
+			bits = it.Bits
+		}
+		v := uint64(t.num)
+		if bits < 64 {
+			v &= (1 << bits) - 1
+		}
+		return IntV(ty, v), nil
+	case t.kind == tGlobal:
+		p.advance()
+		return GlobalV(ty, t.text, 0), nil
+	case t.kind == tWord && (t.text == "getelementptr" || t.text == "bitcast"):
+		return p.constExpr(ty)
+	case t.kind == tWord && t.text == "true":
+		p.advance()
+		return IntV(ty, 1), nil
+	case t.kind == tWord && t.text == "false":
+		p.advance()
+		return IntV(ty, 0), nil
+	case t.kind == tWord && t.text == "null":
+		p.advance()
+		return IntV(ty, 0), nil
+	}
+	return Value{}, fmt.Errorf("expected operand, found %q", t.text)
+}
+
+// constExpr parses `getelementptr inbounds (T, T* @g, idx...)` or
+// `bitcast (<expr> to T)` and folds it to a global+offset value.
+func (p *parser) constExpr(ty Type) (Value, error) {
+	switch {
+	case p.eat(tWord, "getelementptr"):
+		p.eat(tWord, "inbounds")
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return Value{}, err
+		}
+		baseTy, err := p.parseType()
+		if err != nil {
+			return Value{}, err
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return Value{}, err
+		}
+		ptrTy, err := p.parseType()
+		if err != nil {
+			return Value{}, err
+		}
+		base, err := p.operand(ptrTy)
+		if err != nil {
+			return Value{}, err
+		}
+		if base.Kind != VGlobal {
+			return Value{}, fmt.Errorf("constant gep base must be a global")
+		}
+		var idxs []int64
+		for p.eat(tPunct, ",") {
+			ity, err := p.parseType()
+			if err != nil {
+				return Value{}, err
+			}
+			_ = ity
+			it := p.tok()
+			if it.kind != tInt {
+				return Value{}, fmt.Errorf("constant gep index must be an integer")
+			}
+			p.advance()
+			idxs = append(idxs, it.num)
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return Value{}, err
+		}
+		off, _, err := foldGEP(baseTy, idxs)
+		if err != nil {
+			return Value{}, err
+		}
+		return GlobalV(ty, base.Name, base.Off+uint64(off)), nil
+
+	case p.eat(tWord, "bitcast"):
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return Value{}, err
+		}
+		innerTy, err := p.parseType()
+		if err != nil {
+			return Value{}, err
+		}
+		v, err := p.operand(innerTy)
+		if err != nil {
+			return Value{}, err
+		}
+		if _, err := p.expect(tWord, "to"); err != nil {
+			return Value{}, err
+		}
+		toTy, err := p.parseType()
+		if err != nil {
+			return Value{}, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return Value{}, err
+		}
+		v.Ty = toTy
+		return v, nil
+	}
+	return Value{}, fmt.Errorf("unsupported constant expression %q", p.tok().text)
+}
+
+// foldGEP computes the byte offset of constant indices into baseTy. The
+// first index scales by the whole base type; the rest descend into it.
+// Returns the offset and the final element type.
+func foldGEP(baseTy Type, idxs []int64) (int64, Type, error) {
+	if len(idxs) == 0 {
+		return 0, baseTy, nil
+	}
+	off := idxs[0] * int64(SizeOf(baseTy))
+	cur := baseTy
+	for _, ix := range idxs[1:] {
+		switch t := cur.(type) {
+		case ArrayType:
+			off += ix * int64(SizeOf(t.Elem))
+			cur = t.Elem
+		case StructType:
+			if ix < 0 || int(ix) >= len(t.Fields) {
+				return 0, nil, fmt.Errorf("struct gep index %d out of range", ix)
+			}
+			off += int64(FieldOffset(t, int(ix)))
+			cur = t.Fields[int(ix)]
+		default:
+			return 0, nil, fmt.Errorf("gep descends into non-aggregate %s", cur)
+		}
+	}
+	return off, cur, nil
+}
+
+func (p *parser) instr() (*Instr, error) {
+	name := ""
+	if p.tok().kind == tLocal {
+		name = p.tok().text
+		p.advance()
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+	}
+	op := p.tok()
+	if op.kind != tWord {
+		return nil, fmt.Errorf("expected opcode, found %q", op.text)
+	}
+	p.advance()
+	switch op.text {
+	case "add", "sub", "mul", "udiv", "urem", "sdiv", "srem", "and", "or", "xor", "shl", "lshr", "ashr":
+		return p.binop(name, op.text)
+	case "icmp":
+		return p.icmp(name)
+	case "trunc", "zext", "sext", "bitcast", "inttoptr", "ptrtoint":
+		return p.cast(name, op.text)
+	case "getelementptr":
+		return p.gep(name)
+	case "load":
+		return p.load(name)
+	case "store":
+		return p.store()
+	case "alloca":
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		p.skipAlign()
+		return &Instr{Op: OpAlloca, Name: name, Ty: ty}, nil
+	case "br":
+		return p.br()
+	case "ret":
+		return p.ret()
+	case "call":
+		return p.call(name)
+	case "phi":
+		return p.phi(name)
+	case "select":
+		return p.sel(name)
+	}
+	return nil, fmt.Errorf("unsupported opcode %q", op.text)
+}
+
+var binOps = map[string]Opcode{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "udiv": OpUDiv, "urem": OpURem,
+	"sdiv": OpSDiv, "srem": OpSRem,
+	"and": OpAnd, "or": OpOr, "xor": OpXor, "shl": OpShl, "lshr": OpLShr,
+	"ashr": OpAShr,
+}
+
+func (p *parser) binop(name, opText string) (*Instr, error) {
+	in := &Instr{Op: binOps[opText], Name: name}
+	if p.eat(tWord, "nsw") {
+		in.NSW = true
+	}
+	p.eat(tWord, "nuw") // accepted, treated as plain wrap-around
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	in.Ty = ty
+	a, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	b, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	in.Args = []Value{a, b}
+	return in, nil
+}
+
+func (p *parser) icmp(name string) (*Instr, error) {
+	predTok := p.tok()
+	pred, ok := predByName[predTok.text]
+	if !ok {
+		return nil, fmt.Errorf("unknown icmp predicate %q", predTok.text)
+	}
+	p.advance()
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	b, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	return &Instr{Op: OpICmp, Name: name, Ty: ty, Pred: pred, Args: []Value{a, b}}, nil
+}
+
+var castOps = map[string]Opcode{
+	"trunc": OpTrunc, "zext": OpZExt, "sext": OpSExt, "bitcast": OpBitcast,
+	"inttoptr": OpIntToPtr, "ptrtoint": OpPtrToInt,
+}
+
+func (p *parser) cast(name, opText string) (*Instr, error) {
+	srcTy, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.operand(srcTy)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tWord, "to"); err != nil {
+		return nil, err
+	}
+	dstTy, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	return &Instr{Op: castOps[opText], Name: name, Ty: dstTy, SrcTy: srcTy, Args: []Value{v}}, nil
+}
+
+func (p *parser) gep(name string) (*Instr, error) {
+	p.eat(tWord, "inbounds")
+	baseTy, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	ptrTy, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	base, err := p.operand(ptrTy)
+	if err != nil {
+		return nil, err
+	}
+	in := &Instr{Op: OpGEP, Name: name, SrcTy: baseTy, Args: []Value{base}}
+	for p.eat(tPunct, ",") {
+		ity, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		idx, err := p.operand(ity)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = append(in.Args, idx)
+	}
+	// Result type: pointer to the element the indices reach (computed for
+	// constant paths; for symbolic indices the structural walk still
+	// determines the element type).
+	elem, err := gepElemType(baseTy, len(in.Args)-1)
+	if err != nil {
+		return nil, err
+	}
+	in.Ty = PtrType{Elem: elem}
+	return in, nil
+}
+
+// gepElemType walks n indices into ty structurally (index values do not
+// affect the element type in the supported subset: arrays only).
+func gepElemType(ty Type, n int) (Type, error) {
+	cur := ty
+	for i := 1; i < n; i++ {
+		switch t := cur.(type) {
+		case ArrayType:
+			cur = t.Elem
+		case StructType:
+			return nil, fmt.Errorf("gep into struct requires constant indices (use constant-expression form)")
+		default:
+			return nil, fmt.Errorf("gep descends into non-aggregate %s", cur)
+		}
+	}
+	return cur, nil
+}
+
+func (p *parser) load(name string) (*Instr, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	pty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	ptr, err := p.operand(pty)
+	if err != nil {
+		return nil, err
+	}
+	p.skipAlign()
+	return &Instr{Op: OpLoad, Name: name, Ty: ty, Args: []Value{ptr}}, nil
+}
+
+func (p *parser) store() (*Instr, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	pty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	ptr, err := p.operand(pty)
+	if err != nil {
+		return nil, err
+	}
+	p.skipAlign()
+	return &Instr{Op: OpStore, Ty: ty, Args: []Value{v, ptr}}, nil
+}
+
+func (p *parser) br() (*Instr, error) {
+	if p.eat(tWord, "label") {
+		lbl, err := p.expect(tLocal, "")
+		if err != nil {
+			return nil, err
+		}
+		return &Instr{Op: OpBr, Labels: []string{lbl.text}}, nil
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	cond, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tWord, "label"); err != nil {
+		return nil, err
+	}
+	l1, err := p.expect(tLocal, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tWord, "label"); err != nil {
+		return nil, err
+	}
+	l2, err := p.expect(tLocal, "")
+	if err != nil {
+		return nil, err
+	}
+	return &Instr{Op: OpCondBr, Ty: ty, Args: []Value{cond}, Labels: []string{l1.text, l2.text}}, nil
+}
+
+func (p *parser) ret() (*Instr, error) {
+	if p.eat(tWord, "void") {
+		return &Instr{Op: OpRet, Ty: VoidType{}}, nil
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	v, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	return &Instr{Op: OpRet, Ty: ty, Args: []Value{v}}, nil
+}
+
+func (p *parser) call(name string) (*Instr, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	callee, err := p.expect(tGlobal, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	in := &Instr{Op: OpCall, Name: name, Ty: ty, Callee: callee.text}
+	for !p.eat(tPunct, ")") {
+		aty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		a, err := p.operand(aty)
+		if err != nil {
+			return nil, err
+		}
+		in.Args = append(in.Args, a)
+		if !p.eat(tPunct, ",") && !p.at(tPunct, ")") {
+			return nil, fmt.Errorf("expected ',' or ')' in call arguments")
+		}
+	}
+	return in, nil
+}
+
+func (p *parser) phi(name string) (*Instr, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	in := &Instr{Op: OpPhi, Name: name, Ty: ty}
+	for {
+		if _, err := p.expect(tPunct, "["); err != nil {
+			return nil, err
+		}
+		v, err := p.operand(ty)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ","); err != nil {
+			return nil, err
+		}
+		pred, err := p.expect(tLocal, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "]"); err != nil {
+			return nil, err
+		}
+		in.Incoming = append(in.Incoming, PhiIn{Val: v, Pred: pred.text})
+		if !p.eat(tPunct, ",") {
+			return in, nil
+		}
+	}
+}
+
+func (p *parser) sel(name string) (*Instr, error) {
+	cty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	cond, err := p.operand(cty)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.operand(ty)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, ","); err != nil {
+		return nil, err
+	}
+	ty2, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.operand(ty2)
+	if err != nil {
+		return nil, err
+	}
+	return &Instr{Op: OpSelect, Name: name, Ty: ty, Args: []Value{cond, a, b}}, nil
+}

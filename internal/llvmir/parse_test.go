@@ -1,0 +1,244 @@
+package llvmir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/paperprogs"
+)
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return m
+}
+
+func TestParseArithmSeqSum(t *testing.T) {
+	m := mustParse(t, paperprogs.ArithmSeqSum)
+	f := m.Func("arithm_seq_sum")
+	if f == nil || !f.Defined() {
+		t.Fatalf("function missing")
+	}
+	if len(f.Blocks) != 5 {
+		t.Errorf("blocks = %d, want 5", len(f.Blocks))
+	}
+	if len(f.Params) != 3 || f.Params[0].Name != "a0" {
+		t.Errorf("params = %+v", f.Params)
+	}
+	cond := f.BlockByName("for.cond")
+	if cond == nil {
+		t.Fatalf("no for.cond block")
+	}
+	if cond.Instrs[0].Op != OpPhi || cond.Instrs[1].Op != OpPhi || cond.Instrs[2].Op != OpPhi {
+		t.Errorf("for.cond does not start with three phis")
+	}
+	if cond.Term().Op != OpCondBr {
+		t.Errorf("for.cond terminator = %v", cond.Term())
+	}
+	if cond.Instrs[3].Op != OpICmp || cond.Instrs[3].Pred != CmpULT {
+		t.Errorf("icmp = %v", cond.Instrs[3])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		paperprogs.ArithmSeqSum,
+		paperprogs.CallExample,
+		paperprogs.MemSwap,
+		paperprogs.NSWExample,
+		paperprogs.AllocaExample,
+	} {
+		m := mustParse(t, src)
+		m2 := mustParse(t, m.String())
+		if m.String() != m2.String() {
+			t.Errorf("round trip mismatch:\n%s\nvs\n%s", m.String(), m2.String())
+		}
+	}
+}
+
+func TestParseWAWConstExprs(t *testing.T) {
+	m := mustParse(t, paperprogs.WAWStores)
+	f := m.Func("waw_foo")
+	if f == nil {
+		t.Fatalf("waw_foo missing")
+	}
+	entry := f.Entry()
+	if len(entry.Instrs) != 4 {
+		t.Fatalf("entry has %d instrs, want 4", len(entry.Instrs))
+	}
+	wantOffs := []uint64{2, 3, 0}
+	wantVals := []uint64{0, 2, 1}
+	for i := 0; i < 3; i++ {
+		st := entry.Instrs[i]
+		if st.Op != OpStore {
+			t.Fatalf("instr %d is %v, want store", i, st)
+		}
+		ptr := st.Args[1]
+		if ptr.Kind != VGlobal || ptr.Name != "b" || ptr.Off != wantOffs[i] {
+			t.Errorf("store %d pointer = %+v, want @b+%d", i, ptr, wantOffs[i])
+		}
+		if st.Args[0].Int != wantVals[i] {
+			t.Errorf("store %d value = %d, want %d", i, st.Args[0].Int, wantVals[i])
+		}
+		if pt, ok := ptr.Ty.(PtrType); !ok || !TypeEqual(pt.Elem, I16) {
+			t.Errorf("store %d pointer type = %v, want i16*", i, ptr.Ty)
+		}
+	}
+}
+
+func TestParseLoadNarrow(t *testing.T) {
+	m := mustParse(t, paperprogs.LoadNarrow)
+	if g := m.Global("a"); g == nil || SizeOf(g.Type) != 6 {
+		t.Fatalf("global @a: %+v", g)
+	}
+	f := m.Func("narrow_foo")
+	ld := f.Entry().Instrs[0]
+	if ld.Op != OpLoad || SizeOf(ld.Ty) != 6 {
+		t.Errorf("load = %v (size %d)", ld, SizeOf(ld.Ty))
+	}
+	shr := f.Entry().Instrs[1]
+	if shr.Op != OpLShr || shr.Args[1].Int != 32 {
+		t.Errorf("lshr = %v", shr)
+	}
+}
+
+func TestParseTypes(t *testing.T) {
+	src := `
+@s = external global { i32, [2 x i16], i8 }
+define i64* @f(i64* %p) {
+entry:
+  ret i64* %p
+}
+`
+	m := mustParse(t, src)
+	g := m.Global("s")
+	st, ok := g.Type.(StructType)
+	if !ok || len(st.Fields) != 3 {
+		t.Fatalf("struct type = %v", g.Type)
+	}
+	if SizeOf(st) != 4+4+1 {
+		t.Errorf("SizeOf(struct) = %d, want 9 (packed)", SizeOf(st))
+	}
+	if FieldOffset(st, 2) != 8 {
+		t.Errorf("FieldOffset(2) = %d", FieldOffset(st, 2))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`define i32 @f() {`,                      // unterminated
+		`define i32 @f() { entry: ret i32 }`,     // missing operand
+		`define i32 @f() { entry: frob i32 1 }`,  // unknown opcode
+		`define i128 @f() { entry: ret i128 0 }`, // unsupported width
+		`@g = global`,                            // missing type
+		`define i32 @f(i32 %x) { entry: %y = icmp zz i32 %x, 1 ret i32 0 }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestVerifyCatchesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined reg", `
+define i32 @f() {
+entry:
+  %r = add i32 %ghost, 1
+  ret i32 %r
+}`, "undefined register"},
+		{"double def", `
+define i32 @f(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  %r = add i32 %x, 2
+  ret i32 %r
+}`, "defined twice"},
+		{"bad branch", `
+define void @f() {
+entry:
+  br label %ghost
+}`, "unknown block"},
+		{"phi wrong preds", `
+define i32 @f(i32 %x) {
+entry:
+  br label %next
+next:
+  %p = phi i32 [ 1, %ghost ]
+  ret i32 %p
+}`, "unknown block"},
+		{"non-dominating use", `
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i32 %x, 1
+  br label %b
+b:
+  %r = add i32 %v, 1
+  ret i32 %r
+}`, "dominate"},
+		{"ret type mismatch", `
+define i32 @f() {
+entry:
+  ret i64 0
+}`, "ret type"},
+		{"load type mismatch", `
+define i32 @f(i64* %p) {
+entry:
+  %v = load i32, i64* %p
+  ret i32 %v
+}`, "does not match"},
+		{"call arity", `
+declare i32 @g(i32)
+define i32 @f() {
+entry:
+  %r = call i32 @g(i32 1, i32 2)
+  ret i32 %r
+}`, "args"},
+	}
+	for _, tc := range cases {
+		m, err := Parse(tc.src)
+		if err != nil {
+			// Some malformed programs fail in the parser, which is fine as
+			// long as the message points at the problem.
+			continue
+		}
+		err = Verify(m)
+		if err == nil {
+			t.Errorf("%s: verified", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestVerifyAcceptsPaperPrograms(t *testing.T) {
+	for _, src := range []string{
+		paperprogs.ArithmSeqSum, paperprogs.WAWStores, paperprogs.LoadNarrow,
+		paperprogs.CallExample, paperprogs.MemSwap, paperprogs.NSWExample,
+		paperprogs.AllocaExample,
+	} {
+		mustParse(t, src)
+	}
+}
+
+func TestNumInstrs(t *testing.T) {
+	m := mustParse(t, paperprogs.ArithmSeqSum)
+	if got := m.Func("arithm_seq_sum").NumInstrs(); got != 12 {
+		t.Errorf("NumInstrs = %d, want 12", got)
+	}
+}

@@ -1,0 +1,745 @@
+package llvmir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/smt"
+)
+
+// CallSite identifies a static call site within a function.
+type CallSite struct {
+	Block  string
+	Index  int // instruction index within the block
+	Callee string
+	Instr  *Instr
+}
+
+// CallSites returns the function's call sites in layout order. The k-th
+// entry corresponds to the location "call:<callee>:<k>:before"/":after".
+func CallSites(f *Function) []CallSite {
+	var out []CallSite
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == OpCall {
+				out = append(out, CallSite{Block: b.Name, Index: i, Callee: in.Callee, Instr: in})
+			}
+		}
+	}
+	return out
+}
+
+// BuildLayout allocates the module's globals and the function's allocas in
+// a fresh layout. Both sides of a validation instance must execute against
+// the same layout so that addresses agree (the common memory model,
+// paper §4.4). Alloca objects are named "%<fn>.<reg>"; ISel emits frame
+// slots with the same names.
+func BuildLayout(m *Module, f *Function) *mem.Layout {
+	layout := mem.NewLayout()
+	for _, g := range m.Globals {
+		layout.Alloc("@"+g.Name, uint64(SizeOf(g.Type)))
+	}
+	if f != nil {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == OpAlloca {
+					layout.Alloc(AllocaObjectName(f, in.Name), uint64(SizeOf(in.Ty)))
+				}
+			}
+		}
+	}
+	return layout
+}
+
+// AllocaObjectName is the layout object name for an alloca result register.
+func AllocaObjectName(f *Function, reg string) string {
+	return "%" + f.Name + "." + reg
+}
+
+// Sem is the symbolic semantics of one LLVM function, implementing
+// core.Semantics (the left side of the ISel validation instance).
+type Sem struct {
+	Ctx    *smt.Context
+	Mod    *Module
+	Fn     *Function
+	Layout *mem.Layout
+
+	regTypes map[string]Type
+	sites    []CallSite
+	instN    int // instantiation counter for lazy-havoc variable naming
+}
+
+// NewSem builds the symbolic semantics for f against the shared layout.
+func NewSem(ctx *smt.Context, m *Module, f *Function, layout *mem.Layout) *Sem {
+	return &Sem{
+		Ctx:      ctx,
+		Mod:      m,
+		Fn:       f,
+		Layout:   layout,
+		regTypes: RegTypes(f),
+		sites:    CallSites(f),
+	}
+}
+
+// state is a symbolic LLVM configuration.
+type state struct {
+	sem    *Sem
+	instID int
+
+	block     *Block
+	prev      string
+	idx       int
+	arrived   bool // at block start, phis not yet executed
+	afterCall int  // ≥0: just past call site #afterCall, not yet committed
+
+	regs map[string]*smt.Term
+	mem  *mem.Symbolic
+	pc   *smt.Term
+
+	final   bool
+	errKind string
+	ret     *smt.Term // nil for void or non-final
+}
+
+var _ core.State = (*state)(nil)
+
+// Loc implements core.State.
+func (s *state) Loc() core.Location {
+	switch {
+	case s.errKind != "":
+		return core.ErrorLoc(s.errKind)
+	case s.final:
+		return "exit"
+	case s.afterCall >= 0:
+		return core.Location(fmt.Sprintf("call:%s:%d:after",
+			s.sem.sites[s.afterCall].Callee, s.afterCall))
+	case s.arrived && s.prev == "" && s.block == s.sem.Fn.Entry():
+		return "entry"
+	case s.arrived:
+		return core.Location("block:" + s.block.Name + ":from:" + s.prev)
+	}
+	if s.idx < len(s.block.Instrs) && s.block.Instrs[s.idx].Op == OpCall {
+		if k := s.sem.siteIndex(s.block.Name, s.idx); k >= 0 {
+			return core.Location(fmt.Sprintf("call:%s:%d:before", s.sem.sites[k].Callee, k))
+		}
+	}
+	return core.Location(fmt.Sprintf("at:%s:%d:from:%s", s.block.Name, s.idx, s.prev))
+}
+
+func (sm *Sem) siteIndex(block string, idx int) int {
+	for k, st := range sm.sites {
+		if st.Block == block && st.Index == idx {
+			return k
+		}
+	}
+	return -1
+}
+
+// PathCond implements core.State.
+func (s *state) PathCond() *smt.Term { return s.pc }
+
+// MemTerm implements core.State.
+func (s *state) MemTerm() *smt.Term { return s.mem.Term() }
+
+// IsFinal implements core.State.
+func (s *state) IsFinal() bool { return s.final }
+
+// ErrorKind implements core.State.
+func (s *state) ErrorKind() string { return s.errKind }
+
+// Observable implements core.State. Supported names: "%reg", "ret" (at
+// exit states), and "argN" (at before-call states).
+func (s *state) Observable(name string) (*smt.Term, error) {
+	switch {
+	case name == "ret":
+		if !s.final {
+			return nil, fmt.Errorf("llvmir: 'ret' observable on non-final state")
+		}
+		if s.ret == nil {
+			return nil, fmt.Errorf("llvmir: void function has no 'ret' observable")
+		}
+		return s.ret, nil
+	case strings.HasPrefix(name, "%"):
+		reg := name[1:]
+		ty, ok := s.sem.regTypes[reg]
+		if !ok {
+			return nil, fmt.Errorf("llvmir: unknown register %s", name)
+		}
+		bits, err := BitsOf(ty)
+		if err != nil {
+			return nil, err
+		}
+		return s.reg(reg, uint8(bits)), nil
+	case strings.HasPrefix(name, "arg"):
+		n, err := strconv.Atoi(name[3:])
+		if err != nil {
+			return nil, fmt.Errorf("llvmir: bad observable %q", name)
+		}
+		if s.idx >= len(s.block.Instrs) || s.block.Instrs[s.idx].Op != OpCall {
+			return nil, fmt.Errorf("llvmir: %q observable outside a call-site state", name)
+		}
+		call := s.block.Instrs[s.idx]
+		if n < 0 || n >= len(call.Args) {
+			return nil, fmt.Errorf("llvmir: call has no argument %d", n)
+		}
+		return s.value(call.Args[n])
+	}
+	return nil, fmt.Errorf("llvmir: unknown observable %q", name)
+}
+
+// reg reads a register, materializing a fresh unconstrained variable on
+// first read (lazy havoc). The variable name is stable per instantiation
+// so that sibling branch states agree on it.
+func (s *state) reg(name string, width uint8) *smt.Term {
+	if t, ok := s.regs[name]; ok {
+		return t
+	}
+	t := s.sem.Ctx.VarBV(fmt.Sprintf("llvm!i%d!%s", s.instID, name), width)
+	s.regs[name] = t
+	return t
+}
+
+func (s *state) clone() *state {
+	regs := make(map[string]*smt.Term, len(s.regs)+1)
+	for k, v := range s.regs {
+		regs[k] = v
+	}
+	n := *s
+	n.regs = regs
+	return &n
+}
+
+// value evaluates an operand to a term.
+func (s *state) value(v Value) (*smt.Term, error) {
+	ctx := s.sem.Ctx
+	switch v.Kind {
+	case VInt:
+		bits, err := BitsOf(v.Ty)
+		if err != nil {
+			return nil, err
+		}
+		return ctx.BV(v.Int, uint8(bits)), nil
+	case VReg:
+		bits, err := BitsOf(v.Ty)
+		if err != nil {
+			return nil, err
+		}
+		return s.reg(v.Name, uint8(bits)), nil
+	case VGlobal:
+		o, ok := s.sem.Layout.Find("@" + v.Name)
+		if !ok {
+			return nil, fmt.Errorf("llvmir: global @%s not in layout", v.Name)
+		}
+		return ctx.BV(o.Base+v.Off, 64), nil
+	}
+	return nil, fmt.Errorf("llvmir: bad operand kind %d", v.Kind)
+}
+
+// Instantiate implements core.Semantics.
+func (sm *Sem) Instantiate(loc core.Location, presets map[string]*smt.Term, memT *smt.Term) (core.State, error) {
+	sm.instN++
+	s := &state{
+		sem:       sm,
+		instID:    sm.instN,
+		afterCall: -1,
+		regs:      make(map[string]*smt.Term, len(presets)),
+		pc:        sm.Ctx.True(),
+	}
+	if memT == nil {
+		memT = sm.Ctx.VarMem(fmt.Sprintf("Mllvm!%d", sm.instN))
+	}
+	s.mem = mem.NewSymbolic(sm.Ctx, "unused", sm.Layout).WithTerm(memT)
+
+	for name, t := range presets {
+		if !strings.HasPrefix(name, "%") {
+			return nil, fmt.Errorf("llvmir: cannot preset observable %q", name)
+		}
+		s.regs[name[1:]] = t
+	}
+
+	ls := string(loc)
+	switch {
+	case ls == "entry":
+		s.block = sm.Fn.Entry()
+		s.arrived = true
+	case strings.HasPrefix(ls, "block:"):
+		rest := ls[len("block:"):]
+		i := strings.Index(rest, ":from:")
+		if i < 0 {
+			return nil, fmt.Errorf("llvmir: malformed block location %q", ls)
+		}
+		b := sm.Fn.BlockByName(rest[:i])
+		if b == nil {
+			return nil, fmt.Errorf("llvmir: no block %q", rest[:i])
+		}
+		s.block = b
+		s.prev = rest[i+len(":from:"):]
+		s.arrived = true
+	case strings.HasPrefix(ls, "call:") && strings.HasSuffix(ls, ":after"):
+		k, err := callIndexOf(ls)
+		if err != nil {
+			return nil, err
+		}
+		if k < 0 || k >= len(sm.sites) {
+			return nil, fmt.Errorf("llvmir: no call site %d", k)
+		}
+		site := sm.sites[k]
+		s.block = sm.Fn.BlockByName(site.Block)
+		s.idx = site.Index + 1
+		s.afterCall = k
+		s.prev = "?after-call"
+	default:
+		return nil, fmt.Errorf("llvmir: cannot instantiate at location %q", ls)
+	}
+	return s, nil
+}
+
+func callIndexOf(loc string) (int, error) {
+	parts := strings.Split(loc, ":")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("llvmir: malformed call location %q", loc)
+	}
+	return strconv.Atoi(parts[2])
+}
+
+// ObservableWidth implements core.Semantics.
+func (sm *Sem) ObservableWidth(loc core.Location, name string) (uint8, error) {
+	switch {
+	case name == "ret":
+		bits, err := BitsOf(sm.Fn.Ret)
+		if err != nil {
+			return 0, fmt.Errorf("llvmir: %w", err)
+		}
+		return uint8(bits), nil
+	case strings.HasPrefix(name, "%"):
+		ty, ok := sm.regTypes[name[1:]]
+		if !ok {
+			return 0, fmt.Errorf("llvmir: unknown register %s", name)
+		}
+		bits, err := BitsOf(ty)
+		if err != nil {
+			return 0, err
+		}
+		return uint8(bits), nil
+	case strings.HasPrefix(name, "arg"):
+		k, err := callIndexOf(string(loc))
+		if err != nil {
+			return 0, err
+		}
+		n, err := strconv.Atoi(name[3:])
+		if err != nil || k < 0 || k >= len(sm.sites) {
+			return 0, fmt.Errorf("llvmir: bad arg observable %q at %q", name, loc)
+		}
+		site := sm.sites[k]
+		if n < 0 || n >= len(site.Instr.Args) {
+			return 0, fmt.Errorf("llvmir: call site %d has no argument %d", k, n)
+		}
+		bits, err := BitsOf(site.Instr.Args[n].Ty)
+		if err != nil {
+			return 0, err
+		}
+		return uint8(bits), nil
+	}
+	return 0, fmt.Errorf("llvmir: unknown observable %q", name)
+}
+
+// Step implements core.Semantics: one symbolic instruction step (phi
+// groups execute atomically). Undefined behavior produces an additional
+// error-state successor guarded by the UB condition (paper §4.6).
+func (sm *Sem) Step(cs core.State) ([]core.State, error) {
+	s, ok := cs.(*state)
+	if !ok {
+		return nil, fmt.Errorf("llvmir: foreign state %T", cs)
+	}
+	if s.final || s.errKind != "" {
+		return nil, nil
+	}
+	if s.idx >= len(s.block.Instrs) {
+		return nil, fmt.Errorf("llvmir: fell off block %%%s", s.block.Name)
+	}
+	ctx := sm.Ctx
+	_ = ctx
+
+	// After-call arrival: commit the position (zero-instruction step) so
+	// that an immediately following call site gets its own cut location.
+	if s.afterCall >= 0 {
+		n := s.clone()
+		n.afterCall = -1
+		return []core.State{n}, nil
+	}
+
+	// Arrival step: commit block entry, executing the leading phi group in
+	// parallel. This keeps the block-entry location distinct from the
+	// location of the first real instruction (which may itself be a cut,
+	// e.g. a call site).
+	if s.arrived {
+		n := s.clone()
+		n.arrived = false
+		updates := make(map[string]*smt.Term)
+		for n.idx < len(s.block.Instrs) && s.block.Instrs[n.idx].Op == OpPhi {
+			phi := s.block.Instrs[n.idx]
+			found := false
+			for _, inc := range phi.Incoming {
+				if inc.Pred == s.prev {
+					v, err := s.value(inc.Val)
+					if err != nil {
+						return nil, err
+					}
+					updates[phi.Name] = v
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("llvmir: phi %%%s has no incoming for %%%s", phi.Name, s.prev)
+			}
+			n.idx++
+		}
+		for k, v := range updates {
+			n.regs[k] = v
+		}
+		return []core.State{n}, nil
+	}
+	ins := s.block.Instrs[s.idx]
+
+	switch ins.Op {
+	case OpBr:
+		n := s.clone()
+		n.prev = s.block.Name
+		n.block = sm.Fn.BlockByName(ins.Labels[0])
+		n.idx = 0
+		n.arrived = true
+		return []core.State{n}, nil
+
+	case OpCondBr:
+		c, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		cond := ctx.Eq(c, ctx.BV(1, 1))
+		nT := s.clone()
+		nT.pc = ctx.AndB(s.pc, cond)
+		nT.prev = s.block.Name
+		nT.block = sm.Fn.BlockByName(ins.Labels[0])
+		nT.idx = 0
+		nT.arrived = true
+		nF := s.clone()
+		nF.pc = ctx.AndB(s.pc, ctx.Not(cond))
+		nF.prev = s.block.Name
+		nF.block = sm.Fn.BlockByName(ins.Labels[1])
+		nF.idx = 0
+		nF.arrived = true
+		return []core.State{nT, nF}, nil
+
+	case OpRet:
+		n := s.clone()
+		n.final = true
+		if len(ins.Args) > 0 {
+			v, err := s.value(ins.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			n.ret = v
+		}
+		return []core.State{n}, nil
+
+	case OpCall:
+		// Calls are synchronization boundaries (paper §4.5): execution must
+		// stop at the before-call cut. Reaching Step here means the VC did
+		// not cover this call site.
+		return nil, fmt.Errorf("llvmir: call site @%s not covered by a synchronization point", ins.Callee)
+	}
+
+	succs, err := sm.execSym(s, ins)
+	if err != nil {
+		return nil, err
+	}
+	return succs, nil
+}
+
+// execSym handles non-control instructions; it may return an extra error
+// successor for UB.
+func (sm *Sem) execSym(s *state, ins *Instr) ([]core.State, error) {
+	ctx := sm.Ctx
+	advance := func(n *state) *state { n.idx++; return n }
+
+	setResult := func(v *smt.Term) []core.State {
+		n := s.clone()
+		if ins.Name != "" {
+			n.regs[ins.Name] = v
+		}
+		return []core.State{advance(n)}
+	}
+
+	// ubSplit returns (okState, errState) where errState is guarded by bad.
+	ubSplit := func(kind string, bad *smt.Term, v *smt.Term) []core.State {
+		n := s.clone()
+		if ins.Name != "" {
+			n.regs[ins.Name] = v
+		}
+		n.pc = ctx.AndB(s.pc, ctx.Not(bad))
+		advance(n)
+		out := []core.State{n}
+		if !bad.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, bad)
+			e.errKind = kind
+			out = append(out, e)
+		}
+		return out
+	}
+
+	switch ins.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		a, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.value(ins.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		switch ins.Op {
+		case OpAdd:
+			if ins.NSW {
+				return ubSplit("overflow", ctx.AddOverflowSigned(a, b), ctx.Add(a, b)), nil
+			}
+			return setResult(ctx.Add(a, b)), nil
+		case OpSub:
+			if ins.NSW {
+				return ubSplit("overflow", ctx.SubOverflowSigned(a, b), ctx.Sub(a, b)), nil
+			}
+			return setResult(ctx.Sub(a, b)), nil
+		case OpMul:
+			if ins.NSW {
+				return ubSplit("overflow", ctx.MulOverflowSigned(a, b), ctx.Mul(a, b)), nil
+			}
+			return setResult(ctx.Mul(a, b)), nil
+		case OpUDiv:
+			return ubSplit("divzero", ctx.Eq(b, ctx.BV(0, b.Width)), ctx.UDiv(a, b)), nil
+		case OpURem:
+			return ubSplit("divzero", ctx.Eq(b, ctx.BV(0, b.Width)), ctx.URem(a, b)), nil
+		case OpSDiv, OpSRem:
+			// Two UB conditions: division by zero and INT_MIN / -1. Model
+			// them as separate error kinds so they pair with the matching
+			// x86 trap conditions.
+			bz := ctx.Eq(b, ctx.BV(0, b.Width))
+			ov := ctx.SDivOverflow(a, b)
+			var res *smt.Term
+			if ins.Op == OpSDiv {
+				res = ctx.SDiv(a, b)
+			} else {
+				res = ctx.SRem(a, b)
+			}
+			n := s.clone()
+			if ins.Name != "" {
+				n.regs[ins.Name] = res
+			}
+			n.pc = ctx.AndB(s.pc, ctx.AndB(ctx.Not(bz), ctx.Not(ov)))
+			n.idx++
+			out := []core.State{n}
+			if !bz.IsFalse() {
+				e := s.clone()
+				e.pc = ctx.AndB(s.pc, bz)
+				e.errKind = "divzero"
+				out = append(out, e)
+			}
+			if !ov.IsFalse() {
+				e := s.clone()
+				e.pc = ctx.AndB(s.pc, ctx.AndB(ctx.Not(bz), ov))
+				e.errKind = "overflow"
+				out = append(out, e)
+			}
+			return out, nil
+		case OpAnd:
+			return setResult(ctx.And(a, b)), nil
+		case OpOr:
+			return setResult(ctx.Or(a, b)), nil
+		case OpXor:
+			return setResult(ctx.Xor(a, b)), nil
+		case OpShl:
+			return setResult(ctx.Shl(a, b)), nil
+		case OpLShr:
+			return setResult(ctx.LShr(a, b)), nil
+		default:
+			return setResult(ctx.AShr(a, b)), nil
+		}
+
+	case OpICmp:
+		a, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.value(ins.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		var cond *smt.Term
+		switch ins.Pred {
+		case CmpEQ:
+			cond = ctx.Eq(a, b)
+		case CmpNE:
+			cond = ctx.Not(ctx.Eq(a, b))
+		case CmpULT:
+			cond = ctx.Ult(a, b)
+		case CmpULE:
+			cond = ctx.Ule(a, b)
+		case CmpUGT:
+			cond = ctx.Ult(b, a)
+		case CmpUGE:
+			cond = ctx.Ule(b, a)
+		case CmpSLT:
+			cond = ctx.Slt(a, b)
+		case CmpSLE:
+			cond = ctx.Sle(a, b)
+		case CmpSGT:
+			cond = ctx.Slt(b, a)
+		case CmpSGE:
+			cond = ctx.Sle(b, a)
+		}
+		return setResult(ctx.Ite(cond, ctx.BV(1, 1), ctx.BV(0, 1))), nil
+
+	case OpTrunc:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return setResult(ctx.Extract(v, uint8(ins.Ty.(IntType).Bits)-1, 0)), nil
+	case OpZExt:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return setResult(ctx.ZExt(v, uint8(ins.Ty.(IntType).Bits))), nil
+	case OpSExt:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return setResult(ctx.SExt(v, uint8(ins.Ty.(IntType).Bits))), nil
+	case OpBitcast:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return setResult(v), nil
+	case OpIntToPtr:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		if v.Width < 64 {
+			v = ctx.ZExt(v, 64)
+		}
+		return setResult(v), nil
+	case OpPtrToInt:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		bits := uint8(ins.Ty.(IntType).Bits)
+		if bits < 64 {
+			v = ctx.Extract(v, bits-1, 0)
+		}
+		return setResult(v), nil
+
+	case OpGEP:
+		base, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		addr := base
+		cur := ins.SrcTy
+		for i, idxV := range ins.Args[1:] {
+			iv, err := s.value(idxV)
+			if err != nil {
+				return nil, err
+			}
+			iv64 := ctx.SExt(iv, 64)
+			var scale int
+			if i == 0 {
+				scale = SizeOf(cur)
+			} else {
+				at, ok := cur.(ArrayType)
+				if !ok {
+					return nil, fmt.Errorf("llvmir: symbolic gep into non-array %s", cur)
+				}
+				scale = SizeOf(at.Elem)
+				cur = at.Elem
+			}
+			addr = ctx.Add(addr, ctx.Mul(iv64, ctx.BV(uint64(scale), 64)))
+		}
+		return setResult(addr), nil
+
+	case OpLoad:
+		addr, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		size := SizeOf(ins.Ty)
+		inb := s.mem.InBoundsCond(addr, size)
+		loaded := s.mem.Load(addr, size)
+		bits, err := BitsOf(ins.Ty)
+		if err != nil {
+			return nil, err
+		}
+		if bits < 8*size {
+			loaded = ctx.Extract(loaded, uint8(bits)-1, 0)
+		}
+		return ubSplit("oob", ctx.Not(inb), loaded), nil
+
+	case OpStore:
+		v, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		addr, err := s.value(ins.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		size := SizeOf(ins.Ty)
+		if int(v.Width) < 8*size {
+			v = ctx.ZExt(v, uint8(8*size))
+		}
+		inb := s.mem.InBoundsCond(addr, size)
+		bad := ctx.Not(inb)
+		n := s.clone()
+		n.mem = s.mem.Store(addr, size, v)
+		n.pc = ctx.AndB(s.pc, ctx.Not(bad))
+		advance(n)
+		out := []core.State{n}
+		if !bad.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, bad)
+			e.errKind = "oob"
+			out = append(out, e)
+		}
+		return out, nil
+
+	case OpAlloca:
+		o, ok := sm.Layout.Find(AllocaObjectName(sm.Fn, ins.Name))
+		if !ok {
+			return nil, fmt.Errorf("llvmir: alloca %%%s not pre-allocated in layout", ins.Name)
+		}
+		return setResult(ctx.BV(o.Base, 64)), nil
+
+	case OpSelect:
+		c, err := s.value(ins.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		a, err := s.value(ins.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.value(ins.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		return setResult(ctx.Ite(ctx.Eq(c, ctx.BV(1, 1)), a, b)), nil
+	}
+	return nil, fmt.Errorf("llvmir: symbolic execution of unsupported op %s", opNames[ins.Op])
+}

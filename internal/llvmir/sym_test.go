@@ -1,0 +1,382 @@
+package llvmir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/paperprogs"
+	"repro/internal/smt"
+)
+
+// symRun symbolically executes f from entry with the parameters bound to
+// fresh variables named after themselves, until all paths are final or
+// error, and returns the terminal states.
+func symRun(t *testing.T, m *Module, f *Function) (*smt.Context, []*state) {
+	t.Helper()
+	ctx := smt.NewContext()
+	layout := BuildLayout(m, f)
+	sem := NewSem(ctx, m, f, layout)
+	presets := make(map[string]*smt.Term, len(f.Params))
+	for _, p := range f.Params {
+		bits, err := BitsOf(p.Ty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		presets["%"+p.Name] = ctx.VarBV(p.Name, uint8(bits))
+	}
+	s0, err := sem.Instantiate("entry", presets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*state
+	work := []core.State{s0}
+	steps := 0
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := cur.(*state)
+		if st.final || st.errKind != "" {
+			out = append(out, st)
+			continue
+		}
+		if steps++; steps > 10000 {
+			t.Fatalf("symbolic execution did not terminate")
+		}
+		succs, err := sem.Step(cur)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		for _, n := range succs {
+			if !n.PathCond().IsFalse() {
+				work = append(work, n)
+			}
+		}
+	}
+	return ctx, out
+}
+
+// evalTerminal picks the terminal state whose path condition is true under
+// the assignment and returns it.
+func evalTerminal(t *testing.T, assign *smt.Assign, states []*state) *state {
+	t.Helper()
+	var hit *state
+	for _, s := range states {
+		ok, err := assign.EvalBool(s.pc)
+		if err != nil {
+			t.Fatalf("eval pc: %v", err)
+		}
+		if ok {
+			if hit != nil {
+				t.Fatalf("two terminal states satisfied (determinism violated)")
+			}
+			hit = s
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no terminal state matched the assignment")
+	}
+	return hit
+}
+
+// TestSymbolicMatchesInterp is the differential property test: for the
+// straight-line-with-branches function below, the symbolic semantics and
+// the concrete interpreter must agree on every input.
+func TestSymbolicMatchesInterp(t *testing.T) {
+	src := `
+define i32 @mix(i32 %x, i32 %y) {
+entry:
+  %c = icmp slt i32 %x, %y
+  br i1 %c, label %a, label %b
+a:
+  %s = sub i32 %y, %x
+  %m = mul i32 %s, 3
+  br label %end
+b:
+  %xr = lshr i32 %x, 2
+  %xo = or i32 %xr, %y
+  br label %end
+end:
+  %r = phi i32 [ %m, %a ], [ %xo, %b ]
+  %r2 = xor i32 %r, 257
+  ret i32 %r2
+}
+`
+	m := mustParse(t, src)
+	f := m.Func("mix")
+	ctx, terminals := symRun(t, m, f)
+	_ = ctx
+	check := func(x, y uint32) bool {
+		in := NewInterp(m)
+		want, err := in.Call("mix", []uint64{uint64(x), uint64(y)})
+		if err != nil {
+			return false
+		}
+		assign := smt.NewAssign()
+		assign.BV["x"] = uint64(x)
+		assign.BV["y"] = uint64(y)
+		hit := evalTerminal(t, assign, terminals)
+		got, err := assign.EvalBV(hit.ret)
+		if err != nil {
+			t.Fatalf("eval ret: %v", err)
+		}
+		return got == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicLoopBounded(t *testing.T) {
+	// The arithmetic-sequence loop unrolls fully for concrete bounds;
+	// run it with n pinned by adding a path-condition assignment.
+	m := mustParse(t, paperprogs.ArithmSeqSum)
+	f := m.Func("arithm_seq_sum")
+	ctx := smt.NewContext()
+	layout := BuildLayout(m, f)
+	sem := NewSem(ctx, m, f, layout)
+	presets := map[string]*smt.Term{
+		"%a0": ctx.VarBV("a0", 32),
+		"%d":  ctx.VarBV("d", 32),
+		"%n":  ctx.BV(3, 32), // concrete bound: terminates
+	}
+	s0, err := sem.Instantiate("entry", presets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finals []*state
+	work := []core.State{s0}
+	for len(work) > 0 && len(finals) < 10 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		st := cur.(*state)
+		if st.final {
+			finals = append(finals, st)
+			continue
+		}
+		succs, err := sem.Step(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range succs {
+			if !n.PathCond().IsFalse() {
+				work = append(work, n)
+			}
+		}
+	}
+	if len(finals) != 1 {
+		t.Fatalf("got %d final states, want 1 (n=3 concrete)", len(finals))
+	}
+	// ret = a0 + (a0+d) + (a0+2d) = 3*a0 + 3*d
+	assign := smt.NewAssign()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		a0 := uint64(rng.Uint32())
+		d := uint64(rng.Uint32())
+		assign.BV["a0"] = a0
+		assign.BV["d"] = d
+		got, err := assign.EvalBV(finals[0].ret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := (3*a0 + 3*d) & 0xFFFFFFFF
+		if got != want {
+			t.Fatalf("sum(a0=%d,d=%d,n=3) = %d, want %d", a0, d, got, want)
+		}
+	}
+}
+
+func TestSymbolicMemoryOps(t *testing.T) {
+	m := mustParse(t, paperprogs.MemSwap)
+	f := m.Func("mem_swap")
+	ctx, terminals := symRun(t, m, f)
+	if len(terminals) != 1 {
+		t.Fatalf("%d terminals", len(terminals))
+	}
+	fin := terminals[0]
+	if fin.errKind != "" {
+		t.Fatalf("mem_swap errored: %s", fin.errKind)
+	}
+	// Prove: final mem at @p equals initial mem at @q.
+	layout := fin.mem.Layout()
+	p, _ := layout.Find("@p")
+	q, _ := layout.Find("@q")
+	solver := smt.NewSolver(ctx)
+	// The initial memory base is the term the state started from; read it
+	// back through a fresh instantiation convention: initial base is the
+	// unique VarMem the chain bottoms out in. Walk the chain.
+	base := fin.mem.Term()
+	for base.Kind == smt.KStore {
+		base = base.Args[0]
+	}
+	init := fin.mem.WithTerm(base)
+	proved, _, err := solver.Prove(ctx.Eq(fin.mem.Load(ctx.BV(p.Base, 64), 4), init.Load(ctx.BV(q.Base, 64), 4)))
+	if err != nil || !proved {
+		t.Fatalf("swap property: proved=%v err=%v", proved, err)
+	}
+}
+
+func TestSymbolicNSWErrorBranch(t *testing.T) {
+	m := mustParse(t, paperprogs.NSWExample)
+	f := m.Func("nsw_example")
+	_, terminals := symRun(t, m, f)
+	var errStates, finals int
+	for _, s := range terminals {
+		if s.errKind == "overflow" {
+			errStates++
+		} else if s.final {
+			finals++
+		}
+	}
+	if errStates != 1 || finals != 1 {
+		t.Fatalf("terminals: %d overflow, %d final; want 1 and 1", errStates, finals)
+	}
+	// The error path must be exactly x = INT_MAX.
+	assign := smt.NewAssign()
+	for _, s := range terminals {
+		if s.errKind != "overflow" {
+			continue
+		}
+		assign.BV["x"] = 0x7FFFFFFF
+		ok, err := assign.EvalBool(s.pc)
+		if err != nil || !ok {
+			t.Errorf("overflow pc not satisfied at INT_MAX: %v", err)
+		}
+		assign.BV["x"] = 5
+		ok, err = assign.EvalBool(s.pc)
+		if err != nil || ok {
+			t.Errorf("overflow pc satisfied at 5")
+		}
+	}
+}
+
+func TestSymbolicOOBErrorBranch(t *testing.T) {
+	src := `
+@arr = external global [10 x i32]
+
+define i32 @get(i64 %i) {
+entry:
+  %p = getelementptr inbounds [10 x i32], [10 x i32]* @arr, i64 0, i64 %i
+  %v = load i32, i32* %p
+  ret i32 %v
+}
+`
+	m := mustParse(t, src)
+	f := m.Func("get")
+	_, terminals := symRun(t, m, f)
+	var sawOOB, sawOK bool
+	assign := smt.NewAssign()
+	for _, s := range terminals {
+		switch {
+		case s.errKind == "oob":
+			sawOOB = true
+			assign.BV["i"] = 12
+			if ok, _ := assign.EvalBool(s.pc); !ok {
+				t.Errorf("oob pc not satisfied at i=12")
+			}
+			assign.BV["i"] = 3
+			if ok, _ := assign.EvalBool(s.pc); ok {
+				t.Errorf("oob pc satisfied at i=3")
+			}
+		case s.final:
+			sawOK = true
+		}
+	}
+	if !sawOOB || !sawOK {
+		t.Fatalf("terminals missing oob/final: oob=%v ok=%v", sawOOB, sawOK)
+	}
+}
+
+func TestCallSitesAndLocations(t *testing.T) {
+	m := mustParse(t, paperprogs.CallExample)
+	f := m.Func("call_example")
+	sites := CallSites(f)
+	if len(sites) != 1 || sites[0].Callee != "callee" {
+		t.Fatalf("sites = %+v", sites)
+	}
+	ctx := smt.NewContext()
+	sem := NewSem(ctx, m, f, BuildLayout(m, f))
+	s0, err := sem.Instantiate("entry", map[string]*smt.Term{
+		"%x": ctx.VarBV("x", 32), "%y": ctx.VarBV("y", 32),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step three times: arrival, add, then we are at the call.
+	succ, err := sem.Step(s0)
+	if err != nil || len(succ) != 1 {
+		t.Fatalf("arrival step: %v", err)
+	}
+	succ, err = sem.Step(succ[0])
+	if err != nil || len(succ) != 1 {
+		t.Fatalf("step 1: %v", err)
+	}
+	if got := succ[0].Loc(); got != "call:callee:0:before" {
+		t.Fatalf("loc = %q, want call:callee:0:before", got)
+	}
+	// arg observables at the call
+	a0, err := succ[0].Observable("arg0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := smt.NewSolver(ctx)
+	proved, _, err := solver.Prove(ctx.Eq(a0, ctx.Add(ctx.VarBV("x", 32), ctx.VarBV("y", 32))))
+	if err != nil || !proved {
+		t.Fatalf("arg0 = x+y: %v %v", proved, err)
+	}
+	// Stepping the call without a sync point must fail.
+	if _, err := sem.Step(succ[0]); err == nil {
+		t.Fatalf("stepping a call site succeeded")
+	}
+	// after-call instantiation works and resumes.
+	sAfter, err := sem.Instantiate("call:callee:0:after", map[string]*smt.Term{
+		"%r": ctx.VarBV("r", 32), "%y": ctx.VarBV("y", 32),
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sAfter.Loc(); got != "call:callee:0:after" {
+		t.Fatalf("after-call loc = %q", got)
+	}
+	succ2, err := sem.Step(sAfter) // commit the after-call position
+	if err != nil || len(succ2) != 1 {
+		t.Fatalf("step after call: %v", err)
+	}
+	succ2, err = sem.Step(succ2[0])
+	if err != nil || len(succ2) != 1 {
+		t.Fatalf("step add: %v", err)
+	}
+	succ3, err := sem.Step(succ2[0])
+	if err != nil || len(succ3) != 1 || !succ3[0].IsFinal() {
+		t.Fatalf("final: %v", err)
+	}
+}
+
+func TestObservableWidths(t *testing.T) {
+	m := mustParse(t, paperprogs.CallExample)
+	f := m.Func("call_example")
+	sem := NewSem(smt.NewContext(), m, f, BuildLayout(m, f))
+	for _, tc := range []struct {
+		loc  core.Location
+		name string
+		want uint8
+	}{
+		{"entry", "%x", 32},
+		{"entry", "ret", 32},
+		{"call:callee:0:before", "arg0", 32},
+		{"call:callee:0:before", "arg1", 32},
+	} {
+		got, err := sem.ObservableWidth(tc.loc, tc.name)
+		if err != nil {
+			t.Errorf("ObservableWidth(%s, %s): %v", tc.loc, tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ObservableWidth(%s, %s) = %d, want %d", tc.loc, tc.name, got, tc.want)
+		}
+	}
+	if _, err := sem.ObservableWidth("entry", "%ghost"); err == nil {
+		t.Errorf("width of unknown register did not error")
+	}
+}

@@ -1,0 +1,144 @@
+// Package llvmir implements the subset of LLVM IR modeled by the paper
+// (§4.2): integer types i1–i64, nested array/struct aggregates, pointers,
+// integer arithmetic/bitwise/comparison instructions, casts (including
+// inttoptr/ptrtoint), getelementptr, control flow (br, call, ret, phi),
+// and memory operations (load, store, alloca) over the common memory model
+// of internal/mem.
+//
+// The package provides a textual parser for .ll-style syntax, a verifier,
+// a concrete reference interpreter, and symbolic semantics implementing
+// the language-parametric interfaces of internal/core.
+package llvmir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an LLVM IR first-class type.
+type Type interface {
+	String() string
+	isType()
+}
+
+// IntType is an integer type iN with 1 ≤ N ≤ 64.
+type IntType struct{ Bits int }
+
+func (t IntType) isType()        {}
+func (t IntType) String() string { return fmt.Sprintf("i%d", t.Bits) }
+
+// PtrType is a typed pointer T*.
+type PtrType struct{ Elem Type }
+
+func (t PtrType) isType()        {}
+func (t PtrType) String() string { return t.Elem.String() + "*" }
+
+// ArrayType is [N x T].
+type ArrayType struct {
+	N    int
+	Elem Type
+}
+
+func (t ArrayType) isType()        {}
+func (t ArrayType) String() string { return fmt.Sprintf("[%d x %s]", t.N, t.Elem) }
+
+// StructType is {T1, T2, ...} (packed: the common memory model has no
+// alignment padding, matching the paper's §4.2 restriction).
+type StructType struct{ Fields []Type }
+
+func (t StructType) isType() {}
+func (t StructType) String() string {
+	parts := make([]string, len(t.Fields))
+	for i, f := range t.Fields {
+		parts[i] = f.String()
+	}
+	return "{ " + strings.Join(parts, ", ") + " }"
+}
+
+// VoidType is the void function-return type.
+type VoidType struct{}
+
+func (t VoidType) isType()        {}
+func (t VoidType) String() string { return "void" }
+
+// I1, I8, I16, I32, I64 are the common integer types.
+var (
+	I1  = IntType{1}
+	I8  = IntType{8}
+	I16 = IntType{16}
+	I32 = IntType{32}
+	I64 = IntType{64}
+)
+
+// SizeOf returns the byte size of t in the common memory model: integers
+// occupy ceil(bits/8) bytes, pointers 8 bytes, aggregates are packed.
+func SizeOf(t Type) int {
+	switch t := t.(type) {
+	case IntType:
+		return (t.Bits + 7) / 8
+	case PtrType:
+		return 8
+	case ArrayType:
+		return t.N * SizeOf(t.Elem)
+	case StructType:
+		n := 0
+		for _, f := range t.Fields {
+			n += SizeOf(f)
+		}
+		return n
+	case VoidType:
+		return 0
+	}
+	panic(fmt.Sprintf("llvmir: SizeOf of unknown type %T", t))
+}
+
+// BitsOf returns the value width of t when held in a register: integer
+// bit width, 64 for pointers. Aggregates are not first-class here.
+func BitsOf(t Type) (int, error) {
+	switch t := t.(type) {
+	case IntType:
+		return t.Bits, nil
+	case PtrType:
+		return 64, nil
+	}
+	return 0, fmt.Errorf("llvmir: type %s is not register-sized", t)
+}
+
+// TypeEqual reports structural equality of types.
+func TypeEqual(a, b Type) bool {
+	switch a := a.(type) {
+	case IntType:
+		b, ok := b.(IntType)
+		return ok && a.Bits == b.Bits
+	case PtrType:
+		b, ok := b.(PtrType)
+		return ok && TypeEqual(a.Elem, b.Elem)
+	case ArrayType:
+		b, ok := b.(ArrayType)
+		return ok && a.N == b.N && TypeEqual(a.Elem, b.Elem)
+	case StructType:
+		b, ok := b.(StructType)
+		if !ok || len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if !TypeEqual(a.Fields[i], b.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case VoidType:
+		_, ok := b.(VoidType)
+		return ok
+	}
+	return false
+}
+
+// FieldOffset returns the byte offset of field i in a struct type.
+func FieldOffset(t StructType, i int) int {
+	off := 0
+	for j := 0; j < i; j++ {
+		off += SizeOf(t.Fields[j])
+	}
+	return off
+}

@@ -1,0 +1,368 @@
+package llvmir
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+)
+
+// Verify checks module well-formedness: SSA dominance, phi/CFG agreement,
+// type correctness, and terminator placement. It returns the first error
+// found.
+func Verify(m *Module) error {
+	for _, f := range m.Funcs {
+		if !f.Defined() {
+			continue
+		}
+		if err := VerifyFunc(m, f); err != nil {
+			return fmt.Errorf("llvmir: function @%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+// VerifyFunc checks a single function definition.
+func VerifyFunc(m *Module, f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("no blocks")
+	}
+	blocks := make(map[string]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if _, dup := blocks[b.Name]; dup {
+			return fmt.Errorf("duplicate block %%%s", b.Name)
+		}
+		blocks[b.Name] = b
+	}
+
+	// Register definitions: params and instruction results, unique.
+	defBlock := make(map[string]string) // reg -> defining block
+	defIdx := make(map[string]int)      // reg -> instruction index
+	regTy := make(map[string]Type)
+	for _, p := range f.Params {
+		if p.Name == "" {
+			return fmt.Errorf("unnamed parameter")
+		}
+		if _, dup := regTy[p.Name]; dup {
+			return fmt.Errorf("duplicate parameter %%%s", p.Name)
+		}
+		regTy[p.Name] = p.Ty
+		defBlock[p.Name] = "" // params dominate everything
+	}
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("block %%%s: terminator not last", b.Name)
+			}
+			if in.Op == OpPhi && (i > 0 && b.Instrs[i-1].Op != OpPhi) {
+				return fmt.Errorf("block %%%s: phi after non-phi", b.Name)
+			}
+			if in.Name == "" {
+				continue
+			}
+			if _, dup := regTy[in.Name]; dup {
+				return fmt.Errorf("register %%%s defined twice", in.Name)
+			}
+			ty, err := resultType(in)
+			if err != nil {
+				return fmt.Errorf("block %%%s: %%%s: %w", b.Name, in.Name, err)
+			}
+			regTy[in.Name] = ty
+			defBlock[in.Name] = b.Name
+			defIdx[in.Name] = i
+		}
+		if len(b.Instrs) == 0 || !b.Term().IsTerminator() {
+			return fmt.Errorf("block %%%s: missing terminator", b.Name)
+		}
+	}
+
+	g := FuncGraph{f}
+	preds := cfg.Preds(g)
+	idom := cfg.Dominators(g)
+	if len(preds[f.Entry().Name]) != 0 {
+		return fmt.Errorf("entry block has predecessors")
+	}
+
+	checkUse := func(b *Block, i int, v Value) error {
+		switch v.Kind {
+		case VReg:
+			ty, ok := regTy[v.Name]
+			if !ok {
+				return fmt.Errorf("use of undefined register %%%s", v.Name)
+			}
+			if !TypeEqual(ty, v.Ty) {
+				return fmt.Errorf("register %%%s has type %s, used as %s", v.Name, ty, v.Ty)
+			}
+			db := defBlock[v.Name]
+			if db == "" {
+				return nil // parameter
+			}
+			if db == b.Name {
+				if defIdx[v.Name] >= i && b.Instrs[i].Op != OpPhi {
+					return fmt.Errorf("register %%%s used before definition", v.Name)
+				}
+				return nil
+			}
+			if !cfg.Dominates(idom, db, b.Name) {
+				return fmt.Errorf("definition of %%%s does not dominate use in %%%s", v.Name, b.Name)
+			}
+		case VGlobal:
+			if m.Global(v.Name) == nil {
+				return fmt.Errorf("use of undefined global @%s", v.Name)
+			}
+		}
+		return nil
+	}
+
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch in.Op {
+			case OpPhi:
+				// Phi incoming edges must exactly match CFG predecessors.
+				seen := make(map[string]bool, len(in.Incoming))
+				for _, inc := range in.Incoming {
+					pb, ok := blocks[inc.Pred]
+					if !ok {
+						return fmt.Errorf("block %%%s: phi references unknown block %%%s", b.Name, inc.Pred)
+					}
+					if seen[inc.Pred] {
+						return fmt.Errorf("block %%%s: phi lists %%%s twice", b.Name, inc.Pred)
+					}
+					seen[inc.Pred] = true
+					if !TypeEqual(in.Ty, inc.Val.Ty) {
+						return fmt.Errorf("block %%%s: phi incoming type mismatch", b.Name)
+					}
+					// Incoming register must dominate the predecessor end.
+					if inc.Val.Kind == VReg {
+						ty, ok := regTy[inc.Val.Name]
+						if !ok {
+							return fmt.Errorf("block %%%s: phi uses undefined %%%s", b.Name, inc.Val.Name)
+						}
+						if !TypeEqual(ty, inc.Val.Ty) {
+							return fmt.Errorf("block %%%s: phi operand type mismatch for %%%s", b.Name, inc.Val.Name)
+						}
+						db := defBlock[inc.Val.Name]
+						if db != "" && !cfg.Dominates(idom, db, pb.Name) {
+							return fmt.Errorf("block %%%s: phi operand %%%s does not dominate predecessor %%%s",
+								b.Name, inc.Val.Name, pb.Name)
+						}
+					}
+					if inc.Val.Kind == VGlobal && m.Global(inc.Val.Name) == nil {
+						return fmt.Errorf("phi uses undefined global @%s", inc.Val.Name)
+					}
+				}
+				for _, pr := range preds[b.Name] {
+					if !seen[pr] {
+						return fmt.Errorf("block %%%s: phi missing incoming for predecessor %%%s", b.Name, pr)
+					}
+				}
+				if len(in.Incoming) != len(preds[b.Name]) {
+					return fmt.Errorf("block %%%s: phi has %d incoming, block has %d predecessors",
+						b.Name, len(in.Incoming), len(preds[b.Name]))
+				}
+			default:
+				for _, v := range in.Args {
+					if err := checkUse(b, i, v); err != nil {
+						return fmt.Errorf("block %%%s: %s: %w", b.Name, in, err)
+					}
+				}
+			}
+			if err := checkTypes(m, f, in); err != nil {
+				return fmt.Errorf("block %%%s: %s: %w", b.Name, in, err)
+			}
+			for _, l := range in.Labels {
+				if _, ok := blocks[l]; !ok {
+					return fmt.Errorf("block %%%s: branch to unknown block %%%s", b.Name, l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// resultType computes the type of an instruction's result register.
+func resultType(in *Instr) (Type, error) {
+	switch in.Op {
+	case OpICmp:
+		return I1, nil
+	case OpAlloca:
+		return PtrType{Elem: in.Ty}, nil
+	case OpGEP, OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpSDiv, OpSRem, OpAnd, OpOr, OpXor,
+		OpShl, OpLShr, OpAShr, OpTrunc, OpZExt, OpSExt, OpBitcast,
+		OpIntToPtr, OpPtrToInt, OpCall, OpPhi, OpSelect, OpLoad:
+		return in.Ty, nil
+	}
+	return nil, fmt.Errorf("instruction produces no result")
+}
+
+func checkTypes(m *Module, f *Function, in *Instr) error {
+	intOnly := func(t Type) error {
+		if _, ok := t.(IntType); !ok {
+			return fmt.Errorf("expected integer type, got %s", t)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpUDiv, OpURem, OpSDiv, OpSRem, OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		return intOnly(in.Ty)
+	case OpICmp:
+		switch in.Ty.(type) {
+		case IntType, PtrType:
+			return nil
+		}
+		return fmt.Errorf("icmp over non-integer, non-pointer type %s", in.Ty)
+	case OpTrunc:
+		s, okS := in.SrcTy.(IntType)
+		d, okD := in.Ty.(IntType)
+		if !okS || !okD || d.Bits >= s.Bits {
+			return fmt.Errorf("trunc must narrow integer types")
+		}
+	case OpZExt, OpSExt:
+		s, okS := in.SrcTy.(IntType)
+		d, okD := in.Ty.(IntType)
+		if !okS || !okD || d.Bits <= s.Bits {
+			return fmt.Errorf("%s must widen integer types", opNames[in.Op])
+		}
+	case OpBitcast:
+		_, okS := in.SrcTy.(PtrType)
+		_, okD := in.Ty.(PtrType)
+		if !okS || !okD {
+			return fmt.Errorf("bitcast supports only pointer-to-pointer")
+		}
+	case OpIntToPtr:
+		if err := intOnly(in.SrcTy); err != nil {
+			return err
+		}
+		if _, ok := in.Ty.(PtrType); !ok {
+			return fmt.Errorf("inttoptr target must be a pointer")
+		}
+	case OpPtrToInt:
+		if _, ok := in.SrcTy.(PtrType); !ok {
+			return fmt.Errorf("ptrtoint source must be a pointer")
+		}
+		return intOnly(in.Ty)
+	case OpLoad:
+		pt, ok := in.Args[0].Ty.(PtrType)
+		if !ok || !TypeEqual(pt.Elem, in.Ty) {
+			return fmt.Errorf("load type %s does not match pointer %s", in.Ty, in.Args[0].Ty)
+		}
+	case OpStore:
+		pt, ok := in.Args[1].Ty.(PtrType)
+		if !ok || !TypeEqual(pt.Elem, in.Ty) {
+			return fmt.Errorf("store type %s does not match pointer %s", in.Ty, in.Args[1].Ty)
+		}
+	case OpCondBr:
+		if it, ok := in.Args[0].Ty.(IntType); !ok || it.Bits != 1 {
+			return fmt.Errorf("conditional branch on non-i1 value")
+		}
+	case OpRet:
+		if len(in.Args) == 0 {
+			if _, ok := f.Ret.(VoidType); !ok {
+				return fmt.Errorf("ret void in non-void function")
+			}
+		} else if !TypeEqual(in.Ty, f.Ret) {
+			return fmt.Errorf("ret type %s does not match function return %s", in.Ty, f.Ret)
+		}
+	case OpCall:
+		callee := m.Func(in.Callee)
+		if callee != nil {
+			if !TypeEqual(callee.Ret, in.Ty) {
+				return fmt.Errorf("call result type %s does not match @%s return %s", in.Ty, in.Callee, callee.Ret)
+			}
+			if len(callee.Params) != len(in.Args) {
+				return fmt.Errorf("call to @%s with %d args, want %d", in.Callee, len(in.Args), len(callee.Params))
+			}
+			for i, a := range in.Args {
+				if !TypeEqual(a.Ty, callee.Params[i].Ty) {
+					return fmt.Errorf("call arg %d type %s, want %s", i, a.Ty, callee.Params[i].Ty)
+				}
+			}
+		}
+	case OpSelect:
+		if it, ok := in.Args[0].Ty.(IntType); !ok || it.Bits != 1 {
+			return fmt.Errorf("select condition must be i1")
+		}
+	}
+	return nil
+}
+
+// FuncGraph adapts a Function to the cfg analyses.
+type FuncGraph struct{ F *Function }
+
+// Blocks returns the block labels, entry first.
+func (g FuncGraph) Blocks() []string {
+	out := make([]string, len(g.F.Blocks))
+	for i, b := range g.F.Blocks {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Succs returns the control-flow successors of a block.
+func (g FuncGraph) Succs(name string) []string {
+	b := g.F.BlockByName(name)
+	if b == nil || len(b.Instrs) == 0 {
+		return nil
+	}
+	return b.Term().Labels
+}
+
+// UseDef returns the upward-exposed uses and definitions of a block (phi
+// operands excluded: they are edge uses of the predecessors).
+func (g FuncGraph) UseDef(name string) (use, def map[string]bool) {
+	use = make(map[string]bool)
+	def = make(map[string]bool)
+	b := g.F.BlockByName(name)
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			for _, v := range in.Args {
+				if v.Kind == VReg && !def[v.Name] {
+					use[v.Name] = true
+				}
+			}
+		}
+		if in.Name != "" {
+			def[in.Name] = true
+		}
+	}
+	return use, def
+}
+
+// EdgeUse returns registers consumed by phis in `to` along the edge from
+// `from`.
+func (g FuncGraph) EdgeUse(from, to string) map[string]bool {
+	out := make(map[string]bool)
+	b := g.F.BlockByName(to)
+	if b == nil {
+		return out
+	}
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		for _, inc := range in.Incoming {
+			if inc.Pred == from && inc.Val.Kind == VReg {
+				out[inc.Val.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// RegTypes returns the type of every register (params and results).
+func RegTypes(f *Function) map[string]Type {
+	out := make(map[string]Type)
+	for _, p := range f.Params {
+		out[p.Name] = p.Ty
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Name == "" {
+				continue
+			}
+			if t, err := resultType(in); err == nil {
+				out[in.Name] = t
+			}
+		}
+	}
+	return out
+}

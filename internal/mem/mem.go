@@ -1,0 +1,284 @@
+// Package mem implements the common memory model shared by the LLVM IR and
+// Virtual x86 semantics (paper §4.4, common.k): a byte-addressable,
+// little-endian, sequentially consistent memory with an object layout.
+//
+// Using one model on both sides makes the acceptability relation's memory
+// constraint a plain equality between the two memories, exactly as in the
+// paper's prototype. The package provides a concrete store for the
+// reference interpreters and a symbolic store (an smt array term plus the
+// shared object layout) for the equivalence checker. Out-of-bounds accesses
+// are detected against the layout and surface as error states in the
+// language semantics (paper §4.6).
+package mem
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/smt"
+)
+
+// Object is a contiguous allocation (a global or a stack slot).
+type Object struct {
+	Name string
+	Base uint64
+	Size uint64
+}
+
+// Layout assigns concrete base addresses to named objects. Both programs of
+// a validation instance share one Layout, so that "the same address" means
+// the same thing on both sides.
+type Layout struct {
+	objects []Object
+	byName  map[string]int
+	next    uint64
+}
+
+// GlobalBase is the address where the first object is placed. Address 0 is
+// never valid (it is the null pointer).
+const GlobalBase = 0x10000
+
+// NewLayout returns an empty layout.
+func NewLayout() *Layout {
+	return &Layout{byName: make(map[string]int), next: GlobalBase}
+}
+
+// Alloc reserves size bytes (minimum 1) for name and returns the object.
+// Objects are 16-byte aligned and separated by a guard gap so that
+// out-of-bounds accesses never alias a neighbouring object.
+func (l *Layout) Alloc(name string, size uint64) Object {
+	if _, dup := l.byName[name]; dup {
+		panic(fmt.Sprintf("mem: duplicate object %q", name))
+	}
+	if size == 0 {
+		size = 1
+	}
+	o := Object{Name: name, Base: l.next, Size: size}
+	l.byName[name] = len(l.objects)
+	l.objects = append(l.objects, o)
+	// Advance with a 16-byte guard gap, then round up to 16.
+	l.next += (size + 16 + 15) &^ 15
+	return o
+}
+
+// Find returns the object named name.
+func (l *Layout) Find(name string) (Object, bool) {
+	i, ok := l.byName[name]
+	if !ok {
+		return Object{}, false
+	}
+	return l.objects[i], true
+}
+
+// Objects returns all objects in allocation order.
+func (l *Layout) Objects() []Object {
+	out := make([]Object, len(l.objects))
+	copy(out, l.objects)
+	return out
+}
+
+// Clone returns a deep copy of the layout (used by interpreters that grow
+// the layout with per-activation stack slots).
+func (l *Layout) Clone() *Layout {
+	n := &Layout{byName: make(map[string]int, len(l.byName)), next: l.next}
+	n.objects = append(n.objects, l.objects...)
+	for k, v := range l.byName {
+		n.byName[k] = v
+	}
+	return n
+}
+
+// InBounds reports whether the access [addr, addr+size) lies entirely
+// within a single allocated object.
+func (l *Layout) InBounds(addr, size uint64) bool {
+	for _, o := range l.objects {
+		if addr >= o.Base && addr+size <= o.Base+o.Size && addr+size >= addr {
+			return true
+		}
+	}
+	return false
+}
+
+// ObjectAt returns the object containing addr, if any.
+func (l *Layout) ObjectAt(addr uint64) (Object, bool) {
+	for _, o := range l.objects {
+		if addr >= o.Base && addr < o.Base+o.Size {
+			return o, true
+		}
+	}
+	return Object{}, false
+}
+
+// --- Concrete memory ---
+
+// Concrete is a byte store for the reference interpreters.
+type Concrete struct {
+	layout *Layout
+	bytes  map[uint64]uint8
+}
+
+// ErrOOB is the error kind for out-of-bounds accesses.
+type ErrOOB struct {
+	Addr uint64
+	Size uint64
+}
+
+func (e *ErrOOB) Error() string {
+	return fmt.Sprintf("mem: out-of-bounds access of %d bytes at %#x", e.Size, e.Addr)
+}
+
+// NewConcrete returns an empty concrete memory over the given layout.
+// The layout may keep growing (e.g. new stack slots) after creation.
+func NewConcrete(layout *Layout) *Concrete {
+	return &Concrete{layout: layout, bytes: make(map[uint64]uint8)}
+}
+
+// Layout returns the layout the memory checks accesses against.
+func (m *Concrete) Layout() *Layout { return m.layout }
+
+// Load reads size bytes (1,2,4,8) little-endian at addr.
+func (m *Concrete) Load(addr uint64, size int) (uint64, error) {
+	if !m.layout.InBounds(addr, uint64(size)) {
+		return 0, &ErrOOB{Addr: addr, Size: uint64(size)}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.bytes[addr+uint64(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Store writes size bytes (1,2,4,8) little-endian at addr.
+func (m *Concrete) Store(addr uint64, size int, val uint64) error {
+	if !m.layout.InBounds(addr, uint64(size)) {
+		return &ErrOOB{Addr: addr, Size: uint64(size)}
+	}
+	for i := 0; i < size; i++ {
+		m.bytes[addr+uint64(i)] = uint8(val >> (8 * i))
+	}
+	return nil
+}
+
+// Bytes returns a copy of all written bytes (for state comparison in tests).
+func (m *Concrete) Bytes() map[uint64]uint8 {
+	out := make(map[uint64]uint8, len(m.bytes))
+	for k, v := range m.bytes {
+		out[k] = v
+	}
+	return out
+}
+
+// Clone returns an independent copy sharing the layout.
+func (m *Concrete) Clone() *Concrete {
+	n := NewConcrete(m.layout)
+	for k, v := range m.bytes {
+		n.bytes[k] = v
+	}
+	return n
+}
+
+// Equal reports whether two concrete memories hold the same contents.
+func Equal(a, b *Concrete) bool {
+	if len(a.bytes) > len(b.bytes) {
+		a, b = b, a
+	}
+	keys := make(map[uint64]struct{}, len(a.bytes)+len(b.bytes))
+	for k := range a.bytes {
+		keys[k] = struct{}{}
+	}
+	for k := range b.bytes {
+		keys[k] = struct{}{}
+	}
+	for k := range keys {
+		if a.bytes[k] != b.bytes[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// DumpObject renders the contents of a named object (for diagnostics).
+func (m *Concrete) DumpObject(name string) string {
+	o, ok := m.layout.Find(name)
+	if !ok {
+		return fmt.Sprintf("<no object %q>", name)
+	}
+	out := fmt.Sprintf("%s[%d] =", name, o.Size)
+	for i := uint64(0); i < o.Size; i++ {
+		out += fmt.Sprintf(" %02x", m.bytes[o.Base+i])
+	}
+	return out
+}
+
+// --- Symbolic memory ---
+
+// Symbolic is an immutable symbolic memory: an smt array term over the
+// shared layout. Store returns a new Symbolic; the original is unchanged,
+// which matches the branching structure of symbolic execution.
+type Symbolic struct {
+	ctx    *smt.Context
+	term   *smt.Term
+	layout *Layout
+}
+
+// NewSymbolic returns a symbolic memory rooted at the array variable name.
+func NewSymbolic(ctx *smt.Context, name string, layout *Layout) *Symbolic {
+	return &Symbolic{ctx: ctx, term: ctx.VarMem(name), layout: layout}
+}
+
+// Term returns the underlying array term.
+func (m *Symbolic) Term() *smt.Term { return m.term }
+
+// Layout returns the shared object layout.
+func (m *Symbolic) Layout() *Layout { return m.layout }
+
+// Load builds the little-endian read of size bytes at addr (a BV64 term),
+// returning a BV term of width 8*size.
+func (m *Symbolic) Load(addr *smt.Term, size int) *smt.Term {
+	c := m.ctx
+	out := c.Select(m.term, addr) // byte 0 (lowest)
+	for i := 1; i < size; i++ {
+		byteI := c.Select(m.term, c.Add(addr, c.BV(uint64(i), 64)))
+		out = c.Concat(byteI, out)
+	}
+	return out
+}
+
+// Store builds the little-endian write of val (width 8*size) at addr and
+// returns the new memory.
+func (m *Symbolic) Store(addr *smt.Term, size int, val *smt.Term) *Symbolic {
+	if int(val.Width) != 8*size {
+		panic(fmt.Sprintf("mem: store width %d != 8*%d", val.Width, size))
+	}
+	c := m.ctx
+	t := m.term
+	for i := 0; i < size; i++ {
+		b := c.Extract(val, uint8(8*i+7), uint8(8*i))
+		t = c.Store(t, c.Add(addr, c.BV(uint64(i), 64)), b)
+	}
+	return &Symbolic{ctx: m.ctx, term: t, layout: m.layout}
+}
+
+// InBoundsCond returns the Bool term asserting that [addr, addr+size) lies
+// within a single object of the layout. The semantics branch on it to
+// produce out-of-bounds error states (paper §4.6).
+func (m *Symbolic) InBoundsCond(addr *smt.Term, size int) *smt.Term {
+	c := m.ctx
+	end := c.Add(addr, c.BV(uint64(size), 64))
+	cond := c.False()
+	objs := m.layout.Objects()
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Base < objs[j].Base })
+	for _, o := range objs {
+		lo := c.BV(o.Base, 64)
+		hi := c.BV(o.Base+o.Size, 64)
+		in := c.AndB(c.Ule(lo, addr), c.Ule(end, hi))
+		cond = c.OrB(cond, in)
+	}
+	return cond
+}
+
+// WithTerm returns a copy of m rooted at the given array term (used when a
+// sync point re-binds memory to a fresh variable).
+func (m *Symbolic) WithTerm(t *smt.Term) *Symbolic {
+	return &Symbolic{ctx: m.ctx, term: t, layout: m.layout}
+}

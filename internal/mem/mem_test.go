@@ -1,0 +1,248 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/smt"
+)
+
+func TestLayoutAllocation(t *testing.T) {
+	l := NewLayout()
+	a := l.Alloc("a", 12)
+	b := l.Alloc("b", 8)
+	if a.Base < GlobalBase {
+		t.Errorf("a.Base = %#x below GlobalBase", a.Base)
+	}
+	if b.Base < a.Base+a.Size+16 {
+		t.Errorf("objects not separated by guard gap: a=%+v b=%+v", a, b)
+	}
+	if b.Base%16 != 0 {
+		t.Errorf("b.Base = %#x not 16-aligned", b.Base)
+	}
+	got, ok := l.Find("a")
+	if !ok || got != a {
+		t.Errorf("Find(a) = %+v, %v", got, ok)
+	}
+	if _, ok := l.Find("zzz"); ok {
+		t.Errorf("Find of missing object succeeded")
+	}
+}
+
+func TestLayoutDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate Alloc did not panic")
+		}
+	}()
+	l := NewLayout()
+	l.Alloc("x", 4)
+	l.Alloc("x", 4)
+}
+
+func TestInBounds(t *testing.T) {
+	l := NewLayout()
+	a := l.Alloc("a", 12)
+	tests := []struct {
+		addr, size uint64
+		want       bool
+	}{
+		{a.Base, 12, true},
+		{a.Base, 1, true},
+		{a.Base + 11, 1, true},
+		{a.Base + 8, 4, true},
+		{a.Base + 8, 8, false}, // the load-narrowing bug's access shape
+		{a.Base + 12, 1, false},
+		{a.Base - 1, 1, false},
+		{0, 1, false},
+	}
+	for _, tc := range tests {
+		if got := l.InBounds(tc.addr, tc.size); got != tc.want {
+			t.Errorf("InBounds(%#x, %d) = %v, want %v", tc.addr, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestConcreteLoadStoreRoundTrip(t *testing.T) {
+	l := NewLayout()
+	o := l.Alloc("g", 16)
+	m := NewConcrete(l)
+	for _, size := range []int{1, 2, 4, 8} {
+		val := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if err := m.Store(o.Base, size, val); err != nil {
+			t.Fatalf("Store size %d: %v", size, err)
+		}
+		got, err := m.Load(o.Base, size)
+		if err != nil {
+			t.Fatalf("Load size %d: %v", size, err)
+		}
+		if got != val {
+			t.Errorf("round trip size %d: got %#x want %#x", size, got, val)
+		}
+	}
+}
+
+func TestConcreteLittleEndian(t *testing.T) {
+	l := NewLayout()
+	o := l.Alloc("g", 8)
+	m := NewConcrete(l)
+	if err := m.Store(o.Base, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := m.Load(o.Base, 1)
+	b3, _ := m.Load(o.Base+3, 1)
+	if b0 != 0x44 || b3 != 0x11 {
+		t.Errorf("bytes = %#x..%#x, want little-endian 0x44..0x11", b0, b3)
+	}
+}
+
+func TestConcreteOOB(t *testing.T) {
+	l := NewLayout()
+	o := l.Alloc("g", 12)
+	m := NewConcrete(l)
+	_, err := m.Load(o.Base+8, 8)
+	var oob *ErrOOB
+	if !errors.As(err, &oob) {
+		t.Fatalf("Load past end: err = %v, want ErrOOB", err)
+	}
+	if oob.Addr != o.Base+8 || oob.Size != 8 {
+		t.Errorf("oob = %+v", oob)
+	}
+	if err := m.Store(0, 1, 0); err == nil {
+		t.Errorf("store to null succeeded")
+	}
+}
+
+func TestConcreteEqualAndClone(t *testing.T) {
+	l := NewLayout()
+	o := l.Alloc("g", 8)
+	m1 := NewConcrete(l)
+	m1.Store(o.Base, 4, 0xAABBCCDD)
+	m2 := m1.Clone()
+	if !Equal(m1, m2) {
+		t.Fatalf("clone not equal")
+	}
+	m2.Store(o.Base, 1, 0x00)
+	if Equal(m1, m2) {
+		t.Fatalf("modified clone still equal")
+	}
+	// Writing an explicit zero differs from never-written only in the map,
+	// not semantically; Equal must treat absent as zero.
+	m3 := NewConcrete(l)
+	m4 := NewConcrete(l)
+	m3.Store(o.Base, 1, 0)
+	if !Equal(m3, m4) {
+		t.Fatalf("explicit zero != implicit zero")
+	}
+}
+
+func TestSymbolicLoadStoreRoundTrip(t *testing.T) {
+	ctx := smt.NewContext()
+	l := NewLayout()
+	o := l.Alloc("g", 16)
+	m := NewSymbolic(ctx, "M", l)
+	addr := ctx.BV(o.Base, 64)
+	val := ctx.VarBV("v", 32)
+	m2 := m.Store(addr, 4, val)
+	got := m2.Load(addr, 4)
+	if got != val {
+		t.Errorf("symbolic round trip: got %v want %v", got, val)
+	}
+}
+
+func TestSymbolicLoadMatchesConcrete(t *testing.T) {
+	// Property: a symbolic store+load sequence evaluated under a concrete
+	// assignment matches the concrete memory.
+	f := func(v uint32, off uint8) bool {
+		offset := uint64(off % 4)
+		ctx := smt.NewContext()
+		l := NewLayout()
+		o := l.Alloc("g", 16)
+		cm := NewConcrete(l)
+		if err := cm.Store(o.Base+offset, 4, uint64(v)); err != nil {
+			return false
+		}
+		sm := NewSymbolic(ctx, "M", l)
+		sm2 := sm.Store(ctx.BV(o.Base+offset, 64), 4, ctx.BV(uint64(v), 32))
+		// Read back 2 bytes at offset+1 (overlapping read).
+		sym := sm2.Load(ctx.BV(o.Base+offset+1, 64), 2)
+		want, err := cm.Load(o.Base+offset+1, 2)
+		if err != nil {
+			return false
+		}
+		assign := smt.NewAssign()
+		got, err := assign.EvalBV(sym)
+		if err != nil {
+			return false
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInBoundsCondMatchesConcrete(t *testing.T) {
+	ctx := smt.NewContext()
+	l := NewLayout()
+	a := l.Alloc("a", 12)
+	l.Alloc("b", 8)
+	m := NewSymbolic(ctx, "M", l)
+	assign := smt.NewAssign()
+	for _, tc := range []struct {
+		addr uint64
+		size int
+	}{
+		{a.Base, 4}, {a.Base + 8, 4}, {a.Base + 8, 8}, {a.Base + 12, 1}, {0, 1},
+	} {
+		cond := m.InBoundsCond(ctx.BV(tc.addr, 64), tc.size)
+		got, err := assign.EvalBool(cond)
+		if err != nil {
+			t.Fatalf("eval: %v", err)
+		}
+		want := l.InBounds(tc.addr, uint64(tc.size))
+		if got != want {
+			t.Errorf("InBoundsCond(%#x,%d) = %v, concrete = %v", tc.addr, tc.size, got, want)
+		}
+	}
+}
+
+func TestSymbolicInBoundsProvable(t *testing.T) {
+	// For a symbolic address constrained inside an object, the solver must
+	// prove the bounds condition.
+	ctx := smt.NewContext()
+	l := NewLayout()
+	o := l.Alloc("a", 12)
+	m := NewSymbolic(ctx, "M", l)
+	addr := ctx.VarBV("p", 64)
+	s := smt.NewSolver(ctx)
+	premise := ctx.AndB(
+		ctx.Ule(ctx.BV(o.Base, 64), addr),
+		ctx.Ule(addr, ctx.BV(o.Base+8, 64)))
+	proved, _, err := s.ProveImplies(premise, m.InBoundsCond(addr, 4))
+	if err != nil || !proved {
+		t.Fatalf("bounds proof: proved=%v err=%v", proved, err)
+	}
+	// And it must refuse to prove an access that can go out of bounds.
+	proved, _, err = s.ProveImplies(premise, m.InBoundsCond(addr, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved {
+		t.Fatalf("proved an overrunning access in bounds")
+	}
+}
+
+func TestLayoutClone(t *testing.T) {
+	l := NewLayout()
+	l.Alloc("a", 4)
+	c := l.Clone()
+	c.Alloc("b", 4)
+	if _, ok := l.Find("b"); ok {
+		t.Fatalf("clone mutation leaked into original")
+	}
+	if _, ok := c.Find("a"); !ok {
+		t.Fatalf("clone lost object")
+	}
+}

@@ -1,0 +1,118 @@
+// Package paperprogs holds the LLVM IR programs that appear in the paper,
+// shared by tests, examples, and the benchmark harness.
+package paperprogs
+
+// ArithmSeqSum is Figure 1/2(a): the sum of the first n elements of an
+// arithmetic sequence with first element a0 and step d, in LLVM IR at -O0.
+const ArithmSeqSum = `
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+
+for.end:
+  ret i32 %s.0
+}
+`
+
+// WAWStores is Figure 8: three 2-byte stores into a global byte array with
+// a write-after-write dependency between the first two (they overlap at
+// offset 3). The buggy store-merge peephole of Figure 9(b) reverses that
+// dependency.
+const WAWStores = `
+@b = external global [8 x i8]
+
+define void @waw_foo() {
+entry:
+  store i16 0, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 2) to i16*)
+  store i16 2, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 3) to i16*)
+  store i16 1, i16* bitcast (i8* getelementptr inbounds ([8 x i8], [8 x i8]* @b, i64 0, i64 0) to i16*)
+  ret void
+}
+`
+
+// LoadNarrow is Figure 10 scaled from i96/lshr 64/i64 to i48/lshr 32/i32
+// (the repository's bitvector solver works at widths up to 64; the scaled
+// version preserves the bug shape exactly: a narrowing of a load of a
+// non-power-of-two-width integer where the buggy peephole widens the
+// narrowed access past the end of the object).
+const LoadNarrow = `
+@a = external global i48, align 4
+@b = external global i32, align 8
+
+define void @narrow_foo() {
+entry:
+  %srcval = load i48, i48* @a, align 4
+  %tmp48 = lshr i48 %srcval, 32
+  %tmp32 = trunc i48 %tmp48 to i32
+  store i32 %tmp32, i32* @b, align 8
+  ret void
+}
+`
+
+// CallExample exercises the call-site synchronization points of §4.5.
+const CallExample = `
+declare i32 @callee(i32, i32)
+
+define i32 @call_example(i32 %x, i32 %y) {
+entry:
+  %sum = add i32 %x, %y
+  %r = call i32 @callee(i32 %sum, i32 %x)
+  %out = add i32 %r, %y
+  ret i32 %out
+}
+`
+
+// MemSwap loads two globals and stores them swapped: exercises load/store
+// equality of memories with symbolic contents.
+const MemSwap = `
+@p = external global i32
+@q = external global i32
+
+define void @mem_swap() {
+entry:
+  %a = load i32, i32* @p
+  %b = load i32, i32* @q
+  store i32 %b, i32* @p
+  store i32 %a, i32* @q
+  ret void
+}
+`
+
+// NSWExample has signed-overflow UB on one path (paper §4.6): the checker
+// must validate the translation by silently degrading to refinement on the
+// overflowing inputs.
+const NSWExample = `
+define i32 @nsw_example(i32 %x) {
+entry:
+  %r = add nsw i32 %x, 1
+  ret i32 %r
+}
+`
+
+// AllocaExample exercises stack slots through the common layout.
+const AllocaExample = `
+define i32 @alloca_example(i32 %x) {
+entry:
+  %slot = alloca i32
+  store i32 %x, i32* %slot
+  %v = load i32, i32* %slot
+  %r = add i32 %v, 7
+  ret i32 %r
+}
+`

@@ -1,0 +1,462 @@
+// Package regalloc implements a spill-everything register allocator for
+// Virtual x86 — the paper's "ongoing work" (§1): validating the register
+// allocation phase with the same unchanged KEQ checker, this time with the
+// SAME language on both sides of the equivalence.
+//
+// The allocator assigns every virtual register a frame slot (the Machine
+// IR FrameIndex abstraction, modeled by vx86's spill/reload pseudo-ops),
+// rewrites every use into a reload into a scratch register and every
+// definition into a spill, and eliminates PHIs with the standard two-phase
+// parallel-copy lowering through per-phi temporary slots. This is the
+// shape of LLVM's -O0 RegAllocFast.
+//
+// Unlike the paper's register-allocation VC generator (which treats the
+// allocator as a black box and infers the correspondence), the generator
+// here uses the allocator's vreg→slot hint — the same trade-off the ISel
+// prototype makes (§4.5: transparency for accuracy).
+package regalloc
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/vx86"
+)
+
+// Options controls the allocator.
+type Options struct {
+	// BugClobberScratch reloads both operands of a binary operation into
+	// the SAME scratch register, clobbering the first — a classic
+	// register-allocator bug for KEQ to catch.
+	BugClobberScratch bool
+}
+
+// Result is the allocated function plus the slot-assignment hint.
+type Result struct {
+	Fn *vx86.Function
+	// SlotOf maps a virtual register name ("vr3") to its frame slot name.
+	SlotOf map[string]string
+}
+
+const (
+	scratchA = "r10"
+	scratchB = "r11"
+)
+
+// Allocate rewrites f into an equivalent function without virtual
+// registers or PHIs.
+func Allocate(f *vx86.Function, opts Options) (*Result, error) {
+	widths := vx86.RegWidths(f)
+	slotOf := make(map[string]string, len(widths))
+	for v := range widths {
+		slotOf[v] = "s." + v
+	}
+	a := &allocator{in: f, opts: opts, widths: widths, slotOf: slotOf}
+	out, err := a.run()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Fn: out, SlotOf: slotOf}, nil
+}
+
+type allocator struct {
+	in     *vx86.Function
+	opts   Options
+	widths map[string]uint8
+	slotOf map[string]string
+	out    []*vx86.Instr
+}
+
+func (a *allocator) emit(in *vx86.Instr) { a.out = append(a.out, in) }
+
+func scratch(base string, w uint8) vx86.Reg { return vx86.Reg{Name: base, Width: w} }
+
+// reload brings an operand into the given scratch register and returns the
+// rewritten operand. Immediates and physical registers pass through.
+func (a *allocator) reload(o vx86.Operand, base string) (vx86.Operand, error) {
+	if o.Kind != vx86.OReg || !o.Reg.Virtual {
+		return o, nil
+	}
+	slot, ok := a.slotOf[o.Reg.Name]
+	if !ok {
+		return o, fmt.Errorf("regalloc: unassigned register %s", o.Reg)
+	}
+	dst := scratch(base, o.Reg.Width)
+	a.emit(&vx86.Instr{Op: vx86.OpReload, Dst: dst, HasDst: true, Slot: slot})
+	return vx86.RegOp(dst), nil
+}
+
+// spillDst returns the scratch register standing in for a virtual
+// destination plus a deferred spill; physical destinations pass through.
+func (a *allocator) spillDst(dst vx86.Reg, base string) (vx86.Reg, *vx86.Instr) {
+	if !dst.Virtual {
+		return dst, nil
+	}
+	sc := scratch(base, dst.Width)
+	return sc, &vx86.Instr{Op: vx86.OpSpill, Slot: a.slotOf[dst.Name],
+		Srcs: []vx86.Operand{vx86.RegOp(sc)}}
+}
+
+func (a *allocator) run() (*vx86.Function, error) {
+	out := &vx86.Function{Name: a.in.Name}
+	preds := cfg.Preds(vx86.FuncGraph{F: a.in})
+
+	for _, b := range a.in.Blocks {
+		a.out = nil
+		for _, in := range b.Instrs {
+			if in.Op == vx86.OpPhi {
+				continue // eliminated via predecessor edge copies below
+			}
+			if err := a.rewrite(in); err != nil {
+				return nil, fmt.Errorf("regalloc: block %s: %w", b.Name, err)
+			}
+		}
+		out.Blocks = append(out.Blocks, &vx86.Block{Name: b.Name, Instrs: a.out})
+	}
+
+	// PHI elimination: two-phase parallel copies in each predecessor.
+	for _, b := range a.in.Blocks {
+		var phis []*vx86.Instr
+		for _, in := range b.Instrs {
+			if in.Op == vx86.OpPhi {
+				phis = append(phis, in)
+			}
+		}
+		if len(phis) == 0 {
+			continue
+		}
+		for _, p := range preds[b.Name] {
+			pb := out.BlockByName(p)
+			if pb == nil {
+				return nil, fmt.Errorf("regalloc: missing predecessor block %s", p)
+			}
+			copies, err := a.phiCopies(b.Name, phis, p)
+			if err != nil {
+				return nil, err
+			}
+			insertBeforeTerminator(pb, copies)
+		}
+	}
+	return out, nil
+}
+
+// phiCopies builds the copy sequence executed on the edge pred→block:
+// phase 1 reads every incoming value into a temp slot, phase 2 moves the
+// temps into the destination slots (parallel-copy semantics, immune to
+// the swap problem).
+func (a *allocator) phiCopies(block string, phis []*vx86.Instr, pred string) ([]*vx86.Instr, error) {
+	saved := a.out
+	a.out = nil
+	defer func() { a.out = saved }()
+
+	type pending struct {
+		temp string
+		dst  string
+		w    uint8
+	}
+	var moves []pending
+	for i, phi := range phis {
+		var val vx86.Operand
+		found := false
+		for _, inc := range phi.Phi {
+			if inc.Pred == pred {
+				val = inc.Val
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("regalloc: phi %s lacks incoming for %s", phi.Dst, pred)
+		}
+		temp := fmt.Sprintf("t.%s.%d", block, i)
+		w := phi.Dst.Width
+		sc := scratch(scratchA, w)
+		switch {
+		case val.Kind == vx86.OImm:
+			a.emit(&vx86.Instr{Op: vx86.OpMov, Dst: sc, HasDst: true,
+				Srcs: []vx86.Operand{val}})
+		case val.Reg.Virtual:
+			a.emit(&vx86.Instr{Op: vx86.OpReload, Dst: sc, HasDst: true,
+				Slot: a.slotOf[val.Reg.Name]})
+		default:
+			a.emit(&vx86.Instr{Op: vx86.OpCopy, Dst: sc, HasDst: true,
+				Srcs: []vx86.Operand{val}})
+		}
+		a.emit(&vx86.Instr{Op: vx86.OpSpill, Slot: temp, Srcs: []vx86.Operand{vx86.RegOp(sc)}})
+		moves = append(moves, pending{temp: temp, dst: a.slotOf[phi.Dst.Name], w: w})
+	}
+	for _, m := range moves {
+		sc := scratch(scratchA, m.w)
+		a.emit(&vx86.Instr{Op: vx86.OpReload, Dst: sc, HasDst: true, Slot: m.temp})
+		a.emit(&vx86.Instr{Op: vx86.OpSpill, Slot: m.dst, Srcs: []vx86.Operand{vx86.RegOp(sc)}})
+	}
+	return a.out, nil
+}
+
+// insertBeforeTerminator places copies before the block's trailing
+// control-transfer cluster. Two safety arguments: (1) spill/reload/mov/
+// copy do not touch eflags, so inserting between a flag-setting compare
+// and its jcc is fine; (2) when the block ends in jcc+jmp, the copies run
+// on BOTH outgoing edges, but writing a phi destination slot early is
+// harmless — by SSA dominance the slot is only ever read after the phi's
+// block, and every edge into that block rewrites it.
+func insertBeforeTerminator(b *vx86.Block, copies []*vx86.Instr) {
+	pos := len(b.Instrs)
+	for i, in := range b.Instrs {
+		if in.Op == vx86.OpJcc || in.Op == vx86.OpJmp || in.Op == vx86.OpRet {
+			pos = i
+			break
+		}
+	}
+	rest := append([]*vx86.Instr(nil), b.Instrs[pos:]...)
+	b.Instrs = append(b.Instrs[:pos:pos], append(copies, rest...)...)
+}
+
+// rewrite lowers one instruction, reloading virtual sources and spilling
+// virtual destinations.
+func (a *allocator) rewrite(in *vx86.Instr) error {
+	n := *in // shallow copy; operand slices are rebuilt below
+	n.Srcs = append([]vx86.Operand(nil), in.Srcs...)
+
+	secondScratch := scratchB
+	if a.opts.BugClobberScratch {
+		secondScratch = scratchA // clobbers the first operand
+	}
+
+	// Address base.
+	if in.Addr != nil && in.Addr.Base != nil && in.Addr.Base.Virtual {
+		op, err := a.reload(vx86.RegOp(*in.Addr.Base), scratchB)
+		if err != nil {
+			return err
+		}
+		addr := *in.Addr
+		addr.Base = &op.Reg
+		n.Addr = &addr
+	}
+
+	for i := range n.Srcs {
+		base := scratchA
+		if i == 1 {
+			base = secondScratch
+		}
+		// Keep the address scratch (B) free for the base register when an
+		// address is present: sources then use A only; instructions with
+		// an address have at most one register source.
+		if n.Addr != nil {
+			base = scratchA
+		}
+		op, err := a.reload(n.Srcs[i], base)
+		if err != nil {
+			return err
+		}
+		n.Srcs[i] = op
+	}
+
+	var deferred *vx86.Instr
+	if n.HasDst && n.Dst.Virtual {
+		sc, spill := a.spillDst(n.Dst, scratchA)
+		n.Dst = sc
+		deferred = spill
+	}
+	a.emit(&n)
+	if deferred != nil {
+		a.emit(deferred)
+	}
+	return nil
+}
+
+// SyncPoints builds the synchronization relation for one allocation
+// instance: function entry (argument registers), every loop head (live
+// virtual registers against their slots), call sites, and exit.
+func SyncPoints(before *vx86.Function, res *Result) ([]*core.SyncPoint, error) {
+	g := vx86.FuncGraph{F: before}
+	widths := vx86.RegWidths(before)
+	live := cfg.Liveness(g)
+	preds := cfg.Preds(g)
+
+	slotObs := func(v string) string {
+		return fmt.Sprintf("!%s_%d", res.SlotOf[v], widths[v])
+	}
+	vregObs := func(v string) string {
+		return fmt.Sprintf("%%%s_%d", v, widths[v])
+	}
+
+	// Argument registers written before being read in the entry block —
+	// the ones the calling convention provides.
+	entryCons := []core.Constraint{}
+	for _, r := range argRegsRead(before) {
+		entryCons = append(entryCons, core.Constraint{Left: r, Right: r})
+	}
+	points := []*core.SyncPoint{
+		{ID: "p0", LocLeft: "entry", LocRight: "entry", Constraints: entryCons, MemEqual: true},
+	}
+
+	exitCons := []core.Constraint{}
+	if w := raxWriteWidth(before); w > 0 {
+		name := vx86.PhysName("rax", w)
+		exitCons = append(exitCons, core.Constraint{Left: name, Right: name})
+	}
+	points = append(points, &core.SyncPoint{
+		ID: "pexit", LocLeft: "exit", LocRight: "exit",
+		Constraints: exitCons, MemEqual: true, Exiting: true,
+	})
+
+	for _, loop := range cfg.NaturalLoops(g) {
+		h := loop.Header
+		hb := before.BlockByName(h)
+		for _, p := range preds[h] {
+			var cons []core.Constraint
+			// The allocated side has already executed the phi copies on
+			// this edge (phi elimination), while the pre-allocation side
+			// sits before its PHIs. Relate each phi's INCOMING value to
+			// the destination slot.
+			for _, in := range hb.Instrs {
+				if in.Op != vx86.OpPhi {
+					break
+				}
+				for _, inc := range in.Phi {
+					if inc.Pred != p {
+						continue
+					}
+					dst := slotObs(in.Dst.Name)
+					if inc.Val.Kind == vx86.OImm {
+						cons = append(cons, core.Constraint{
+							Left: fmt.Sprintf("%d", inc.Val.Imm), Right: dst})
+					} else if inc.Val.Reg.Virtual {
+						cons = append(cons, core.Constraint{
+							Left: vregObs(inc.Val.Reg.Name), Right: dst})
+					}
+				}
+			}
+			// Loop-invariant live registers map to their own slots.
+			for _, v := range cfg.SortedKeys(live[h]) {
+				cons = append(cons, core.Constraint{Left: vregObs(v), Right: slotObs(v)})
+			}
+			loc := core.Location(fmt.Sprintf("block:%s:from:%s", h, p))
+			points = append(points, &core.SyncPoint{
+				ID:          fmt.Sprintf("p_%s_from_%s", h, p),
+				LocLeft:     loc,
+				LocRight:    loc,
+				Constraints: cons,
+				MemEqual:    true,
+			})
+		}
+	}
+
+	for k, site := range vx86.CallSites(before) {
+		loc := core.Location(fmt.Sprintf("call:%s:%d:before", site.Callee, k))
+		var argCons []core.Constraint
+		for _, r := range argRegsWrittenBefore(before, site) {
+			argCons = append(argCons, core.Constraint{Left: r, Right: r})
+		}
+		points = append(points, &core.SyncPoint{
+			ID: fmt.Sprintf("p_call%d_before", k), LocLeft: loc, LocRight: loc,
+			Constraints: argCons, MemEqual: true, Exiting: true,
+		})
+		locA := core.Location(fmt.Sprintf("call:%s:%d:after", site.Callee, k))
+		cons := []core.Constraint{{Left: "rax", Right: "rax"}}
+		for _, v := range cfg.SortedKeys(liveAfterCall(before, site, live)) {
+			cons = append(cons, core.Constraint{Left: vregObs(v), Right: slotObs(v)})
+		}
+		points = append(points, &core.SyncPoint{
+			ID: fmt.Sprintf("p_call%d_after", k), LocLeft: locA, LocRight: locA,
+			Constraints: cons, MemEqual: true,
+		})
+	}
+	core.SortPoints(points)
+	return points, nil
+}
+
+func unionSets(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// argRegsRead lists argument-register views read anywhere in f (assembly
+// names, deterministic order).
+func argRegsRead(f *vx86.Function) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, o := range in.Srcs {
+				if o.Kind == vx86.OReg && !o.Reg.Virtual && isArgBase(o.Reg.Name) {
+					name := vx86.PhysName(o.Reg.Name, o.Reg.Width)
+					if !seen[name] {
+						seen[name] = true
+						out = append(out, name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isArgBase(base string) bool {
+	for _, r := range vx86.ArgRegs {
+		if r == base {
+			return true
+		}
+	}
+	return false
+}
+
+// raxWriteWidth returns the widest rax view written in f (0 when never
+// written — void functions have no return-value constraint).
+func raxWriteWidth(f *vx86.Function) uint8 {
+	w := uint8(0)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasDst && !in.Dst.Virtual && in.Dst.Name == "rax" && in.Dst.Width > w {
+				w = in.Dst.Width
+			}
+		}
+	}
+	return w
+}
+
+// argRegsWrittenBefore lists the argument registers set up by the copies
+// preceding a call site (the call's arity, recovered statically).
+func argRegsWrittenBefore(f *vx86.Function, site vx86.CallSite) []string {
+	b := f.BlockByName(site.Block)
+	var out []string
+	for i := site.Index - 1; i >= 0; i-- {
+		in := b.Instrs[i]
+		if in.Op == vx86.OpCopy && in.HasDst && !in.Dst.Virtual && isArgBase(in.Dst.Name) {
+			out = append(out, vx86.PhysName(in.Dst.Name, in.Dst.Width))
+			continue
+		}
+		break
+	}
+	return out
+}
+
+// liveAfterCall computes the virtual registers live right after a call.
+func liveAfterCall(f *vx86.Function, site vx86.CallSite, liveIn map[string]map[string]bool) map[string]bool {
+	g := vx86.FuncGraph{F: f}
+	b := f.BlockByName(site.Block)
+	liveSet := cfg.LiveOut(g, liveIn, site.Block)
+	for i := len(b.Instrs) - 1; i > site.Index; i-- {
+		in := b.Instrs[i]
+		if in.HasDst && in.Dst.Virtual {
+			delete(liveSet, in.Dst.Name)
+		}
+		for _, o := range in.Srcs {
+			if o.Kind == vx86.OReg && o.Reg.Virtual {
+				liveSet[o.Reg.Name] = true
+			}
+		}
+		if in.Addr != nil && in.Addr.Base != nil && in.Addr.Base.Virtual {
+			liveSet[in.Addr.Base.Name] = true
+		}
+	}
+	return liveSet
+}

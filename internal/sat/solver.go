@@ -1,0 +1,680 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver in the style of MiniSat: two-watched-literal propagation, VSIDS
+// branching, first-UIP clause learning, and Luby restarts.
+//
+// The solver is the decision-procedure backend for the bit-blasting SMT
+// layer in internal/smt, which in turn discharges the verification
+// conditions produced by the KEQ equivalence checker.
+package sat
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Lit is a literal: variable index shifted left once, low bit is the sign
+// (1 = negated). Variables are numbered from 0.
+type Lit int32
+
+// MkLit builds a literal for variable v, negated when neg is true.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the variable index of l.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether l is a negated literal.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complement literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var()+1)
+	}
+	return fmt.Sprintf("%d", l.Var()+1)
+}
+
+// lbool is a variable assignment encoded so that the value of a literal is
+// assigns[var] XOR sign-bit — a single branchless operation in the unit
+// propagation hot loop (values ≥ 2 mean unassigned).
+type lbool uint8
+
+const (
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
+)
+
+func (b lbool) not() lbool {
+	if b >= lUndef {
+		return lUndef
+	}
+	return b ^ 1
+}
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+// Status is the result of a Solve call.
+type Status int8
+
+const (
+	// Unknown means the solver gave up (budget exhausted).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// ErrBudget is returned by Solve when the conflict or propagation budget is
+// exhausted before a verdict was reached.
+var ErrBudget = errors.New("sat: budget exhausted")
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by literal
+
+	assigns  []lbool
+	level    []int32
+	reason   []*clause
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	order    *varHeap
+	polarity []bool // saved phases
+
+	claInc float64
+
+	seen     []byte
+	analyzeT []Lit
+
+	// Budgets: 0 means unlimited.
+	ConflictBudget int64
+	PropBudget     int64
+	// Deadline, when non-zero, makes Solve return Unknown once passed
+	// (checked at restart boundaries and every few thousand conflicts).
+	Deadline time.Time
+
+	// Stats
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+
+	model []lbool
+	ok    bool
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc: 1.0,
+		claInc: 1.0,
+		ok:     true,
+	}
+	s.order = &varHeap{act: &s.activity}
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses added.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar allocates a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assigns)
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.activity = append(s.activity, 0)
+	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+func (s *Solver) valueLit(l Lit) lbool {
+	v := s.assigns[l>>1] ^ lbool(l&1)
+	if v >= lUndef {
+		return lUndef
+	}
+	return v
+}
+
+// AddClause adds a clause over the given literals. It returns false when the
+// solver is already in an unsatisfiable state (e.g. after adding conflicting
+// unit clauses).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	// Normalize: sort-free dedup, drop false lits, detect tautology/sat.
+	out := lits[:0:0]
+	for _, l := range lits {
+		if l.Var() >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: clause mentions unallocated variable %d", l.Var()))
+		}
+		switch s.valueLit(l) {
+		case lTrue:
+			return true // clause already satisfied at level 0
+		case lFalse:
+			continue // drop
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Neg() {
+		s.assigns[v] = lFalse
+	} else {
+		s.assigns[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; returns the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Propagations++
+		ws := s.watches[p]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			if c.deleted {
+				continue
+			}
+			// Make sure the false literal is lits[1].
+			notP := p.Not()
+			if c.lits[0] == notP {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == lTrue {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Not()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{c, first}
+			j++
+			if s.valueLit(first) == lFalse {
+				// Conflict: copy back remaining watchers.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[p] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = ws[:j]
+	}
+	return nil
+}
+
+// analyze produces a learnt clause (first UIP) and a backtrack level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := s.analyzeT[:0]
+	learnt = append(learnt, 0) // placeholder for the asserting literal
+	pathC := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		for _, q := range confl.lits {
+			if p != -1 && q == p {
+				continue
+			}
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.bumpVar(v)
+				s.seen[v] = 1
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to look at.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.reason[p.Var()]
+		s.seen[p.Var()] = 0
+		pathC--
+		if pathC == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Conflict-clause minimization (local: remove literals implied by
+	// others). Clear seen flags of removed literals as we go; the kept ones
+	// are cleared below.
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if s.redundant(l) {
+			s.seen[l.Var()] = 0
+		} else {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	// Find backtrack level.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+	for _, l := range learnt {
+		s.seen[l.Var()] = 0
+	}
+	s.analyzeT = learnt[:0]
+	res := make([]Lit, len(learnt))
+	copy(res, learnt)
+	return res, btLevel
+}
+
+// redundant reports whether literal l in a learnt clause is implied by the
+// remaining literals through its reason clause (cheap one-level check).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.reason[l.Var()]
+	if r == nil {
+		return false
+	}
+	for _, q := range r.lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		if s.seen[q.Var()] == 0 && s.level[q.Var()] > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, cl := range s.learnts {
+			cl.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lim := int(s.trailLim[level])
+	for i := len(s.trail) - 1; i >= lim; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assigns[v] == lFalse
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.pushIfAbsent(v)
+	}
+	s.trail = s.trail[:lim]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			s.Decisions++
+			return MkLit(v, s.polarity[v])
+		}
+	}
+}
+
+// reduceDB removes half of the learnt clauses with lowest activity.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) < 2 {
+		return
+	}
+	// Partial selection: find median activity by sampling (simple full sort
+	// avoided; use nth-element style two-pass threshold).
+	sum := 0.0
+	for _, c := range s.learnts {
+		sum += c.act
+	}
+	threshold := sum / float64(len(s.learnts))
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) > 2 && c.act < threshold && !s.locked(c) {
+			c.deleted = true
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+}
+
+func (s *Solver) locked(c *clause) bool {
+	l := c.lits[0]
+	return s.reason[l.Var()] == c && s.valueLit(l) == lTrue
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (int64(1)<<k)-1 {
+			return int64(1) << (k - 1)
+		}
+		if i < (int64(1)<<k)-1 {
+			return luby(i - (int64(1) << (k - 1)) + 1)
+		}
+	}
+}
+
+// Solve determines satisfiability under the given assumption literals.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		return Unsat
+	}
+	s.model = nil
+	defer s.cancelUntil(0)
+
+	restartIdx := int64(1)
+	conflictsAtStart := s.Conflicts
+	maxLearnts := float64(len(s.clauses))/3 + 100
+
+	for {
+		budget := luby(restartIdx) * 100
+		restartIdx++
+		st := s.search(budget, assumptions, &maxLearnts)
+		if st == Sat {
+			s.model = make([]lbool, len(s.assigns))
+			copy(s.model, s.assigns)
+			return Sat
+		}
+		if st == Unsat {
+			return Unsat
+		}
+		// Restart or budget exhausted?
+		if s.ConflictBudget > 0 && s.Conflicts-conflictsAtStart >= s.ConflictBudget {
+			return Unknown
+		}
+		if s.PropBudget > 0 && s.Propagations >= s.PropBudget {
+			return Unknown
+		}
+		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			return Unknown
+		}
+		s.Restarts++
+		s.cancelUntil(0)
+	}
+}
+
+// search runs CDCL until a verdict, a restart budget expiry (returns
+// Unknown), or conflict exhaustion.
+func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varInc /= 0.95
+			s.claInc /= 0.999
+			continue
+		}
+		if conflicts >= conflBudget {
+			return Unknown
+		}
+		if float64(len(s.learnts)) > *maxLearnts+float64(len(s.trail)) {
+			s.reduceDB()
+			*maxLearnts *= 1.1
+		}
+		// Establish pending assumptions one level at a time, propagating
+		// each before the next (the outer loop runs propagate first).
+		if s.decisionLevel() < len(assumptions) {
+			a := assumptions[s.decisionLevel()]
+			switch s.valueLit(a) {
+			case lTrue:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case lFalse:
+				return Unsat
+			default:
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+				s.uncheckedEnqueue(a, nil)
+			}
+			continue
+		}
+		l := s.pickBranchLit()
+		if l == -1 {
+			return Sat
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// Value returns the model value of variable v after a Sat verdict: true,
+// false. Calling it without a model panics.
+func (s *Solver) Value(v int) bool {
+	if s.model == nil {
+		panic("sat: Value called without a model")
+	}
+	return s.model[v] == lTrue
+}
+
+// varHeap is a max-heap over variable activities.
+type varHeap struct {
+	act     *[]float64
+	heap    []int
+	indices []int // var -> heap position+1, 0 = absent
+}
+
+func (h *varHeap) less(i, j int) bool {
+	return (*h.act)[h.heap[i]] > (*h.act)[h.heap[j]]
+}
+
+func (h *varHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.indices[h.heap[i]] = i + 1
+	h.indices[h.heap[j]] = j + 1
+}
+
+func (h *varHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *varHeap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.heap) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.heap) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *varHeap) push(v int) {
+	for v >= len(h.indices) {
+		h.indices = append(h.indices, 0)
+	}
+	if h.indices[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = len(h.heap)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) pushIfAbsent(v int) { h.push(v) }
+
+func (h *varHeap) pop() (int, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 1
+	h.heap = h.heap[:last]
+	h.indices[v] = 0
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) update(v int) {
+	if v < len(h.indices) && h.indices[v] != 0 {
+		h.up(h.indices[v] - 1)
+	}
+}

@@ -1,0 +1,310 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	s := New()
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(b, true))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	if !s.Value(a) {
+		t.Errorf("Value(a) = false, want true")
+	}
+	if s.Value(b) {
+		t.Errorf("Value(b) = true, want false")
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if ok := s.AddClause(MkLit(a, true)); ok {
+		t.Fatalf("AddClause of contradiction returned true")
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// (a) ∧ (¬a ∨ b) ∧ (¬b ∨ c) forces a=b=c=true.
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false))
+	s.AddClause(MkLit(a, true), MkLit(b, false))
+	s.AddClause(MkLit(b, true), MkLit(c, false))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	for i, v := range []int{a, b, c} {
+		if !s.Value(v) {
+			t.Errorf("var %d = false, want true", i)
+		}
+	}
+}
+
+func TestPigeonhole3in2(t *testing.T) {
+	// 3 pigeons, 2 holes: unsat. p[i][j] = pigeon i in hole j.
+	s := New()
+	var p [3][2]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < 3; i++ {
+		s.AddClause(MkLit(p[i][0], false), MkLit(p[i][1], false))
+	}
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 3; i++ {
+			for k := i + 1; k < 3; k++ {
+				s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestPigeonhole5in4(t *testing.T) {
+	const pigeons, holes = 5, 4
+	s := New()
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unsat {
+		t.Fatalf("pigeonhole Solve() = %v, want Unsat", got)
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, true), MkLit(b, false)) // a → b
+	if got := s.Solve(MkLit(a, false), MkLit(b, true)); got != Unsat {
+		t.Fatalf("Solve(a, ¬b) = %v, want Unsat", got)
+	}
+	// Incremental: same solver, different assumptions.
+	if got := s.Solve(MkLit(a, false)); got != Sat {
+		t.Fatalf("Solve(a) = %v, want Sat", got)
+	}
+	if !s.Value(b) {
+		t.Errorf("b = false under assumption a, want true")
+	}
+	if got := s.Solve(MkLit(b, true)); got != Sat {
+		t.Fatalf("Solve(¬b) = %v, want Sat", got)
+	}
+	if s.Value(a) {
+		t.Errorf("a = true under assumption ¬b, want false")
+	}
+}
+
+func TestXorChainSat(t *testing.T) {
+	// x1 ⊕ x2 ⊕ ... ⊕ xn = 1 encoded with intermediate vars; satisfiable.
+	const n = 20
+	s := New()
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = s.NewVar()
+	}
+	acc := xs[0]
+	for i := 1; i < n; i++ {
+		out := s.NewVar()
+		addXor(s, acc, xs[i], out)
+		acc = out
+	}
+	s.AddClause(MkLit(acc, false))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve() = %v, want Sat", got)
+	}
+	// Verify parity in the model.
+	parity := false
+	for _, x := range xs {
+		parity = parity != s.Value(x)
+	}
+	if !parity {
+		t.Errorf("model parity = even, want odd")
+	}
+}
+
+// addXor adds clauses forcing out = a ⊕ b.
+func addXor(s *Solver, a, b, out int) {
+	s.AddClause(MkLit(a, true), MkLit(b, true), MkLit(out, true))
+	s.AddClause(MkLit(a, false), MkLit(b, false), MkLit(out, true))
+	s.AddClause(MkLit(a, true), MkLit(b, false), MkLit(out, false))
+	s.AddClause(MkLit(a, false), MkLit(b, true), MkLit(out, false))
+}
+
+// bruteForce checks satisfiability of cnf over nVars variables by
+// enumeration (nVars must be small).
+func bruteForce(nVars int, cnf [][]Lit) bool {
+	for m := 0; m < 1<<nVars; m++ {
+		ok := true
+		for _, cl := range cnf {
+			clauseSat := false
+			for _, l := range cl {
+				val := m&(1<<l.Var()) != 0
+				if l.Neg() {
+					val = !val
+				}
+				if val {
+					clauseSat = true
+					break
+				}
+			}
+			if !clauseSat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRandomCNFAgainstBruteForce is a property test: on random small CNFs,
+// the CDCL verdict must agree with exhaustive enumeration, and Sat models
+// must actually satisfy the formula.
+func TestRandomCNFAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nVars := 3 + rng.Intn(8) // 3..10
+		nClauses := rng.Intn(40) // 0..39
+		cnf := make([][]Lit, 0, nClauses)
+		for i := 0; i < nClauses; i++ {
+			width := 1 + rng.Intn(3)
+			cl := make([]Lit, width)
+			for j := range cl {
+				cl[j] = MkLit(rng.Intn(nVars), rng.Intn(2) == 0)
+			}
+			cnf = append(cnf, cl)
+		}
+		s := New()
+		for i := 0; i < nVars; i++ {
+			s.NewVar()
+		}
+		for _, cl := range cnf {
+			s.AddClause(cl...)
+		}
+		got := s.Solve()
+		want := bruteForce(nVars, cnf)
+		if (got == Sat) != want {
+			t.Logf("seed %d: got %v want sat=%v", seed, got, want)
+			return false
+		}
+		if got == Sat {
+			// Model must satisfy every clause.
+			for _, cl := range cnf {
+				ok := false
+				for _, l := range cl {
+					v := s.Value(l.Var())
+					if l.Neg() {
+						v = !v
+					}
+					if v {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Logf("seed %d: model does not satisfy %v", seed, cl)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard pigeonhole instance with a tiny budget must return Unknown.
+	const pigeons, holes = 9, 8
+	s := New()
+	s.ConflictBudget = 10
+	p := make([][]int, pigeons)
+	for i := range p {
+		p[i] = make([]int, holes)
+		for j := range p[i] {
+			p[i][j] = s.NewVar()
+		}
+	}
+	for i := 0; i < pigeons; i++ {
+		lits := make([]Lit, holes)
+		for j := 0; j < holes; j++ {
+			lits[j] = MkLit(p[i][j], false)
+		}
+		s.AddClause(lits...)
+	}
+	for j := 0; j < holes; j++ {
+		for i := 0; i < pigeons; i++ {
+			for k := i + 1; k < pigeons; k++ {
+				s.AddClause(MkLit(p[i][j], true), MkLit(p[k][j], true))
+			}
+		}
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("Solve() with tiny budget = %v, want Unknown", got)
+	}
+}
+
+func TestLitAccessors(t *testing.T) {
+	l := MkLit(7, true)
+	if l.Var() != 7 || !l.Neg() {
+		t.Errorf("MkLit(7,true): Var=%d Neg=%v", l.Var(), l.Neg())
+	}
+	if l.Not().Neg() {
+		t.Errorf("Not() of negated literal is still negated")
+	}
+	if l.String() != "-8" || l.Not().String() != "8" {
+		t.Errorf("String() = %q / %q", l.String(), l.Not().String())
+	}
+}

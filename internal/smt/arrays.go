@@ -1,0 +1,279 @@
+package smt
+
+import "fmt"
+
+// arrayReducer eliminates the theory of arrays from a Bool term:
+//
+//  1. Memory equalities between store-chains over the *same* base variable
+//     are rewritten by extensionality into a finite conjunction of byte
+//     equalities over the union of touched indices (all untouched indices
+//     trivially agree because the chains share the base).
+//  2. select(store(m,i,v), j) is expanded to ite(i=j, v, select(m,j)).
+//  3. Residual select(base, addr) applications are Ackermannized: each
+//     distinct (base, addr) pair becomes a fresh BV8 variable, and
+//     functional-consistency constraints (addr_i = addr_j → v_i = v_j)
+//     are conjoined onto the formula.
+//
+// This is a complete decision procedure for the fragment KEQ generates,
+// where both programs execute against a shared initial memory.
+type arrayReducer struct {
+	ctx   *Context
+	memo  map[*Term]*Term
+	sel   map[*Term][]ackEntry // base mem var -> entries
+	selID int
+	// consEmitted marks Ackermann pairs whose functional-consistency
+	// constraint has already been returned (incremental mode re-uses the
+	// reducer across queries and must emit each constraint once).
+	consEmitted map[[2]*Term]bool
+}
+
+type ackEntry struct {
+	addr *Term
+	v    *Term // fresh BV8 variable standing for select(base, addr)
+}
+
+func newArrayReducer(ctx *Context) *arrayReducer {
+	return &arrayReducer{
+		ctx:         ctx,
+		memo:        make(map[*Term]*Term),
+		sel:         make(map[*Term][]ackEntry),
+		consEmitted: make(map[[2]*Term]bool),
+	}
+}
+
+// reduce rewrites t (Bool) and returns the array-free formula together with
+// the Ackermann consistency constraints to conjoin.
+func (r *arrayReducer) reduce(t *Term) (*Term, *Term, error) {
+	out, err := r.walk(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	cons := r.ctx.True()
+	for _, entries := range r.sel {
+		for i := 0; i < len(entries); i++ {
+			for j := i + 1; j < len(entries); j++ {
+				ei, ej := entries[i], entries[j]
+				key := [2]*Term{ei.v, ej.v}
+				if r.consEmitted[key] {
+					continue
+				}
+				r.consEmitted[key] = true
+				cons = r.ctx.AndB(cons,
+					r.ctx.Implies(r.ctx.Eq(ei.addr, ej.addr), r.ctx.Eq(ei.v, ej.v)))
+			}
+		}
+	}
+	return out, cons, nil
+}
+
+func (r *arrayReducer) walk(t *Term) (*Term, error) {
+	if out, ok := r.memo[t]; ok {
+		return out, nil
+	}
+	out, err := r.walk1(t)
+	if err != nil {
+		return nil, err
+	}
+	r.memo[t] = out
+	return out, nil
+}
+
+func (r *arrayReducer) walk1(t *Term) (*Term, error) {
+	switch t.Kind {
+	case KConstBV, KConstBool, KVarBV, KVarBool:
+		return t, nil
+	case KVarMem, KStore:
+		// Memory-sorted terms are only legal under Eq/Select, which are
+		// handled by their parents; reaching one directly is a usage error.
+		return nil, fmt.Errorf("smt: memory-sorted term in non-array position: %v", t)
+	case KSelect:
+		addr, err := r.walk(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		return r.reduceSelect(t.Args[0], addr)
+	case KEq:
+		if t.Args[0].SortKind() == SortMem {
+			return r.reduceMemEq(t.Args[0], t.Args[1])
+		}
+	case KIte:
+		if t.Args[1].SortKind() == SortMem {
+			return nil, fmt.Errorf("smt: memory-sorted ite unsupported: %v", t)
+		}
+	}
+	// Generic recursion.
+	changed := false
+	args := make([]*Term, len(t.Args))
+	for i, a := range t.Args {
+		na, err := r.walk(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = na
+		if na != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return t, nil
+	}
+	return r.rebuild(t, args)
+}
+
+// rebuild re-invokes the smart constructor for t with new arguments.
+func (r *arrayReducer) rebuild(t *Term, a []*Term) (*Term, error) {
+	c := r.ctx
+	switch t.Kind {
+	case KAdd:
+		return c.Add(a[0], a[1]), nil
+	case KSub:
+		return c.Sub(a[0], a[1]), nil
+	case KMul:
+		return c.Mul(a[0], a[1]), nil
+	case KUDiv:
+		return c.UDiv(a[0], a[1]), nil
+	case KURem:
+		return c.URem(a[0], a[1]), nil
+	case KNeg:
+		return c.Neg(a[0]), nil
+	case KAnd:
+		return c.And(a[0], a[1]), nil
+	case KOr:
+		return c.Or(a[0], a[1]), nil
+	case KXor:
+		return c.Xor(a[0], a[1]), nil
+	case KNot:
+		return c.NotBV(a[0]), nil
+	case KShl:
+		return c.Shl(a[0], a[1]), nil
+	case KLShr:
+		return c.LShr(a[0], a[1]), nil
+	case KAShr:
+		return c.AShr(a[0], a[1]), nil
+	case KConcat:
+		return c.Concat(a[0], a[1]), nil
+	case KExtract:
+		return c.Extract(a[0], t.Hi, t.Lo), nil
+	case KZExt:
+		return c.ZExt(a[0], t.Width), nil
+	case KSExt:
+		return c.SExt(a[0], t.Width), nil
+	case KIte:
+		return c.Ite(a[0], a[1], a[2]), nil
+	case KEq:
+		return c.Eq(a[0], a[1]), nil
+	case KUlt:
+		return c.Ult(a[0], a[1]), nil
+	case KUle:
+		return c.Ule(a[0], a[1]), nil
+	case KSlt:
+		return c.Slt(a[0], a[1]), nil
+	case KSle:
+		return c.Sle(a[0], a[1]), nil
+	case KBAnd:
+		return c.AndB(a[0], a[1]), nil
+	case KBOr:
+		return c.OrB(a[0], a[1]), nil
+	case KBNot:
+		return c.Not(a[0]), nil
+	}
+	return nil, fmt.Errorf("smt: rebuild of unsupported kind %s", kindNames[t.Kind])
+}
+
+// reduceSelect turns select(chain, addr) into an ite cascade over the
+// chain's stores, bottoming out in an Ackermann variable for the base.
+func (r *arrayReducer) reduceSelect(memT, addr *Term) (*Term, error) {
+	c := r.ctx
+	switch memT.Kind {
+	case KStore:
+		idx, err := r.walk(memT.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		val, err := r.walk(memT.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		rest, err := r.reduceSelect(memT.Args[0], addr)
+		if err != nil {
+			return nil, err
+		}
+		return c.Ite(c.Eq(idx, addr), val, rest), nil
+	case KVarMem:
+		return r.ackermann(memT, addr), nil
+	}
+	return nil, fmt.Errorf("smt: select from unsupported memory term %v", memT)
+}
+
+func (r *arrayReducer) ackermann(base, addr *Term) *Term {
+	for _, e := range r.sel[base] {
+		if e.addr == addr {
+			return e.v
+		}
+	}
+	r.selID++
+	v := r.ctx.VarBV(fmt.Sprintf("sel!%s!%d", base.Name, r.selID), 8)
+	r.sel[base] = append(r.sel[base], ackEntry{addr: addr, v: v})
+	return v
+}
+
+// chainInfo decomposes a memory term into its base variable and the list
+// of (index, value) stores, outermost first.
+func chainInfo(t *Term) (base *Term, stores []*Term, err error) {
+	for t.Kind == KStore {
+		stores = append(stores, t)
+		t = t.Args[0]
+	}
+	if t.Kind != KVarMem {
+		return nil, nil, fmt.Errorf("smt: memory chain with non-variable base: %v", t)
+	}
+	return t, stores, nil
+}
+
+// reduceMemEq rewrites m1 = m2 by extensionality over touched indices.
+func (r *arrayReducer) reduceMemEq(m1, m2 *Term) (*Term, error) {
+	c := r.ctx
+	b1, s1, err := chainInfo(m1)
+	if err != nil {
+		return nil, err
+	}
+	b2, s2, err := chainInfo(m2)
+	if err != nil {
+		return nil, err
+	}
+	if b1 != b2 {
+		return nil, fmt.Errorf("smt: memory equality over distinct bases %q and %q", b1.Name, b2.Name)
+	}
+	// Union of store indices, deduplicated syntactically.
+	seen := make(map[*Term]bool)
+	var idxs []*Term
+	for _, st := range append(append([]*Term{}, s1...), s2...) {
+		i := st.Args[1]
+		if !seen[i] {
+			seen[i] = true
+			idxs = append(idxs, i)
+		}
+	}
+	acc := c.True()
+	for _, i := range idxs {
+		l, err := r.reduceSelectWalked(m1, i)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.reduceSelectWalked(m2, i)
+		if err != nil {
+			return nil, err
+		}
+		acc = c.AndB(acc, c.Eq(l, rr))
+	}
+	return acc, nil
+}
+
+// reduceSelectWalked is reduceSelect with the address walked first.
+func (r *arrayReducer) reduceSelectWalked(memT, addr *Term) (*Term, error) {
+	a, err := r.walk(addr)
+	if err != nil {
+		return nil, err
+	}
+	return r.reduceSelect(memT, a)
+}

@@ -1,0 +1,584 @@
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/sat"
+)
+
+// blaster lowers array-free terms to CNF over a sat.Solver using Tseitin
+// encoding with structural sharing.
+type blaster struct {
+	ctx *Context
+	s   *sat.Solver
+
+	litTrue  sat.Lit
+	boolMemo map[*Term]sat.Lit
+	bvMemo   map[*Term][]sat.Lit
+	gateMemo map[gateKey]sat.Lit
+}
+
+type gateKey struct {
+	op   uint8
+	a, b sat.Lit
+}
+
+const (
+	gAnd uint8 = iota
+	gOr
+	gXor
+)
+
+func newBlaster(ctx *Context, s *sat.Solver) *blaster {
+	b := &blaster{
+		ctx:      ctx,
+		s:        s,
+		boolMemo: make(map[*Term]sat.Lit),
+		bvMemo:   make(map[*Term][]sat.Lit),
+		gateMemo: make(map[gateKey]sat.Lit),
+	}
+	v := s.NewVar()
+	b.litTrue = sat.MkLit(v, false)
+	s.AddClause(b.litTrue)
+	return b
+}
+
+func (b *blaster) litFalse() sat.Lit { return b.litTrue.Not() }
+
+func (b *blaster) constLit(v bool) sat.Lit {
+	if v {
+		return b.litTrue
+	}
+	return b.litFalse()
+}
+
+func (b *blaster) fresh() sat.Lit { return sat.MkLit(b.s.NewVar(), false) }
+
+// mkAnd returns a literal equivalent to x ∧ y.
+func (b *blaster) mkAnd(x, y sat.Lit) sat.Lit {
+	if x == b.litTrue {
+		return y
+	}
+	if y == b.litTrue {
+		return x
+	}
+	if x == b.litFalse() || y == b.litFalse() {
+		return b.litFalse()
+	}
+	if x == y {
+		return x
+	}
+	if x == y.Not() {
+		return b.litFalse()
+	}
+	if y < x {
+		x, y = y, x
+	}
+	k := gateKey{gAnd, x, y}
+	if l, ok := b.gateMemo[k]; ok {
+		return l
+	}
+	out := b.fresh()
+	b.s.AddClause(out.Not(), x)
+	b.s.AddClause(out.Not(), y)
+	b.s.AddClause(out, x.Not(), y.Not())
+	b.gateMemo[k] = out
+	return out
+}
+
+func (b *blaster) mkOr(x, y sat.Lit) sat.Lit {
+	return b.mkAnd(x.Not(), y.Not()).Not()
+}
+
+func (b *blaster) mkXor(x, y sat.Lit) sat.Lit {
+	if x == b.litTrue {
+		return y.Not()
+	}
+	if x == b.litFalse() {
+		return y
+	}
+	if y == b.litTrue {
+		return x.Not()
+	}
+	if y == b.litFalse() {
+		return x
+	}
+	if x == y {
+		return b.litFalse()
+	}
+	if x == y.Not() {
+		return b.litTrue
+	}
+	if y < x {
+		x, y = y, x
+	}
+	k := gateKey{gXor, x, y}
+	if l, ok := b.gateMemo[k]; ok {
+		return l
+	}
+	out := b.fresh()
+	b.s.AddClause(out.Not(), x, y)
+	b.s.AddClause(out.Not(), x.Not(), y.Not())
+	b.s.AddClause(out, x.Not(), y)
+	b.s.AddClause(out, x, y.Not())
+	b.gateMemo[k] = out
+	return out
+}
+
+func (b *blaster) mkXnor(x, y sat.Lit) sat.Lit { return b.mkXor(x, y).Not() }
+
+// mkMux returns c ? t : e.
+func (b *blaster) mkMux(c, t, e sat.Lit) sat.Lit {
+	if c == b.litTrue {
+		return t
+	}
+	if c == b.litFalse() {
+		return e
+	}
+	if t == e {
+		return t
+	}
+	return b.mkOr(b.mkAnd(c, t), b.mkAnd(c.Not(), e))
+}
+
+// fullAdder returns (sum, carryOut).
+func (b *blaster) fullAdder(x, y, cin sat.Lit) (sat.Lit, sat.Lit) {
+	sum := b.mkXor(b.mkXor(x, y), cin)
+	cout := b.mkOr(b.mkAnd(x, y), b.mkAnd(cin, b.mkXor(x, y)))
+	return sum, cout
+}
+
+// addBits returns x + y + cin over equal-width bit slices (LSB first).
+func (b *blaster) addBits(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(x))
+	c := cin
+	for i := range x {
+		out[i], c = b.fullAdder(x[i], y[i], c)
+	}
+	return out
+}
+
+func (b *blaster) negBits(x []sat.Lit) []sat.Lit {
+	inv := make([]sat.Lit, len(x))
+	for i, l := range x {
+		inv[i] = l.Not()
+	}
+	zero := make([]sat.Lit, len(x))
+	for i := range zero {
+		zero[i] = b.litFalse()
+	}
+	return b.addBits(inv, zero, b.litTrue)
+}
+
+// ultBits returns the literal for x <u y.
+func (b *blaster) ultBits(x, y []sat.Lit) sat.Lit {
+	lt := b.litFalse()
+	for i := 0; i < len(x); i++ { // LSB to MSB; MSB dominates
+		bitLt := b.mkAnd(x[i].Not(), y[i])
+		bitEq := b.mkXnor(x[i], y[i])
+		lt = b.mkOr(bitLt, b.mkAnd(bitEq, lt))
+	}
+	return lt
+}
+
+func (b *blaster) eqBits(x, y []sat.Lit) sat.Lit {
+	acc := b.litTrue
+	for i := range x {
+		acc = b.mkAnd(acc, b.mkXnor(x[i], y[i]))
+	}
+	return acc
+}
+
+func (b *blaster) isZero(x []sat.Lit) sat.Lit {
+	acc := b.litTrue
+	for _, l := range x {
+		acc = b.mkAnd(acc, l.Not())
+	}
+	return acc
+}
+
+func (b *blaster) muxBits(c sat.Lit, t, e []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(t))
+	for i := range t {
+		out[i] = b.mkMux(c, t[i], e[i])
+	}
+	return out
+}
+
+// blastBool lowers a Bool term to a literal.
+func (b *blaster) blastBool(t *Term) (sat.Lit, error) {
+	if l, ok := b.boolMemo[t]; ok {
+		return l, nil
+	}
+	l, err := b.blastBool1(t)
+	if err != nil {
+		return 0, err
+	}
+	b.boolMemo[t] = l
+	return l, nil
+}
+
+func (b *blaster) blastBool1(t *Term) (sat.Lit, error) {
+	switch t.Kind {
+	case KConstBool:
+		return b.constLit(t.Val == 1), nil
+	case KVarBool:
+		l := b.fresh()
+		return l, nil
+	case KBNot:
+		x, err := b.blastBool(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		return x.Not(), nil
+	case KBAnd, KBOr:
+		x, err := b.blastBool(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.blastBool(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		if t.Kind == KBAnd {
+			return b.mkAnd(x, y), nil
+		}
+		return b.mkOr(x, y), nil
+	case KIte: // Bool-sorted ite
+		c, err := b.blastBool(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		x, err := b.blastBool(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.blastBool(t.Args[2])
+		if err != nil {
+			return 0, err
+		}
+		return b.mkMux(c, x, y), nil
+	case KEq:
+		switch t.Args[0].SortKind() {
+		case SortBool:
+			x, err := b.blastBool(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			y, err := b.blastBool(t.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			return b.mkXnor(x, y), nil
+		case SortBV:
+			x, err := b.blastBV(t.Args[0])
+			if err != nil {
+				return 0, err
+			}
+			y, err := b.blastBV(t.Args[1])
+			if err != nil {
+				return 0, err
+			}
+			return b.eqBits(x, y), nil
+		default:
+			return 0, fmt.Errorf("smt: memory equality survived array reduction: %v", t)
+		}
+	case KUlt, KUle, KSlt, KSle:
+		x, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		y, err := b.blastBV(t.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch t.Kind {
+		case KUlt:
+			return b.ultBits(x, y), nil
+		case KUle:
+			return b.ultBits(y, x).Not(), nil
+		case KSlt:
+			return b.sltBits(x, y), nil
+		default:
+			return b.sltBits(y, x).Not(), nil
+		}
+	}
+	return 0, fmt.Errorf("smt: cannot blast Bool term kind %s", kindNames[t.Kind])
+}
+
+func (b *blaster) sltBits(x, y []sat.Lit) sat.Lit {
+	n := len(x)
+	sx, sy := x[n-1], y[n-1]
+	if n == 1 {
+		// 1-bit signed: 1 (=-1) < 0
+		return b.mkAnd(sx, sy.Not())
+	}
+	ltLow := b.ultBits(x[:n-1], y[:n-1])
+	// x <s y  iff  (sx ∧ ¬sy) ∨ ((sx ↔ sy) ∧ low(x) <u low(y))
+	return b.mkOr(b.mkAnd(sx, sy.Not()), b.mkAnd(b.mkXnor(sx, sy), ltLow))
+}
+
+// blastBV lowers a BV term to its bit literals, LSB first.
+func (b *blaster) blastBV(t *Term) ([]sat.Lit, error) {
+	if ls, ok := b.bvMemo[t]; ok {
+		return ls, nil
+	}
+	ls, err := b.blastBV1(t)
+	if err != nil {
+		return nil, err
+	}
+	if len(ls) != int(t.Width) {
+		return nil, fmt.Errorf("smt: internal width mismatch blasting %v: got %d want %d", t, len(ls), t.Width)
+	}
+	b.bvMemo[t] = ls
+	return ls, nil
+}
+
+func (b *blaster) args2(t *Term) (x, y []sat.Lit, err error) {
+	x, err = b.blastBV(t.Args[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err = b.blastBV(t.Args[1])
+	return x, y, err
+}
+
+func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
+	w := int(t.Width)
+	switch t.Kind {
+	case KConstBV:
+		out := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			out[i] = b.constLit(t.Val>>i&1 == 1)
+		}
+		return out, nil
+	case KVarBV:
+		out := make([]sat.Lit, w)
+		for i := range out {
+			out[i] = b.fresh()
+		}
+		return out, nil
+	case KAdd:
+		x, y, err := b.args2(t)
+		if err != nil {
+			return nil, err
+		}
+		return b.addBits(x, y, b.litFalse()), nil
+	case KSub:
+		x, y, err := b.args2(t)
+		if err != nil {
+			return nil, err
+		}
+		inv := make([]sat.Lit, len(y))
+		for i, l := range y {
+			inv[i] = l.Not()
+		}
+		return b.addBits(x, inv, b.litTrue), nil
+	case KNeg:
+		x, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return b.negBits(x), nil
+	case KMul:
+		x, y, err := b.args2(t)
+		if err != nil {
+			return nil, err
+		}
+		acc := make([]sat.Lit, w)
+		for i := range acc {
+			acc[i] = b.litFalse()
+		}
+		for i := 0; i < w; i++ {
+			// acc += (x << i) masked by y[i]
+			addend := make([]sat.Lit, w)
+			for j := 0; j < w; j++ {
+				if j < i {
+					addend[j] = b.litFalse()
+				} else {
+					addend[j] = b.mkAnd(x[j-i], y[i])
+				}
+			}
+			acc = b.addBits(acc, addend, b.litFalse())
+		}
+		return acc, nil
+	case KUDiv, KURem:
+		x, y, err := b.args2(t)
+		if err != nil {
+			return nil, err
+		}
+		q, r := b.divRem(x, y)
+		bz := b.isZero(y)
+		if t.Kind == KUDiv {
+			ones := make([]sat.Lit, w)
+			for i := range ones {
+				ones[i] = b.litTrue
+			}
+			return b.muxBits(bz, ones, q), nil
+		}
+		return b.muxBits(bz, x, r), nil
+	case KAnd, KOr, KXor:
+		x, y, err := b.args2(t)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			switch t.Kind {
+			case KAnd:
+				out[i] = b.mkAnd(x[i], y[i])
+			case KOr:
+				out[i] = b.mkOr(x[i], y[i])
+			default:
+				out[i] = b.mkXor(x[i], y[i])
+			}
+		}
+		return out, nil
+	case KNot:
+		x, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, w)
+		for i := range out {
+			out[i] = x[i].Not()
+		}
+		return out, nil
+	case KShl, KLShr, KAShr:
+		x, y, err := b.args2(t)
+		if err != nil {
+			return nil, err
+		}
+		return b.shift(t.Kind, x, y), nil
+	case KConcat:
+		hi, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.blastBV(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, 0, w)
+		out = append(out, lo...)
+		out = append(out, hi...)
+		return out, nil
+	case KExtract:
+		x, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return x[t.Lo : t.Hi+1], nil
+	case KZExt:
+		x, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, w)
+		copy(out, x)
+		for i := len(x); i < w; i++ {
+			out[i] = b.litFalse()
+		}
+		return out, nil
+	case KSExt:
+		x, err := b.blastBV(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		out := make([]sat.Lit, w)
+		copy(out, x)
+		sign := x[len(x)-1]
+		for i := len(x); i < w; i++ {
+			out[i] = sign
+		}
+		return out, nil
+	case KIte:
+		c, err := b.blastBool(t.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		x, err := b.blastBV(t.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		y, err := b.blastBV(t.Args[2])
+		if err != nil {
+			return nil, err
+		}
+		return b.muxBits(c, x, y), nil
+	}
+	return nil, fmt.Errorf("smt: cannot blast BV term kind %s", kindNames[t.Kind])
+}
+
+// shift implements barrel shifters for shl/lshr/ashr with SMT-LIB
+// out-of-range semantics.
+func (b *blaster) shift(kind Kind, x, amt []sat.Lit) []sat.Lit {
+	w := len(x)
+	fill := b.litFalse()
+	if kind == KAShr {
+		fill = x[w-1]
+	}
+	acc := make([]sat.Lit, w)
+	copy(acc, x)
+	big := b.litFalse() // any shift-amount bit representing ≥ w
+	for k := 0; k < len(amt); k++ {
+		if k >= 7 || 1<<k >= w { // 2^k ≥ w: this amount bit alone overshoots
+			big = b.mkOr(big, amt[k])
+			continue
+		}
+		sh := 1 << k
+		shifted := make([]sat.Lit, w)
+		switch kind {
+		case KShl:
+			for i := 0; i < w; i++ {
+				if i < sh {
+					shifted[i] = b.litFalse()
+				} else {
+					shifted[i] = acc[i-sh]
+				}
+			}
+		default: // LShr, AShr
+			for i := 0; i < w; i++ {
+				if i+sh < w {
+					shifted[i] = acc[i+sh]
+				} else {
+					shifted[i] = fill
+				}
+			}
+		}
+		acc = b.muxBits(amt[k], shifted, acc)
+	}
+	// Out-of-range amounts: shl/lshr yield 0, ashr yields all sign bits.
+	fillVec := make([]sat.Lit, w)
+	for i := range fillVec {
+		fillVec[i] = fill
+	}
+	return b.muxBits(big, fillVec, acc)
+}
+
+// divRem builds a restoring divider; returns (quotient, remainder) for a
+// nonzero divisor (zero divisor handled by the caller).
+func (b *blaster) divRem(x, y []sat.Lit) (q, r []sat.Lit) {
+	w := len(x)
+	q = make([]sat.Lit, w)
+	r = make([]sat.Lit, w)
+	for i := range r {
+		r[i] = b.litFalse()
+	}
+	for i := w - 1; i >= 0; i-- {
+		// r = (r << 1) | x[i]
+		nr := make([]sat.Lit, w)
+		nr[0] = x[i]
+		copy(nr[1:], r[:w-1])
+		// if nr >= y: nr -= y, q[i] = 1
+		ge := b.ultBits(nr, y).Not()
+		inv := make([]sat.Lit, w)
+		for j, l := range y {
+			inv[j] = l.Not()
+		}
+		sub := b.addBits(nr, inv, b.litTrue)
+		r = b.muxBits(ge, sub, nr)
+		q[i] = ge
+	}
+	return q, r
+}

@@ -1,0 +1,109 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestIncrementalMatchesCold: an incremental solver answering a SEQUENCE
+// of queries must agree with fresh cold solvers answering each query
+// independently — including queries over shared memory terms (which
+// exercise the persistent Ackermann-constraint bookkeeping).
+func TestIncrementalMatchesCold(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := NewContext()
+		inc := NewSolver(ctx)
+		inc.Incremental = true
+
+		m := ctx.VarMem("M")
+		for q := 0; q < 6; q++ {
+			var form *Term
+			switch rng.Intn(3) {
+			case 0: // pure bitvector query
+				a := randomTerm(ctx, rng, 4, 3)
+				b := randomTerm(ctx, rng, 4, 3)
+				form = ctx.Eq(a, b)
+			case 1: // memory select/store query
+				addr1 := ctx.VarBV("p", 64)
+				addr2 := ctx.BV(uint64(rng.Intn(4)), 64)
+				v := ctx.VarBV("v", 8)
+				chain := ctx.Store(m, addr1, v)
+				if rng.Intn(2) == 0 {
+					chain = ctx.Store(chain, addr2, ctx.BV(uint64(rng.Intn(256)), 8))
+				}
+				form = ctx.Eq(ctx.Select(chain, addr2), ctx.VarBV("w", 8))
+			default: // memory equality query
+				a1 := ctx.BV(uint64(rng.Intn(3)), 64)
+				a2 := ctx.BV(uint64(rng.Intn(3)), 64)
+				v1 := ctx.VarBV("v1", 8)
+				v2 := ctx.VarBV("v2", 8)
+				m1 := ctx.Store(ctx.Store(m, a1, v1), a2, v2)
+				m2 := ctx.Store(ctx.Store(m, a2, v2), a1, v1)
+				form = ctx.Eq(m1, m2)
+			}
+			if rng.Intn(2) == 0 {
+				form = ctx.Not(form)
+			}
+
+			gotInc, _, errInc := inc.CheckSat(form)
+			cold := NewSolver(ctx)
+			gotCold, _, errCold := cold.CheckSat(form)
+			if (errInc == nil) != (errCold == nil) {
+				t.Logf("seed %d q %d: error mismatch inc=%v cold=%v", seed, q, errInc, errCold)
+				return false
+			}
+			if errInc != nil {
+				continue
+			}
+			if gotInc != gotCold {
+				t.Logf("seed %d q %d: inc=%v cold=%v form=%v", seed, q, gotInc, gotCold, form)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIncrementalModelValidity: Sat models from the incremental path must
+// satisfy the formula.
+func TestIncrementalModelValidity(t *testing.T) {
+	ctx := NewContext()
+	s := NewSolver(ctx)
+	s.Incremental = true
+	x := ctx.VarBV("x", 16)
+	y := ctx.VarBV("y", 16)
+	// A sequence of queries narrowing the space.
+	queries := []*Term{
+		ctx.Ult(x, ctx.BV(100, 16)),
+		ctx.AndB(ctx.Ult(x, y), ctx.Ult(y, ctx.BV(50, 16))),
+		ctx.Eq(ctx.Add(x, y), ctx.BV(77, 16)),
+	}
+	for i, q := range queries {
+		res, model, err := s.CheckSat(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if res != ResultSat {
+			t.Fatalf("query %d: %v, want sat", i, res)
+		}
+		ok, err := model.EvalBool(q)
+		if err != nil || !ok {
+			t.Fatalf("query %d: model invalid (err=%v)", i, err)
+		}
+	}
+	// And an unsat query on the same instance.
+	res, _, err := s.CheckSat(ctx.AndB(ctx.Ult(x, y), ctx.Ult(y, x)))
+	if err != nil || res != ResultUnsat {
+		t.Fatalf("unsat query: %v %v", res, err)
+	}
+	// The instance is still usable afterwards.
+	res, _, err = s.CheckSat(ctx.Eq(x, ctx.BV(1, 16)))
+	if err != nil || res != ResultSat {
+		t.Fatalf("post-unsat query: %v %v", res, err)
+	}
+}

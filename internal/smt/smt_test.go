@@ -1,0 +1,531 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstFolding(t *testing.T) {
+	c := NewContext()
+	tests := []struct {
+		name string
+		got  *Term
+		want *Term
+	}{
+		{"add", c.Add(c.BV(3, 8), c.BV(4, 8)), c.BV(7, 8)},
+		{"add wrap", c.Add(c.BV(255, 8), c.BV(1, 8)), c.BV(0, 8)},
+		{"sub", c.Sub(c.BV(3, 8), c.BV(4, 8)), c.BV(255, 8)},
+		{"mul", c.Mul(c.BV(16, 8), c.BV(17, 8)), c.BV(16, 8)},
+		{"udiv", c.UDiv(c.BV(7, 8), c.BV(2, 8)), c.BV(3, 8)},
+		{"udiv0", c.UDiv(c.BV(7, 8), c.BV(0, 8)), c.BV(255, 8)},
+		{"urem", c.URem(c.BV(7, 8), c.BV(2, 8)), c.BV(1, 8)},
+		{"urem0", c.URem(c.BV(7, 8), c.BV(0, 8)), c.BV(7, 8)},
+		{"and", c.And(c.BV(0xF0, 8), c.BV(0x3C, 8)), c.BV(0x30, 8)},
+		{"or", c.Or(c.BV(0xF0, 8), c.BV(0x3C, 8)), c.BV(0xFC, 8)},
+		{"xor", c.Xor(c.BV(0xF0, 8), c.BV(0x3C, 8)), c.BV(0xCC, 8)},
+		{"not", c.NotBV(c.BV(0xF0, 8)), c.BV(0x0F, 8)},
+		{"shl", c.Shl(c.BV(1, 8), c.BV(3, 8)), c.BV(8, 8)},
+		{"shl big", c.Shl(c.BV(1, 8), c.BV(8, 8)), c.BV(0, 8)},
+		{"lshr", c.LShr(c.BV(0x80, 8), c.BV(3, 8)), c.BV(0x10, 8)},
+		{"ashr", c.AShr(c.BV(0x80, 8), c.BV(3, 8)), c.BV(0xF0, 8)},
+		{"concat", c.Concat(c.BV(0xAB, 8), c.BV(0xCD, 8)), c.BV(0xABCD, 16)},
+		{"extract", c.Extract(c.BV(0xABCD, 16), 15, 8), c.BV(0xAB, 8)},
+		{"zext", c.ZExt(c.BV(0x80, 8), 16), c.BV(0x80, 16)},
+		{"sext", c.SExt(c.BV(0x80, 8), 16), c.BV(0xFF80, 16)},
+		{"neg", c.Neg(c.BV(1, 8)), c.BV(255, 8)},
+	}
+	for _, tc := range tests {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestPredicateFolding(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 8)
+	if got := c.Eq(x, x); !got.IsTrue() {
+		t.Errorf("Eq(x,x) = %v", got)
+	}
+	if got := c.Ult(x, x); !got.IsFalse() {
+		t.Errorf("Ult(x,x) = %v", got)
+	}
+	if got := c.Ule(x, x); !got.IsTrue() {
+		t.Errorf("Ule(x,x) = %v", got)
+	}
+	if got := c.Slt(c.BV(0xFF, 8), c.BV(0, 8)); !got.IsTrue() {
+		t.Errorf("Slt(-1,0) = %v", got)
+	}
+	if got := c.Ult(c.BV(0xFF, 8), c.BV(0, 8)); !got.IsFalse() {
+		t.Errorf("Ult(255,0) = %v", got)
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 32)
+	y := c.VarBV("y", 32)
+	a := c.Add(x, y)
+	b := c.Add(y, x) // commutative normalization ⇒ same node
+	if a != b {
+		t.Errorf("Add(x,y) and Add(y,x) are distinct nodes")
+	}
+	if c.VarBV("x", 32) != x {
+		t.Errorf("re-created variable is a distinct node")
+	}
+}
+
+func TestAddConstantReassociation(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 64)
+	a := c.Add(c.Add(x, c.BV(8, 64)), c.BV(4, 64))
+	b := c.Add(x, c.BV(12, 64))
+	if a != b {
+		t.Errorf("(x+8)+4 != x+12: %v vs %v", a, b)
+	}
+}
+
+func TestSelectOverStore(t *testing.T) {
+	c := NewContext()
+	m := c.VarMem("M")
+	a := c.VarBV("a", 64)
+	v := c.VarBV("v", 8)
+	// select(store(m,a,v), a) = v
+	if got := c.Select(c.Store(m, a, v), a); got != v {
+		t.Errorf("select-over-store same addr: %v", got)
+	}
+	// distinct constant addresses resolve through
+	m2 := c.Store(m, c.BV(8, 64), v)
+	got := c.Select(m2, c.BV(16, 64))
+	want := c.Select(m, c.BV(16, 64))
+	if got != want {
+		t.Errorf("select skipping distinct const store: %v vs %v", got, want)
+	}
+}
+
+func TestStoreOverStoreSameAddr(t *testing.T) {
+	c := NewContext()
+	m := c.VarMem("M")
+	a := c.VarBV("a", 64)
+	v1 := c.VarBV("v1", 8)
+	v2 := c.VarBV("v2", 8)
+	got := c.Store(c.Store(m, a, v1), a, v2)
+	want := c.Store(m, a, v2)
+	if got != want {
+		t.Errorf("store-over-store: %v vs %v", got, want)
+	}
+}
+
+func solveOne(t *testing.T, f *Term, c *Context) (Result, *Assign) {
+	t.Helper()
+	s := NewSolver(c)
+	res, m, err := s.CheckSat(f)
+	if err != nil {
+		t.Fatalf("CheckSat(%v): %v", f, err)
+	}
+	return res, m
+}
+
+func TestCheckSatBasics(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 8)
+	y := c.VarBV("y", 8)
+
+	// x + 1 = y ∧ y = 5 is sat with x=4.
+	f := c.AndB(c.Eq(c.Add(x, c.BV(1, 8)), y), c.Eq(y, c.BV(5, 8)))
+	res, m := solveOne(t, f, c)
+	if res != ResultSat {
+		t.Fatalf("res = %v, want sat", res)
+	}
+	if ok, _ := m.EvalBool(f); !ok {
+		t.Fatalf("model %v does not satisfy formula", m.BV)
+	}
+	if m.BV["x"] != 4 {
+		t.Errorf("x = %d, want 4", m.BV["x"])
+	}
+
+	// x <u y ∧ y <u x is unsat.
+	g := c.AndB(c.Ult(x, y), c.Ult(y, x))
+	if res, _ := solveOne(t, g, c); res != ResultUnsat {
+		t.Errorf("Ult antisymmetry: %v, want unsat", res)
+	}
+}
+
+func TestProveCommutativity(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 16)
+	y := c.VarBV("y", 16)
+	s := NewSolver(c)
+	// These normalize to the same node, so the fast path should fire.
+	proved, _, err := s.Prove(c.Eq(c.Add(x, y), c.Add(y, x)))
+	if err != nil || !proved {
+		t.Fatalf("x+y = y+x: proved=%v err=%v", proved, err)
+	}
+	if s.Stats.FastQueries == 0 {
+		t.Errorf("commutativity was not decided by the fast path")
+	}
+}
+
+func TestProveNontrivial(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 8)
+	s := NewSolver(c)
+	// (x << 1) = x + x
+	proved, counter, err := s.Prove(c.Eq(c.Shl(x, c.BV(1, 8)), c.Add(x, x)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proved {
+		t.Fatalf("x<<1 = x+x not proved; counter x=%d", counter.BV["x"])
+	}
+	// x - 1 ≠ x
+	proved, _, err = s.Prove(c.Not(c.Eq(c.Sub(x, c.BV(1, 8)), x)))
+	if err != nil || !proved {
+		t.Fatalf("x-1 ≠ x: proved=%v err=%v", proved, err)
+	}
+	// x &u 0x0F <u 0x10
+	proved, _, err = s.Prove(c.Ult(c.And(x, c.BV(0x0F, 8)), c.BV(0x10, 8)))
+	if err != nil || !proved {
+		t.Fatalf("x&0x0F < 0x10: proved=%v err=%v", proved, err)
+	}
+	// NOT provable: x + 1 >u x (wraps at 255)
+	proved, counter, err = s.Prove(c.Ult(x, c.Add(x, c.BV(1, 8))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved {
+		t.Fatalf("x < x+1 proved despite wraparound")
+	}
+	if counter.BV["x"] != 255 {
+		t.Errorf("counterexample x = %d, want 255", counter.BV["x"])
+	}
+}
+
+func TestSignedComparisonViaSub(t *testing.T) {
+	// The ISel pattern: `icmp ult a b` vs `sub` + carry flag. The x86 side
+	// computes the condition as ult directly, but signed compares use
+	// SF≠OF; verify the identity slt(a,b) = (a-b) has SF≠OF.
+	c := NewContext()
+	a := c.VarBV("a", 32)
+	b := c.VarBV("b", 32)
+	diff := c.Sub(a, b)
+	sf := c.Eq(c.Extract(diff, 31, 31), c.BV(1, 1))
+	of := c.SubOverflowSigned(a, b)
+	xorSfOf := c.Not(c.Eq(sf, of))
+	s := NewSolver(c)
+	proved, counter, err := s.Prove(c.Eq(c.Slt(a, b), xorSfOf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proved {
+		t.Fatalf("slt = SF≠OF not proved; counter a=%d b=%d", counter.BV["a"], counter.BV["b"])
+	}
+}
+
+func TestMemoryEqualityExtensionality(t *testing.T) {
+	c := NewContext()
+	m := c.VarMem("M")
+	s := NewSolver(c)
+
+	// Writing the same bytes in different order at distinct constant
+	// addresses yields equal memories.
+	v1 := c.VarBV("v1", 8)
+	v2 := c.VarBV("v2", 8)
+	m1 := c.Store(c.Store(m, c.BV(0, 64), v1), c.BV(1, 64), v2)
+	m2 := c.Store(c.Store(m, c.BV(1, 64), v2), c.BV(0, 64), v1)
+	proved, _, err := s.Prove(c.Eq(m1, m2))
+	if err != nil || !proved {
+		t.Fatalf("reordered distinct stores: proved=%v err=%v", proved, err)
+	}
+
+	// Overlapping write-after-write order matters: store(a,1);store(a,2)
+	// vs store(a,2);store(a,1) differ.
+	a := c.BV(100, 64)
+	mA := c.Store(c.Store(m, a, c.BV(1, 8)), a, c.BV(2, 8))
+	mB := c.Store(c.Store(m, a, c.BV(2, 8)), a, c.BV(1, 8))
+	proved, _, err = s.Prove(c.Eq(mA, mB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved {
+		t.Fatalf("WAW-reordered stores proved equal")
+	}
+
+	// Symbolic address vs constant address: equal only if values match
+	// when addresses collide — not valid in general.
+	sa := c.VarBV("sa", 64)
+	mC := c.Store(m, sa, c.BV(1, 8))
+	mD := c.Store(m, c.BV(100, 64), c.BV(1, 8))
+	proved, _, err = s.Prove(c.Eq(mC, mD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved {
+		t.Fatalf("stores at unrelated addresses proved equal")
+	}
+	// But it becomes valid under the premise sa = 100.
+	proved, _, err = s.ProveImplies(c.Eq(sa, c.BV(100, 64)), c.Eq(mC, mD))
+	if err != nil || !proved {
+		t.Fatalf("conditional store equality: proved=%v err=%v", proved, err)
+	}
+}
+
+func TestMemEqualityDifferentBasesRejected(t *testing.T) {
+	c := NewContext()
+	m1 := c.VarMem("M1")
+	m2 := c.VarMem("M2")
+	s := NewSolver(c)
+	_, _, err := s.CheckSat(c.Eq(m1, m2))
+	if err == nil {
+		t.Fatalf("memory equality over distinct bases did not error")
+	}
+}
+
+func TestSelectStoreSymbolicAliasing(t *testing.T) {
+	c := NewContext()
+	m := c.VarMem("M")
+	i := c.VarBV("i", 64)
+	j := c.VarBV("j", 64)
+	v := c.VarBV("v", 8)
+	s := NewSolver(c)
+	// select(store(M,i,v), j) = v is NOT valid (i may differ from j)...
+	f := c.Eq(c.Select(c.Store(m, i, v), j), v)
+	proved, _, err := s.Prove(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proved {
+		t.Fatalf("aliasing-sensitive select proved unconditionally")
+	}
+	// ...but valid under i = j.
+	proved, _, err = s.ProveImplies(c.Eq(i, j), f)
+	if err != nil || !proved {
+		t.Fatalf("select under aliasing premise: proved=%v err=%v", proved, err)
+	}
+}
+
+func TestNodeBudget(t *testing.T) {
+	c := NewContext()
+	c.MaxNodes = 50
+	defer func() {
+		if r := recover(); r != ErrNodeBudget {
+			t.Fatalf("recover() = %v, want ErrNodeBudget", r)
+		}
+	}()
+	x := c.VarBV("x", 64)
+	for i := 0; i < 100; i++ {
+		x = c.Add(x, c.VarBV(varName(i), 64))
+	}
+	t.Fatalf("node budget never tripped")
+}
+
+func varName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+// randomTerm builds a random BV term of the given width over vars x,y,z.
+func randomTerm(c *Context, rng *rand.Rand, width uint8, depth int) *Term {
+	if depth == 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return c.BV(rng.Uint64(), width)
+		case 1:
+			return c.VarBV("x", width)
+		default:
+			return c.VarBV("y", width)
+		}
+	}
+	a := randomTerm(c, rng, width, depth-1)
+	b := randomTerm(c, rng, width, depth-1)
+	switch rng.Intn(12) {
+	case 0:
+		return c.Add(a, b)
+	case 1:
+		return c.Sub(a, b)
+	case 2:
+		return c.Mul(a, b)
+	case 3:
+		return c.And(a, b)
+	case 4:
+		return c.Or(a, b)
+	case 5:
+		return c.Xor(a, b)
+	case 6:
+		return c.NotBV(a)
+	case 7:
+		return c.Shl(a, b)
+	case 8:
+		return c.LShr(a, b)
+	case 9:
+		return c.AShr(a, b)
+	case 10:
+		return c.UDiv(a, b)
+	default:
+		return c.URem(a, b)
+	}
+}
+
+// TestSolverAgreesWithEvaluator: for random formulas over 4-bit vectors,
+// CheckSat must agree with exhaustive evaluation over all assignments.
+func TestSolverAgreesWithEvaluator(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := NewContext()
+		const w = 4
+		a := randomTerm(c, rng, w, 3)
+		b := randomTerm(c, rng, w, 3)
+		var form *Term
+		switch rng.Intn(4) {
+		case 0:
+			form = c.Eq(a, b)
+		case 1:
+			form = c.Ult(a, b)
+		case 2:
+			form = c.Slt(a, b)
+		default:
+			form = c.AndB(c.Ule(a, b), c.Not(c.Eq(a, b)))
+		}
+		s := NewSolver(c)
+		res, model, err := s.CheckSat(form)
+		if err != nil {
+			t.Logf("seed %d: error %v", seed, err)
+			return false
+		}
+		// Exhaustive ground truth.
+		want := false
+		assign := NewAssign()
+		for x := uint64(0); x < 1<<w; x++ {
+			for y := uint64(0); y < 1<<w; y++ {
+				assign.BV["x"] = x
+				assign.BV["y"] = y
+				v, err := assign.EvalBool(form)
+				if err != nil {
+					t.Logf("seed %d: eval error %v", seed, err)
+					return false
+				}
+				if v {
+					want = true
+				}
+			}
+		}
+		if (res == ResultSat) != want {
+			t.Logf("seed %d: solver=%v exhaustive sat=%v formula=%v", seed, res, want, form)
+			return false
+		}
+		if res == ResultSat {
+			ok, err := model.EvalBool(form)
+			if err != nil || !ok {
+				t.Logf("seed %d: returned model invalid (err=%v)", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlasterMatchesEvaluator64: spot-check wider widths with random
+// concrete inputs pinned via equality premises.
+func TestBlasterMatchesEvaluator64(t *testing.T) {
+	f := func(xv, yv uint64, op uint8) bool {
+		c := NewContext()
+		x := c.VarBV("x", 64)
+		y := c.VarBV("y", 64)
+		var expr *Term
+		switch op % 8 {
+		case 0:
+			expr = c.Add(x, y)
+		case 1:
+			expr = c.Sub(x, y)
+		case 2:
+			expr = c.Mul(x, y)
+		case 3:
+			expr = c.And(x, y)
+		case 4:
+			expr = c.Or(x, y)
+		case 5:
+			expr = c.Xor(x, y)
+		case 6:
+			expr = c.Shl(x, c.BV(uint64(op)%64, 64))
+		default:
+			expr = c.LShr(x, c.BV(uint64(op)%64, 64))
+		}
+		assign := NewAssign()
+		assign.BV["x"] = xv
+		assign.BV["y"] = yv
+		want, err := assign.EvalBV(expr)
+		if err != nil {
+			return false
+		}
+		s := NewSolver(c)
+		premise := c.AndB(c.Eq(x, c.BV(xv, 64)), c.Eq(y, c.BV(yv, 64)))
+		proved, _, err := s.ProveImplies(premise, c.Eq(expr, c.BV(want, 64)))
+		if err != nil {
+			t.Logf("error: %v", err)
+			return false
+		}
+		return proved
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDivURemProperty(t *testing.T) {
+	// ∀ x,y (y≠0): x = (x/y)*y + x%y at width 8.
+	c := NewContext()
+	x := c.VarBV("x", 8)
+	y := c.VarBV("y", 8)
+	s := NewSolver(c)
+	f := c.Implies(c.Not(c.Eq(y, c.BV(0, 8))),
+		c.Eq(x, c.Add(c.Mul(c.UDiv(x, y), y), c.URem(x, y))))
+	proved, counter, err := s.Prove(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proved {
+		t.Fatalf("division identity failed: x=%d y=%d", counter.BV["x"], counter.BV["y"])
+	}
+}
+
+func TestOverflowPredicates(t *testing.T) {
+	c := NewContext()
+	s := NewSolver(c)
+	x := c.VarBV("x", 8)
+	y := c.VarBV("y", 8)
+	// AddOverflowSigned matches the widened-comparison definition.
+	wide := c.Add(c.SExt(x, 16), c.SExt(y, 16))
+	narrow := c.SExt(c.Add(x, y), 16)
+	want := c.Not(c.Eq(wide, narrow))
+	proved, counter, err := s.Prove(c.Eq(c.AddOverflowSigned(x, y), want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proved {
+		t.Fatalf("add overflow mismatch at x=%d y=%d", counter.BV["x"], counter.BV["y"])
+	}
+	wideS := c.Sub(c.SExt(x, 16), c.SExt(y, 16))
+	narrowS := c.SExt(c.Sub(x, y), 16)
+	wantS := c.Not(c.Eq(wideS, narrowS))
+	proved, counter, err = s.Prove(c.Eq(c.SubOverflowSigned(x, y), wantS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !proved {
+		t.Fatalf("sub overflow mismatch at x=%d y=%d", counter.BV["x"], counter.BV["y"])
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	c := NewContext()
+	s := NewSolver(c)
+	s.Deadline = timePast()
+	_, _, err := s.CheckSat(c.Eq(c.VarBV("x", 8), c.BV(1, 8)))
+	if err != ErrDeadline {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+func timePast() (t time.Time) { return time.Now().Add(-time.Second) }

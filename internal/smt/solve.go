@@ -1,0 +1,269 @@
+package smt
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// Result is the outcome of a satisfiability or validity query.
+type Result int8
+
+// Query outcomes.
+const (
+	// ResultUnknown means the query could not be decided within budget.
+	ResultUnknown Result = iota
+	// ResultSat / proof failed with a counterexample model.
+	ResultSat
+	// ResultUnsat / proof succeeded.
+	ResultUnsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case ResultSat:
+		return "sat"
+	case ResultUnsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats accumulates solver statistics across queries.
+type Stats struct {
+	Queries       int64
+	FastQueries   int64 // decided by simplification alone, no SAT call
+	SATConflicts  int64
+	SATDecisions  int64
+	CNFClauses    int64
+	SolveDuration time.Duration
+}
+
+// Solver decides QF_ABV formulas built in a Context. The zero value is not
+// usable; use NewSolver.
+type Solver struct {
+	ctx *Context
+
+	// ConflictBudget bounds CDCL conflicts per query (0 = unlimited).
+	ConflictBudget int64
+	// Deadline, when non-zero, makes queries return ErrDeadline once passed.
+	Deadline time.Time
+	// Incremental keeps one SAT instance, bit-blaster, and array reducer
+	// alive across queries: shared subterms are encoded once and learned
+	// clauses carry over, the incremental solving the paper's §5.1 names
+	// as the missing piece of K's Z3 integration. Each query is solved
+	// under an activation assumption, so queries do not pollute each other.
+	Incremental bool
+
+	Stats Stats
+
+	incSAT     *sat.Solver
+	incBlaster *blaster
+	incReducer *arrayReducer
+}
+
+// ErrDeadline is returned when the Solver's deadline has passed.
+var ErrDeadline = errors.New("smt: deadline exceeded")
+
+// ErrBudget is returned when a query exhausts its conflict budget.
+var ErrBudget = errors.New("smt: solver budget exhausted")
+
+// NewSolver returns a Solver for terms of ctx.
+func NewSolver(ctx *Context) *Solver {
+	return &Solver{ctx: ctx}
+}
+
+// Context returns the term context the solver operates on.
+func (s *Solver) Context() *Context { return s.ctx }
+
+// CheckSat decides satisfiability of the Bool term f. On ResultSat the
+// returned Assign is a satisfying model for the free variables of f.
+func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if p == ErrNodeBudget {
+				res, model, err = ResultUnknown, nil, ErrNodeBudget
+				return
+			}
+			panic(p)
+		}
+	}()
+	start := time.Now()
+	defer func() { s.Stats.SolveDuration += time.Since(start) }()
+	s.Stats.Queries++
+
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		return ResultUnknown, nil, ErrDeadline
+	}
+	if f.SortKind() != SortBool {
+		return ResultUnknown, nil, fmt.Errorf("smt: CheckSat of non-Bool term")
+	}
+	// Fast path: construction-time simplification may already decide it.
+	if f.IsTrue() {
+		s.Stats.FastQueries++
+		return ResultSat, NewAssign(), nil
+	}
+	if f.IsFalse() {
+		s.Stats.FastQueries++
+		return ResultUnsat, nil, nil
+	}
+
+	if s.Incremental {
+		return s.checkSatIncremental(f)
+	}
+
+	red := newArrayReducer(s.ctx)
+	g, cons, err := red.reduce(f)
+	if err != nil {
+		return ResultUnknown, nil, err
+	}
+	g = s.ctx.AndB(g, cons)
+	if g.IsTrue() {
+		s.Stats.FastQueries++
+		return ResultSat, NewAssign(), nil
+	}
+	if g.IsFalse() {
+		s.Stats.FastQueries++
+		return ResultUnsat, nil, nil
+	}
+
+	solver := sat.New()
+	solver.ConflictBudget = s.ConflictBudget
+	solver.Deadline = s.Deadline
+	b := newBlaster(s.ctx, solver)
+	root, err := b.blastBool(g)
+	if err != nil {
+		return ResultUnknown, nil, err
+	}
+	solver.AddClause(root)
+	st := solver.Solve()
+	s.Stats.SATConflicts += solver.Conflicts
+	s.Stats.SATDecisions += solver.Decisions
+	s.Stats.CNFClauses += int64(solver.NumClauses())
+	switch st {
+	case sat.Unsat:
+		return ResultUnsat, nil, nil
+	case sat.Unknown:
+		return ResultUnknown, nil, ErrBudget
+	}
+	return ResultSat, s.extractModel(f, red, b, solver), nil
+}
+
+// checkSatIncremental solves against the persistent SAT instance under an
+// activation assumption.
+func (s *Solver) checkSatIncremental(f *Term) (Result, *Assign, error) {
+	if s.incSAT == nil {
+		s.incSAT = sat.New()
+		s.incBlaster = newBlaster(s.ctx, s.incSAT)
+		s.incReducer = newArrayReducer(s.ctx)
+	}
+	g, cons, err := s.incReducer.reduce(f)
+	if err != nil {
+		return ResultUnknown, nil, err
+	}
+	// Consistency constraints are theory facts: assert them permanently.
+	if !cons.IsTrue() {
+		consLit, err := s.incBlaster.blastBool(cons)
+		if err != nil {
+			return ResultUnknown, nil, err
+		}
+		s.incSAT.AddClause(consLit)
+	}
+	if g.IsTrue() {
+		s.Stats.FastQueries++
+		return ResultSat, NewAssign(), nil
+	}
+	if g.IsFalse() {
+		s.Stats.FastQueries++
+		return ResultUnsat, nil, nil
+	}
+	root, err := s.incBlaster.blastBool(g)
+	if err != nil {
+		return ResultUnknown, nil, err
+	}
+	s.incSAT.ConflictBudget = s.ConflictBudget
+	s.incSAT.Deadline = s.Deadline
+	st := s.incSAT.Solve(root)
+	s.Stats.SATConflicts += s.incSAT.Conflicts
+	s.Stats.SATDecisions += s.incSAT.Decisions
+	switch st {
+	case sat.Unsat:
+		return ResultUnsat, nil, nil
+	case sat.Unknown:
+		return ResultUnknown, nil, ErrBudget
+	}
+	return ResultSat, s.extractModel(f, s.incReducer, s.incBlaster, s.incSAT), nil
+}
+
+// Prove decides validity of the Bool term f (true in all models). On
+// failure the returned Assign is a countermodel.
+func (s *Solver) Prove(f *Term) (proved bool, counter *Assign, err error) {
+	res, model, err := s.CheckSat(s.ctx.Not(f))
+	if err != nil {
+		return false, nil, err
+	}
+	switch res {
+	case ResultUnsat:
+		return true, nil, nil
+	case ResultSat:
+		return false, model, nil
+	}
+	return false, nil, ErrBudget
+}
+
+// ProveImplies decides validity of premise → conclusion.
+func (s *Solver) ProveImplies(premise, conclusion *Term) (bool, *Assign, error) {
+	return s.Prove(s.ctx.Implies(premise, conclusion))
+}
+
+// extractModel reads variable values out of the SAT model. Memory contents
+// are reconstructed best-effort from the Ackermann select variables.
+func (s *Solver) extractModel(orig *Term, red *arrayReducer, b *blaster, solver *sat.Solver) *Assign {
+	m := NewAssign()
+	// Free variables appear in the blaster memos keyed by their var terms.
+	for t, lits := range b.bvMemo {
+		if t.Kind != KVarBV {
+			continue
+		}
+		var v uint64
+		for i, l := range lits {
+			bit := solver.Value(l.Var())
+			if l.Neg() {
+				bit = !bit
+			}
+			if bit {
+				v |= 1 << i
+			}
+		}
+		m.BV[t.Name] = v
+	}
+	for t, l := range b.boolMemo {
+		if t.Kind != KVarBool {
+			continue
+		}
+		bit := solver.Value(l.Var())
+		if l.Neg() {
+			bit = !bit
+		}
+		m.Bool[t.Name] = bit
+	}
+	// Memory: evaluate Ackermann select addresses under the model.
+	for base, entries := range red.sel {
+		bytes := make(map[uint64]uint8)
+		for _, e := range entries {
+			addr, err := m.EvalBV(e.addr)
+			if err != nil {
+				continue
+			}
+			val, ok := m.BV[e.v.Name]
+			if !ok {
+				continue
+			}
+			bytes[addr] = uint8(val)
+		}
+		m.Mem[base.Name] = bytes
+	}
+	return m
+}

@@ -1,0 +1,43 @@
+package tv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/vcgen"
+)
+
+// TestCorpusSmoke pushes a small synthetic corpus through the whole
+// pipeline; nearly all functions must validate (the tail may time out
+// under the test budget, mirroring Figure 6).
+func TestCorpusSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus smoke test is slow")
+	}
+	fns := corpus.Generate(corpus.GCCLike(12))
+	classes := map[Class]int{}
+	for _, f := range fns {
+		mod, err := llvmir.Parse(f.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := Validate(mod, f.Name, isel.Options{}, vcgen.Options{}, core.Options{}, Budget{Timeout: 20 * time.Second})
+		classes[out.Class]++
+		if out.Class != ClassSucceeded && out.Class != ClassTimeout {
+			t.Errorf("%s: %v err=%v", f.Name, out.Class, out.Err)
+			if out.Report != nil {
+				for _, fl := range out.Report.Failures {
+					t.Logf("  %v", fl)
+				}
+			}
+		}
+	}
+	t.Logf("classes: %v", classes)
+	if classes[ClassSucceeded] < 9 {
+		t.Errorf("only %d/12 validated", classes[ClassSucceeded])
+	}
+}

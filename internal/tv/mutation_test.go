@@ -1,0 +1,137 @@
+package tv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/vcgen"
+	"repro/internal/vx86"
+)
+
+// TestMutationSoundness is an adversarial soundness test: take a correct
+// translation, apply a semantics-changing mutation to the Virtual x86
+// side, and assert KEQ never validates the mutant. (The VC is generated
+// from the unmutated translation's hints, exactly the situation after a
+// miscompilation downstream of hint generation.)
+func TestMutationSoundness(t *testing.T) {
+	mod, err := llvmir.Parse(paperSumSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Func("arithm_seq_sum")
+
+	type mutation struct {
+		name  string
+		apply func(f *vx86.Function) bool // returns false when not applicable
+	}
+	mutations := []mutation{
+		{"swap sub operands", func(f *vx86.Function) bool {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == vx86.OpSub && len(in.Srcs) == 2 {
+						in.Srcs[0], in.Srcs[1] = in.Srcs[1], in.Srcs[0]
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"add becomes sub", func(f *vx86.Function) bool {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == vx86.OpAdd {
+						in.Op = vx86.OpSub
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"flip jump condition", func(f *vx86.Function) bool {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == vx86.OpJcc && in.CC == vx86.CCAE {
+						in.CC = vx86.CCB
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"off-by-one immediate", func(f *vx86.Function) bool {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == vx86.OpMov && in.Srcs[0].Kind == vx86.OImm {
+						in.Srcs[0].Imm++
+						return true
+					}
+				}
+			}
+			return false
+		}},
+		{"return wrong register", func(f *vx86.Function) bool {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == vx86.OpCopy && in.HasDst && !in.Dst.Virtual &&
+						in.Dst.Name == "rax" && in.Srcs[0].Kind == vx86.OReg {
+						// Redirect the return to a different phi result.
+						in.Srcs[0].Reg = vx86.Reg{Virtual: true, Name: "vr8", Width: 32}
+						return true
+					}
+				}
+			}
+			return false
+		}},
+	}
+
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			res, err := isel.Compile(mod, fn, isel.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			points, err := vcgen.Generate(fn, res.Fn, res.Hints, vcgen.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !m.apply(res.Fn) {
+				t.Skipf("mutation not applicable")
+			}
+			out := ValidateTranslation(mod, fn, res.Fn, points, core.Options{},
+				Budget{Timeout: time.Minute})
+			if out.Class == ClassSucceeded {
+				t.Fatalf("mutant VALIDATED — soundness violation:\n%s",
+					(&vx86.Program{Funcs: []*vx86.Function{res.Fn}}).String())
+			}
+		})
+	}
+}
+
+const paperSumSrc = `
+define i32 @arithm_seq_sum(i32 %a0, i32 %d, i32 %n) {
+entry:
+  br label %for.cond
+
+for.cond:
+  %s.0 = phi i32 [ %a0, %entry ], [ %add1, %for.inc ]
+  %a.0 = phi i32 [ %a0, %entry ], [ %add, %for.inc ]
+  %i.0 = phi i32 [ 1, %entry ], [ %inc, %for.inc ]
+  %cmp = icmp ult i32 %i.0, %n
+  br i1 %cmp, label %for.body, label %for.end
+
+for.body:
+  %add = add i32 %a.0, %d
+  %add1 = add i32 %s.0, %add
+  br label %for.inc
+
+for.inc:
+  %inc = add i32 %i.0, 1
+  br label %for.cond
+
+for.end:
+  ret i32 %s.0
+}
+`

@@ -1,0 +1,57 @@
+package tv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/vcgen"
+)
+
+func TestValidateSignedDivision(t *testing.T) {
+	// sdiv/srem have two UB conditions (divisor 0, INT_MIN/-1) mirrored by
+	// x86 #DE traps; the error states pair by kind and the translation
+	// validates as full equivalence.
+	src := `
+define i32 @sd(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  %r = srem i32 %a, %b
+  %s = add i32 %q, %r
+  ret i32 %s
+}`
+	mod, err := llvmir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Validate(mod, "sd", isel.Options{}, vcgen.Options{}, core.Options{},
+		Budget{Timeout: 3 * time.Minute})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v err = %v report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestSignedDivisionInterpAgreement(t *testing.T) {
+	src := `
+define i32 @sd(i32 %a, i32 %b) {
+entry:
+  %q = sdiv i32 %a, %b
+  ret i32 %q
+}`
+	mod, err := llvmir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := llvmir.NewInterp(mod)
+	if got, err := in.Call("sd", []uint64{0xFFFFFFF8, 3}); err != nil || int32(got) != -2 {
+		t.Fatalf("sdiv(-8,3) = %d, %v (want -2, truncated)", int32(got), err)
+	}
+	if _, err := in.Call("sd", []uint64{5, 0}); err == nil {
+		t.Fatalf("sdiv by zero did not trap")
+	}
+	if _, err := in.Call("sd", []uint64{0x80000000, 0xFFFFFFFF}); err == nil {
+		t.Fatalf("INT_MIN / -1 did not trap")
+	}
+}

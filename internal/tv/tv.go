@@ -1,0 +1,178 @@
+// Package tv assembles the full translation-validation pipeline of the
+// paper's Figure 5: ISel compiles the LLVM function and emits hints, the
+// VC generator produces synchronization points, and KEQ (internal/core)
+// checks that they form a cut-bisimulation between the two programs under
+// the LLVM and Virtual x86 semantics.
+package tv
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/smt"
+	"repro/internal/vcgen"
+	"repro/internal/vx86"
+)
+
+// Budget bounds one validation run, mirroring the paper's per-function
+// limits (3-hour timeout, 12 GB memory).
+type Budget struct {
+	// Timeout bounds wall-clock time (0 = none).
+	Timeout time.Duration
+	// MaxTermNodes bounds solver term allocation — the stand-in for the
+	// memory limit (0 = none).
+	MaxTermNodes uint64
+	// ConflictBudget bounds CDCL conflicts per SMT query (0 = none).
+	ConflictBudget int64
+}
+
+// Class classifies an outcome the way Figure 6 does.
+type Class int8
+
+// Outcome classes (the rows of Figure 6).
+const (
+	ClassSucceeded Class = iota
+	ClassNotValidated
+	ClassTimeout
+	ClassOOM
+	ClassOther
+	ClassUnsupported
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSucceeded:
+		return "Succeeded"
+	case ClassNotValidated:
+		return "Not validated"
+	case ClassTimeout:
+		return "Failed due to timeout"
+	case ClassOOM:
+		return "Failed due to out-of-memory"
+	case ClassOther:
+		return "Other"
+	case ClassUnsupported:
+		return "Unsupported"
+	}
+	return "?"
+}
+
+// Outcome is the result of validating one function.
+type Outcome struct {
+	Fn       string
+	Class    Class
+	Report   *core.Report
+	Err      error
+	Duration time.Duration
+	CodeSize int // LLVM instruction count (the Figure 7 size metric)
+	Points   int
+	Compiled *isel.Result
+	SMTStats smt.Stats
+}
+
+// Validate runs the whole pipeline for one function of mod.
+func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen.Options,
+	copts core.Options, budget Budget) *Outcome {
+	start := time.Now()
+	out := &Outcome{Fn: fnName}
+	defer func() { out.Duration = time.Since(start) }()
+
+	fn := mod.Func(fnName)
+	if fn == nil || !fn.Defined() {
+		out.Class = ClassOther
+		out.Err = fmt.Errorf("tv: no definition of @%s", fnName)
+		return out
+	}
+	out.CodeSize = fn.NumInstrs()
+
+	res, err := isel.Compile(mod, fn, iopts)
+	if err != nil {
+		var uns *isel.ErrUnsupported
+		if errors.As(err, &uns) {
+			out.Class = ClassUnsupported
+		} else {
+			out.Class = ClassOther
+		}
+		out.Err = err
+		return out
+	}
+	out.Compiled = res
+	return validateCompiled(mod, fn, res, vopts, copts, budget, out)
+}
+
+// ValidateTranslation checks an existing (possibly externally produced)
+// translation: the cmd/keq entry point.
+func ValidateTranslation(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
+	points []*core.SyncPoint, copts core.Options, budget Budget) *Outcome {
+	start := time.Now()
+	out := &Outcome{Fn: fn.Name, CodeSize: fn.NumInstrs(), Points: len(points)}
+	defer func() { out.Duration = time.Since(start) }()
+	runCheck(mod, fn, xfn, points, copts, budget, out)
+	return out
+}
+
+func validateCompiled(mod *llvmir.Module, fn *llvmir.Function, res *isel.Result,
+	vopts vcgen.Options, copts core.Options, budget Budget, out *Outcome) *Outcome {
+	points, err := vcgen.Generate(fn, res.Fn, res.Hints, vopts)
+	if err != nil {
+		out.Class = ClassOther
+		out.Err = err
+		return out
+	}
+	out.Points = len(points)
+	runCheck(mod, fn, res.Fn, points, copts, budget, out)
+	return out
+}
+
+func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
+	points []*core.SyncPoint, copts core.Options, budget Budget, out *Outcome) {
+	// Term construction during symbolic execution may trip the node budget
+	// outside a solver call; treat it as the same out-of-memory outcome.
+	defer func() {
+		if p := recover(); p != nil {
+			if p == smt.ErrNodeBudget {
+				out.Class = ClassOOM
+				out.Err = smt.ErrNodeBudget
+				return
+			}
+			panic(p)
+		}
+	}()
+	ctx := smt.NewContext()
+	ctx.MaxNodes = budget.MaxTermNodes
+	solver := smt.NewSolver(ctx)
+	solver.ConflictBudget = budget.ConflictBudget
+	if budget.Timeout > 0 {
+		solver.Deadline = time.Now().Add(budget.Timeout)
+	}
+
+	layout := llvmir.BuildLayout(mod, fn)
+	left := llvmir.NewSem(ctx, mod, fn, layout)
+	right := vx86.NewSem(ctx, xfn, layout)
+
+	ck := core.NewChecker(solver, left, right, copts)
+	report, err := ck.Run(points)
+	out.SMTStats = solver.Stats
+	if err != nil {
+		out.Err = err
+		switch {
+		case errors.Is(err, smt.ErrDeadline), errors.Is(err, smt.ErrBudget):
+			out.Class = ClassTimeout
+		case errors.Is(err, smt.ErrNodeBudget):
+			out.Class = ClassOOM
+		default:
+			out.Class = ClassOther
+		}
+		return
+	}
+	out.Report = report
+	if report.Verdict == core.Validated {
+		out.Class = ClassSucceeded
+	} else {
+		out.Class = ClassNotValidated
+	}
+}

@@ -1,0 +1,282 @@
+package tv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/paperprogs"
+	"repro/internal/vcgen"
+	"repro/internal/vx86"
+)
+
+func validate(t *testing.T, src, fn string, iopts isel.Options) *Outcome {
+	t.Helper()
+	mod, err := llvmir.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := llvmir.Verify(mod); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	return Validate(mod, fn, iopts, vcgen.Options{}, core.Options{},
+		Budget{Timeout: 120 * time.Second})
+}
+
+func TestValidateStraightLine(t *testing.T) {
+	out := validate(t, `
+define i32 @f(i32 %x, i32 %y) {
+entry:
+  %a = add i32 %x, %y
+  %b = xor i32 %a, %x
+  ret i32 %b
+}`, "f", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestValidateArithmSeqSum(t *testing.T) {
+	out := validate(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+	// Figure 3: four synchronization points (entry, two loop-header
+	// predecessors, exit).
+	if out.Points != 4 {
+		t.Errorf("points = %d, want 4 (p0, p1, p2, p3 of Figure 3)", out.Points)
+	}
+}
+
+func TestValidateMemSwap(t *testing.T) {
+	out := validate(t, paperprogs.MemSwap, "mem_swap", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestValidateAlloca(t *testing.T) {
+	out := validate(t, paperprogs.AllocaExample, "alloca_example", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestValidateCalls(t *testing.T) {
+	out := validate(t, paperprogs.CallExample, "call_example", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+	// entry, exit, before-call, after-call.
+	if out.Points != 4 {
+		t.Errorf("points = %d, want 4", out.Points)
+	}
+}
+
+func TestValidateNSWRefinesOnUB(t *testing.T) {
+	// The x86 add wraps where the LLVM add nsw has UB; the acceptability
+	// relation excuses the overflow path (paper §4.6).
+	out := validate(t, paperprogs.NSWExample, "nsw_example", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestValidateSelect(t *testing.T) {
+	out := validate(t, `
+define i32 @sel(i32 %a, i32 %b) {
+entry:
+  %c = icmp sgt i32 %a, %b
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}`, "sel", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestValidateWAWStoresCorrectMerge(t *testing.T) {
+	// The correct store merge (Figure 9c) must validate.
+	out := validate(t, paperprogs.WAWStores, "waw_foo", isel.Options{MergeStores: true})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestRejectWAWBug(t *testing.T) {
+	// Figure 8/9(b): the buggy merge reverses a write-after-write
+	// dependency; KEQ must fail to prove memory equality at the exit.
+	out := validate(t, paperprogs.WAWStores, "waw_foo", isel.Options{BugWAWStoreMerge: true})
+	if out.Class != ClassNotValidated {
+		t.Fatalf("class = %v (err = %v); the WAW miscompilation was not caught", out.Class, out.Err)
+	}
+	if len(out.Report.Failures) == 0 {
+		t.Fatalf("no failures recorded")
+	}
+}
+
+func TestValidateLoadNarrowCorrect(t *testing.T) {
+	out := validate(t, paperprogs.LoadNarrow, "narrow_foo", isel.Options{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v, err = %v, report = %+v", out.Class, out.Err, out.Report)
+	}
+}
+
+func TestRejectLoadNarrowBug(t *testing.T) {
+	// Figure 10/11(b): the widened access branches into an out-of-bounds
+	// error state with no counterpart in the input program; KEQ cannot
+	// even prove refinement (paper footnote 7).
+	out := validate(t, paperprogs.LoadNarrow, "narrow_foo", isel.Options{BugLoadNarrow: true})
+	if out.Class != ClassNotValidated {
+		t.Fatalf("class = %v (err = %v); the load-narrowing miscompilation was not caught", out.Class, out.Err)
+	}
+	found := false
+	for _, f := range out.Report.Failures {
+		if f.Loc == core.ErrorLoc("oob") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("failures do not mention the oob error state: %v", out.Report.Failures)
+	}
+}
+
+func TestCoarseLivenessStillSound(t *testing.T) {
+	// Deliberately coarse x86 liveness adds constraints for registers with
+	// no LLVM counterpart at loop headers, making the VC inadequate for
+	// some functions (paper Figure 6 "Other"). It must never validate a
+	// buggy translation, and KEQ must fail closed.
+	mod, err := llvmir.Parse(paperprogs.WAWStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Validate(mod, "waw_foo", isel.Options{BugWAWStoreMerge: true},
+		vcgen.Options{CoarseLiveness: true}, core.Options{}, Budget{})
+	if out.Class == ClassSucceeded {
+		t.Fatalf("coarse liveness validated a miscompilation")
+	}
+}
+
+func TestBudgetsClassify(t *testing.T) {
+	mod, err := llvmir.Parse(paperprogs.ArithmSeqSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absurdly small node budget → OOM class.
+	out := Validate(mod, "arithm_seq_sum", isel.Options{}, vcgen.Options{},
+		core.Options{}, Budget{MaxTermNodes: 100})
+	if out.Class != ClassOOM {
+		t.Errorf("tiny node budget: class = %v, want OOM", out.Class)
+	}
+	// Expired deadline → timeout class.
+	out = Validate(mod, "arithm_seq_sum", isel.Options{}, vcgen.Options{},
+		core.Options{}, Budget{Timeout: time.Nanosecond})
+	if out.Class != ClassTimeout {
+		t.Errorf("expired deadline: class = %v, want timeout", out.Class)
+	}
+}
+
+func TestUnsupportedClassified(t *testing.T) {
+	out := validate(t, `
+define i48 @f(i48 %x) {
+entry:
+  ret i48 %x
+}`, "f", isel.Options{})
+	if out.Class != ClassUnsupported {
+		t.Errorf("class = %v, want Unsupported", out.Class)
+	}
+}
+
+func TestRefinementMode(t *testing.T) {
+	mod, err := llvmir.Parse(paperprogs.ArithmSeqSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Validate(mod, "arithm_seq_sum", isel.Options{}, vcgen.Options{},
+		core.Options{Mode: core.Refinement}, Budget{})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("refinement: class = %v, err = %v", out.Class, out.Err)
+	}
+}
+
+func TestAblationOptionsAgree(t *testing.T) {
+	// Both SMT-optimization ablations must reach the same verdicts on a
+	// positive and a negative instance.
+	mod, err := llvmir.Parse(paperprogs.ArithmSeqSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []core.Options{
+		{},
+		{DisablePositiveForm: true},
+		{DisablePCFastPath: true},
+		{DisablePositiveForm: true, DisablePCFastPath: true},
+	} {
+		out := Validate(mod, "arithm_seq_sum", isel.Options{}, vcgen.Options{}, opts, Budget{})
+		if out.Class != ClassSucceeded {
+			t.Errorf("opts %+v: class = %v, err = %v", opts, out.Class, out.Err)
+		}
+	}
+	bug, err := llvmir.Parse(paperprogs.WAWStores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []core.Options{{}, {DisablePositiveForm: true}} {
+		out := Validate(bug, "waw_foo", isel.Options{BugWAWStoreMerge: true},
+			vcgen.Options{}, opts, Budget{})
+		if out.Class != ClassNotValidated {
+			t.Errorf("opts %+v on bug: class = %v", opts, out.Class)
+		}
+	}
+}
+
+func TestValidateStrengthReduction(t *testing.T) {
+	// §4.7: strength-reduced divisions/multiplications. The bit-blasting
+	// solver proves shift/division equivalences directly.
+	src := `
+define i32 @sr(i32 %x, i32 %y) {
+entry:
+  %a = mul i32 %x, 8
+  %b = udiv i32 %a, 4
+  %c = urem i32 %b, 16
+  %d = udiv i32 %y, 3
+  %e = add i32 %c, %d
+  ret i32 %e
+}`
+	mod, err := llvmir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Validate(mod, "sr", isel.Options{StrengthReduce: true}, vcgen.Options{},
+		core.Options{}, Budget{Timeout: 2 * time.Minute})
+	if out.Class != ClassSucceeded {
+		t.Fatalf("class = %v err = %v report = %+v", out.Class, out.Err, out.Report)
+	}
+	// A *wrong* strength reduction (mul by non-power-of-two reduced as if
+	// it were one) must be rejected: simulate by compiling with the buggy
+	// combination below.
+	res, err := isel.Compile(mod, mod.Func("sr"), isel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: replace the imul by 8 with a shift by 2 (wrong: should be 3).
+	for _, b := range res.Fn.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == vx86.OpIMul && len(in.Srcs) == 2 && in.Srcs[1].Kind == vx86.OImm {
+				in.Op = vx86.OpShl
+				in.Srcs[1] = vx86.ImmOp(2)
+			}
+		}
+	}
+	points, err := vcgen.Generate(mod.Func("sr"), res.Fn, res.Hints, vcgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := ValidateTranslation(mod, mod.Func("sr"), res.Fn, points, core.Options{},
+		Budget{Timeout: 2 * time.Minute})
+	if bad.Class != ClassNotValidated {
+		t.Fatalf("wrong strength reduction: class = %v", bad.Class)
+	}
+}

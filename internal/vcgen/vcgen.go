@@ -1,0 +1,369 @@
+// Package vcgen is the verification-condition generator of the TV
+// prototype (paper §4.5): from the input LLVM function, the output Virtual
+// x86 function, and the compiler hints, it produces the synchronization
+// points KEQ checks. The strategy is exactly the paper's:
+//
+//   - function entry and exit, with constraints from the calling
+//     convention;
+//   - loop entries, one point per predecessor edge, relating the live
+//     registers of both sides (live-variable analysis plus the compiler's
+//     register-correspondence hint);
+//   - call sites, an exiting point before each call (argument registers)
+//     and a start point after it (result register plus live registers);
+//   - every point constrains the two memories to be equal (the common
+//     memory model of §4.4 reduces the acceptability relation's memory
+//     clause to plain equality).
+//
+// The generator is transformation-specific and untrusted: if it emits an
+// inadequate set of points (e.g. because liveness is too coarse — the
+// cause of the paper's 16 "Other" failures), KEQ fails the validation, it
+// never wrongly accepts.
+package vcgen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/vx86"
+)
+
+// Options tune generation.
+type Options struct {
+	// CoarseLiveness deliberately over-approximates x86 liveness (every
+	// virtual register defined so far is considered live), recreating the
+	// inadequate-synchronization-point failure mode of the paper's
+	// evaluation ("Other" row of Figure 6).
+	CoarseLiveness bool
+}
+
+// Generate builds the synchronization relation for one ISel translation
+// instance.
+func Generate(fn *llvmir.Function, xfn *vx86.Function, hints *isel.Hints, opts Options) ([]*core.SyncPoint, error) {
+	g := &gen{fn: fn, xfn: xfn, hints: hints, opts: opts}
+	return g.run()
+}
+
+type gen struct {
+	fn    *llvmir.Function
+	xfn   *vx86.Function
+	hints *isel.Hints
+	opts  Options
+
+	invRegMap map[string]string // vx86 observable -> LLVM reg name
+	regTys    map[string]llvmir.Type
+	xWidths   map[string]uint8
+
+	llvmLive map[string]map[string]bool
+	x86Live  map[string]map[string]bool
+}
+
+func (g *gen) run() ([]*core.SyncPoint, error) {
+	g.invRegMap = make(map[string]string, len(g.hints.RegMap))
+	for l, x := range g.hints.RegMap {
+		g.invRegMap[x] = l
+	}
+	g.regTys = llvmir.RegTypes(g.fn)
+	g.xWidths = vx86.RegWidths(g.xfn)
+	g.llvmLive = cfg.Liveness(llvmir.FuncGraph{F: g.fn})
+	g.x86Live = cfg.Liveness(vx86.FuncGraph{F: g.xfn})
+
+	var points []*core.SyncPoint
+	entry, err := g.entryPoint()
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, entry)
+
+	exit, err := g.exitPoint()
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, exit)
+
+	loopPts, err := g.loopPoints()
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, loopPts...)
+
+	callPts, err := g.callPoints()
+	if err != nil {
+		return nil, err
+	}
+	points = append(points, callPts...)
+
+	core.SortPoints(points)
+	return points, nil
+}
+
+// argRegName returns the assembly name of the i-th argument register at
+// the width of the given LLVM type (i1 arguments use the 8-bit view).
+func argRegName(i int, ty llvmir.Type) (string, error) {
+	if i >= len(vx86.ArgRegs) {
+		return "", fmt.Errorf("vcgen: more than %d arguments", len(vx86.ArgRegs))
+	}
+	bits, err := llvmir.BitsOf(ty)
+	if err != nil {
+		return "", err
+	}
+	w := uint8(bits)
+	if w == 1 {
+		w = 8
+	}
+	return vx86.PhysName(vx86.ArgRegs[i], w), nil
+}
+
+func (g *gen) entryPoint() (*core.SyncPoint, error) {
+	p := &core.SyncPoint{ID: "p0", LocLeft: "entry", LocRight: "entry", MemEqual: true}
+	for i, prm := range g.fn.Params {
+		reg, err := argRegName(i, prm.Ty)
+		if err != nil {
+			return nil, err
+		}
+		p.Constraints = append(p.Constraints, core.Constraint{Left: "%" + prm.Name, Right: reg})
+	}
+	return p, nil
+}
+
+func (g *gen) exitPoint() (*core.SyncPoint, error) {
+	p := &core.SyncPoint{ID: "pexit", LocLeft: "exit", LocRight: "exit",
+		MemEqual: true, Exiting: true}
+	if bits, err := llvmir.BitsOf(g.fn.Ret); err == nil {
+		w := uint8(bits)
+		if w == 1 {
+			w = 8
+		}
+		p.Constraints = append(p.Constraints, core.Constraint{
+			Left: "ret", Right: vx86.PhysName("rax", w)})
+	}
+	return p, nil
+}
+
+// regConstraints builds the constraint list relating the given live LLVM
+// registers and live x86 virtual registers, using the hint maps: the union
+// of the hint image of the LLVM live set and the x86 live set, with
+// compiler-materialized constants pinned by constant constraints.
+func (g *gen) regConstraints(llvmRegs, x86Regs map[string]bool) []core.Constraint {
+	covered := make(map[string]bool) // x86 observables already constrained
+	var cons []core.Constraint
+	for _, r := range cfg.SortedKeys(llvmRegs) {
+		x, ok := g.hints.RegMap[r]
+		if !ok {
+			continue // register not materialized on the x86 side
+		}
+		cons = append(cons, core.Constraint{Left: "%" + r, Right: x})
+		covered[x] = true
+	}
+	for _, v := range cfg.SortedKeys(x86Regs) {
+		obs := fmt.Sprintf("%%%s_%d", v, g.xWidths[v])
+		if covered[obs] {
+			continue
+		}
+		if l, ok := g.invRegMap[obs]; ok {
+			cons = append(cons, core.Constraint{Left: "%" + l, Right: obs})
+			covered[obs] = true
+			continue
+		}
+		if c, ok := g.hints.ConstMap[obs]; ok {
+			cons = append(cons, core.Constraint{Left: fmt.Sprintf("%d", c), Right: obs})
+			covered[obs] = true
+			continue
+		}
+		// No LLVM counterpart and not a known constant: the point is
+		// inadequate for this register; KEQ will fail if it matters
+		// (paper §5.1, "Inadequate synchronization points").
+	}
+	return cons
+}
+
+func (g *gen) loopPoints() ([]*core.SyncPoint, error) {
+	lg := llvmir.FuncGraph{F: g.fn}
+	xg := vx86.FuncGraph{F: g.xfn}
+	preds := cfg.Preds(lg)
+	var points []*core.SyncPoint
+	for _, loop := range cfg.NaturalLoops(lg) {
+		h := loop.Header
+		xh, ok := g.hints.BlockMap[h]
+		if !ok {
+			return nil, fmt.Errorf("vcgen: no block hint for loop header %%%s", h)
+		}
+		for _, p := range preds[h] {
+			xp, ok := g.hints.BlockMap[p]
+			if !ok {
+				return nil, fmt.Errorf("vcgen: no block hint for predecessor %%%s", p)
+			}
+			llvmRegs := union(g.llvmLive[h], lg.EdgeUse(p, h))
+			var x86Regs map[string]bool
+			if g.opts.CoarseLiveness {
+				x86Regs = g.allX86Regs()
+			} else {
+				x86Regs = union(g.x86Live[xh], xg.EdgeUse(xp, xh))
+			}
+			points = append(points, &core.SyncPoint{
+				ID:          fmt.Sprintf("p_%s_from_%s", h, p),
+				LocLeft:     core.Location(fmt.Sprintf("block:%s:from:%s", h, p)),
+				LocRight:    core.Location(fmt.Sprintf("block:%s:from:%s", xh, xp)),
+				Constraints: g.regConstraints(llvmRegs, x86Regs),
+				MemEqual:    true,
+			})
+		}
+	}
+	return points, nil
+}
+
+// allX86Regs returns every virtual register of the output function — the
+// deliberately coarse liveness of Options.CoarseLiveness.
+func (g *gen) allX86Regs() map[string]bool {
+	out := make(map[string]bool, len(g.xWidths))
+	for v := range g.xWidths {
+		out[v] = true
+	}
+	return out
+}
+
+func (g *gen) callPoints() ([]*core.SyncPoint, error) {
+	lSites := llvmir.CallSites(g.fn)
+	xSites := vx86.CallSites(g.xfn)
+	if len(lSites) != len(xSites) {
+		return nil, fmt.Errorf("vcgen: call-site count mismatch: %d LLVM vs %d x86",
+			len(lSites), len(xSites))
+	}
+	var points []*core.SyncPoint
+	for k, site := range lSites {
+		if xSites[k].Callee != site.Callee {
+			return nil, fmt.Errorf("vcgen: call %d targets @%s on LLVM side, @%s on x86 side",
+				k, site.Callee, xSites[k].Callee)
+		}
+		loc := core.Location(fmt.Sprintf("call:%s:%d:before", site.Callee, k))
+		before := &core.SyncPoint{
+			ID: fmt.Sprintf("p_call%d_before", k), LocLeft: loc, LocRight: loc,
+			MemEqual: true, Exiting: true,
+		}
+		for i, a := range site.Instr.Args {
+			reg, err := argRegName(i, a.Ty)
+			if err != nil {
+				return nil, err
+			}
+			before.Constraints = append(before.Constraints, core.Constraint{
+				Left: fmt.Sprintf("arg%d", i), Right: reg})
+		}
+		points = append(points, before)
+
+		locA := core.Location(fmt.Sprintf("call:%s:%d:after", site.Callee, k))
+		after := &core.SyncPoint{
+			ID: fmt.Sprintf("p_call%d_after", k), LocLeft: locA, LocRight: locA,
+			MemEqual: true,
+		}
+		if site.Instr.Name != "" {
+			bits, err := llvmir.BitsOf(site.Instr.Ty)
+			if err != nil {
+				return nil, err
+			}
+			w := uint8(bits)
+			if w == 1 {
+				w = 8
+			}
+			after.Constraints = append(after.Constraints, core.Constraint{
+				Left: "%" + site.Instr.Name, Right: vx86.PhysName("rax", w)})
+		}
+		llvmRegs := g.llvmLiveAfter(site)
+		// Exclude the call result itself: it is constrained via rax above
+		// and not yet copied into its vreg on the x86 side.
+		delete(llvmRegs, site.Instr.Name)
+		var x86Regs map[string]bool
+		if g.opts.CoarseLiveness {
+			x86Regs = g.allX86Regs()
+		} else {
+			x86Regs = g.x86LiveAfter(xSites[k])
+		}
+		if r, ok := g.hints.RegMap[site.Instr.Name]; ok {
+			delete(x86Regs, stripObs(r))
+		}
+		after.Constraints = append(after.Constraints, g.regConstraints(llvmRegs, x86Regs)...)
+		points = append(points, after)
+	}
+	return points, nil
+}
+
+// stripObs turns "%vr3_32" into "vr3".
+func stripObs(obs string) string {
+	s := obs
+	if len(s) > 0 && s[0] == '%' {
+		s = s[1:]
+	}
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '_' {
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// llvmLiveAfter computes the LLVM registers live immediately after a call
+// instruction (position-level backward liveness within the block suffix).
+func (g *gen) llvmLiveAfter(site llvmir.CallSite) map[string]bool {
+	lg := llvmir.FuncGraph{F: g.fn}
+	b := g.fn.BlockByName(site.Block)
+	live := cfg.LiveOut(lg, g.llvmLive, site.Block)
+	for i := len(b.Instrs) - 1; i > site.Index; i-- {
+		in := b.Instrs[i]
+		if in.Name != "" {
+			delete(live, in.Name)
+		}
+		for _, v := range in.Args {
+			if v.Kind == llvmir.VReg {
+				live[v.Name] = true
+			}
+		}
+	}
+	return live
+}
+
+// x86LiveAfter computes the x86 virtual registers live immediately after a
+// call instruction.
+func (g *gen) x86LiveAfter(site vx86.CallSite) map[string]bool {
+	xg := vx86.FuncGraph{F: g.xfn}
+	b := g.xfn.BlockByName(site.Block)
+	live := cfg.LiveOut(xg, g.x86Live, site.Block)
+	for i := len(b.Instrs) - 1; i > site.Index; i-- {
+		in := b.Instrs[i]
+		if in.HasDst && in.Dst.Virtual {
+			delete(live, in.Dst.Name)
+		}
+		for _, o := range in.Srcs {
+			if o.Kind == vx86.OReg && o.Reg.Virtual {
+				live[o.Reg.Name] = true
+			}
+		}
+		if in.Addr != nil && in.Addr.Base != nil && in.Addr.Base.Virtual {
+			live[in.Addr.Base.Name] = true
+		}
+	}
+	return live
+}
+
+func union(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+// Describe renders a human-readable summary of the points (used by the
+// cmd tools for -v output).
+func Describe(points []*core.SyncPoint) string {
+	ids := make([]string, len(points))
+	for i, p := range points {
+		ids[i] = p.ID
+	}
+	sort.Strings(ids)
+	return fmt.Sprintf("%d synchronization points: %v", len(points), ids)
+}

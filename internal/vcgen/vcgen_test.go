@@ -1,0 +1,191 @@
+package vcgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isel"
+	"repro/internal/llvmir"
+	"repro/internal/paperprogs"
+	"repro/internal/vx86"
+)
+
+func generate(t *testing.T, src, fnName string, opts Options) ([]*core.SyncPoint, *isel.Result) {
+	t.Helper()
+	mod, err := llvmir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Func(fnName)
+	res, err := isel.Compile(mod, fn, isel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Generate(fn, res.Fn, res.Hints, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return points, res
+}
+
+func findPoint(points []*core.SyncPoint, id string) *core.SyncPoint {
+	for _, p := range points {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+func TestGenerateFigure3Points(t *testing.T) {
+	points, _ := generate(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{})
+	if len(points) != 4 {
+		t.Fatalf("%d points, want 4 (Figure 3)", len(points))
+	}
+
+	p0 := findPoint(points, "p0")
+	if p0 == nil || p0.LocLeft != "entry" || !p0.MemEqual || p0.Exiting {
+		t.Fatalf("p0 = %+v", p0)
+	}
+	// Calling-convention constraints of Figure 3's p0.
+	wantP0 := map[string]string{"%a0": "edi", "%d": "esi", "%n": "edx"}
+	for _, c := range p0.Constraints {
+		if wantP0[c.Left] != c.Right {
+			t.Errorf("p0 constraint %s = %s, want %s", c.Left, c.Right, wantP0[c.Left])
+		}
+		delete(wantP0, c.Left)
+	}
+	if len(wantP0) != 0 {
+		t.Errorf("p0 missing constraints: %v", wantP0)
+	}
+
+	pexit := findPoint(points, "pexit")
+	if pexit == nil || !pexit.Exiting || !pexit.MemEqual {
+		t.Fatalf("pexit = %+v", pexit)
+	}
+	if len(pexit.Constraints) != 1 || pexit.Constraints[0].Left != "ret" ||
+		pexit.Constraints[0].Right != "eax" {
+		t.Errorf("pexit constraints = %+v (Figure 3's p3: %%s.0 = eax)", pexit.Constraints)
+	}
+
+	// Loop-header points: one per predecessor, as the paper does "to
+	// expedite the symbolic execution of the phi instructions".
+	fromEntry := findPoint(points, "p_for.cond_from_entry")
+	fromInc := findPoint(points, "p_for.cond_from_for.inc")
+	if fromEntry == nil || fromInc == nil {
+		t.Fatalf("loop points missing: %v", points)
+	}
+	// The entry-edge point must pin the materialized constant 1 (paper's
+	// "1 = %vr9_32" in Figure 3 p1).
+	foundConst := false
+	for _, c := range fromEntry.Constraints {
+		if c.Left == "1" {
+			foundConst = true
+		}
+	}
+	if !foundConst {
+		t.Errorf("entry-edge loop point lacks the constant constraint: %+v", fromEntry.Constraints)
+	}
+	// The latch-edge point must relate the loop-carried values.
+	var lhs []string
+	for _, c := range fromInc.Constraints {
+		lhs = append(lhs, c.Left)
+	}
+	joined := strings.Join(lhs, " ")
+	for _, want := range []string{"%add", "%add1", "%inc", "%d", "%n"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("latch-edge point missing %s: %v", want, lhs)
+		}
+	}
+}
+
+func TestGenerateCallPoints(t *testing.T) {
+	points, _ := generate(t, paperprogs.CallExample, "call_example", Options{})
+	before := findPoint(points, "p_call0_before")
+	if before == nil || !before.Exiting || !before.MemEqual {
+		t.Fatalf("before = %+v", before)
+	}
+	wantArgs := map[string]string{"arg0": "edi", "arg1": "esi"}
+	for _, c := range before.Constraints {
+		if wantArgs[c.Left] != c.Right {
+			t.Errorf("before constraint %s = %s", c.Left, c.Right)
+		}
+	}
+	after := findPoint(points, "p_call0_after")
+	if after == nil || after.Exiting {
+		t.Fatalf("after = %+v", after)
+	}
+	var hasResult, hasLiveY bool
+	for _, c := range after.Constraints {
+		if c.Left == "%r" && c.Right == "eax" {
+			hasResult = true
+		}
+		if c.Left == "%y" {
+			hasLiveY = true
+		}
+	}
+	if !hasResult {
+		t.Errorf("after-call point lacks the result constraint: %+v", after.Constraints)
+	}
+	if !hasLiveY {
+		t.Errorf("after-call point lacks the live register %%y: %+v", after.Constraints)
+	}
+}
+
+func TestGenerateVoidFunction(t *testing.T) {
+	points, _ := generate(t, paperprogs.WAWStores, "waw_foo", Options{})
+	pexit := findPoint(points, "pexit")
+	if pexit == nil || len(pexit.Constraints) != 0 {
+		t.Fatalf("void exit point = %+v", pexit)
+	}
+	if !pexit.MemEqual {
+		t.Errorf("void exit point must still require memory equality")
+	}
+}
+
+func TestCoarseLivenessAddsConstraints(t *testing.T) {
+	fine, _ := generate(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{})
+	coarse, _ := generate(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{CoarseLiveness: true})
+	nFine := len(findPoint(fine, "p_for.cond_from_entry").Constraints)
+	nCoarse := len(findPoint(coarse, "p_for.cond_from_entry").Constraints)
+	if nCoarse < nFine {
+		t.Errorf("coarse liveness produced fewer constraints (%d < %d)", nCoarse, nFine)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := generate(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{})
+	b, _ := generate(t, paperprogs.ArithmSeqSum, "arithm_seq_sum", Options{})
+	var sa, sb strings.Builder
+	core.WriteSyncPoints(&sa, a)
+	core.WriteSyncPoints(&sb, b)
+	if sa.String() != sb.String() {
+		t.Fatalf("generation not deterministic:\n%s\nvs\n%s", sa.String(), sb.String())
+	}
+}
+
+func TestGenerateRejectsMismatchedCallSites(t *testing.T) {
+	mod, err := llvmir.Parse(paperprogs.CallExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Func("call_example")
+	res, err := isel.Compile(mod, fn, isel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the translation: drop the call on the x86 side.
+	for _, b := range res.Fn.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if in.Op != vx86.OpCall {
+				kept = append(kept, in)
+			}
+		}
+		b.Instrs = kept
+	}
+	if _, err := Generate(fn, res.Fn, res.Hints, Options{}); err == nil {
+		t.Fatalf("mismatched call sites not rejected")
+	}
+}

@@ -1,0 +1,120 @@
+package vx86
+
+// FuncGraph adapts a Function to the analyses in internal/cfg.
+type FuncGraph struct{ F *Function }
+
+// Blocks returns block labels, entry first.
+func (g FuncGraph) Blocks() []string {
+	out := make([]string, len(g.F.Blocks))
+	for i, b := range g.F.Blocks {
+		out[i] = b.Name
+	}
+	return out
+}
+
+// Succs returns the control-flow successors of a block: jcc targets plus
+// the trailing jmp target (ret ends the function).
+func (g FuncGraph) Succs(name string) []string {
+	b := g.F.BlockByName(name)
+	if b == nil {
+		return nil
+	}
+	var out []string
+	for _, in := range b.Instrs {
+		switch in.Op {
+		case OpJcc, OpJmp:
+			out = append(out, in.Label)
+		}
+	}
+	return out
+}
+
+// readRegs appends the virtual registers read by in (phi operands are
+// edge uses and excluded here).
+func readRegs(in *Instr, add func(string)) {
+	for _, o := range in.Srcs {
+		if o.Kind == OReg && o.Reg.Virtual {
+			add(o.Reg.Name)
+		}
+	}
+	if in.Addr != nil && in.Addr.Base != nil && in.Addr.Base.Virtual {
+		add(in.Addr.Base.Name)
+	}
+}
+
+// UseDef returns the upward-exposed virtual-register uses and the defs of
+// a block. Physical registers are excluded: they do not survive block
+// boundaries in ISel output.
+func (g FuncGraph) UseDef(name string) (use, def map[string]bool) {
+	use = make(map[string]bool)
+	def = make(map[string]bool)
+	b := g.F.BlockByName(name)
+	if b == nil {
+		return use, def
+	}
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			readRegs(in, func(r string) {
+				if !def[r] {
+					use[r] = true
+				}
+			})
+		}
+		if in.HasDst && in.Dst.Virtual {
+			def[in.Dst.Name] = true
+		}
+	}
+	return use, def
+}
+
+// EdgeUse returns the virtual registers consumed by PHIs in `to` along the
+// edge from `from`.
+func (g FuncGraph) EdgeUse(from, to string) map[string]bool {
+	out := make(map[string]bool)
+	b := g.F.BlockByName(to)
+	if b == nil {
+		return out
+	}
+	for _, in := range b.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		for _, inc := range in.Phi {
+			if inc.Pred == from && inc.Val.Kind == OReg && inc.Val.Reg.Virtual {
+				out[inc.Val.Reg.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// RegWidths maps every virtual register of f to its width.
+func RegWidths(f *Function) map[string]uint8 {
+	out := make(map[string]uint8)
+	visit := func(r Reg) {
+		if r.Virtual {
+			out[r.Name] = r.Width
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasDst {
+				visit(in.Dst)
+			}
+			for _, o := range in.Srcs {
+				if o.Kind == OReg {
+					visit(o.Reg)
+				}
+			}
+			for _, p := range in.Phi {
+				if p.Val.Kind == OReg {
+					visit(p.Val.Reg)
+				}
+			}
+			if in.Addr != nil && in.Addr.Base != nil {
+				visit(*in.Addr.Base)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,536 @@
+package vx86
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// ArgRegs lists the integer argument registers of the modeled calling
+// convention (System V order), as 64-bit base names.
+var ArgRegs = []string{"rdi", "rsi", "rdx", "rcx", "r8", "r9"}
+
+// UBError reports undefined behavior (same taxonomy as internal/llvmir).
+type UBError struct {
+	Kind   string
+	Detail string
+}
+
+func (e *UBError) Error() string {
+	return fmt.Sprintf("vx86: undefined behavior (%s): %s", e.Kind, e.Detail)
+}
+
+// flags is the concrete eflags subset.
+type flags struct{ zf, sf, cf, of bool }
+
+// Interp is a concrete Virtual x86 interpreter over the common memory
+// model. Physical registers are shared across calls; virtual registers are
+// per-activation (Machine IR semantics before register allocation).
+type Interp struct {
+	Prog   *Program
+	Mem    *mem.Concrete
+	Layout *mem.Layout
+	// Phys holds the 64-bit base registers.
+	Phys map[string]uint64
+	// MaxSteps bounds total executed instructions (0 = 1<<20).
+	MaxSteps int
+	// Externals supplies behavior for functions not in Prog: the handler
+	// reads argument registers from the interpreter and returns the value
+	// to place in rax.
+	Externals map[string]func(in *Interp) uint64
+
+	flags flags
+	steps int
+}
+
+// NewInterp builds an interpreter over an existing layout/memory pair
+// (shared with the LLVM side in differential tests).
+func NewInterp(p *Program, layout *mem.Layout, m *mem.Concrete) *Interp {
+	return &Interp{Prog: p, Mem: m, Layout: layout, Phys: make(map[string]uint64), MaxSteps: 1 << 20}
+}
+
+// SetReg writes a register view (for test setup).
+func (in *Interp) SetReg(name string, v uint64) error {
+	r, ok := PhysReg(name)
+	if !ok {
+		return fmt.Errorf("vx86: unknown register %q", name)
+	}
+	in.writePhys(r, v)
+	return nil
+}
+
+// GetReg reads a register view.
+func (in *Interp) GetReg(name string) (uint64, error) {
+	r, ok := PhysReg(name)
+	if !ok {
+		return 0, fmt.Errorf("vx86: unknown register %q", name)
+	}
+	return in.readPhys(r), nil
+}
+
+func maskW(v uint64, w uint8) uint64 {
+	if w >= 64 {
+		return v
+	}
+	return v & ((1 << w) - 1)
+}
+
+func (in *Interp) readPhys(r Reg) uint64 { return maskW(in.Phys[r.Name], r.Width) }
+
+func (in *Interp) writePhys(r Reg, v uint64) {
+	switch r.Width {
+	case 64:
+		in.Phys[r.Name] = v
+	case 32:
+		in.Phys[r.Name] = maskW(v, 32) // 32-bit writes zero the upper half
+	default:
+		old := in.Phys[r.Name]
+		m := uint64(1)<<r.Width - 1
+		in.Phys[r.Name] = old&^m | v&m
+	}
+}
+
+// Call runs the named function and returns the rax value afterwards.
+// Arguments must already be in the argument registers (use CallWithArgs
+// for convenience).
+func (in *Interp) Call(name string) (uint64, error) {
+	f := in.Prog.Func(name)
+	if f == nil {
+		if ext, ok := in.Externals[name]; ok {
+			in.Phys["rax"] = ext(in)
+			return in.Phys["rax"], nil
+		}
+		return 0, fmt.Errorf("vx86: call to unavailable function %q", name)
+	}
+	virt := make(map[string]uint64)
+	frame := make(map[string]uint64)
+	if err := in.run(f, virt, frame); err != nil {
+		return 0, err
+	}
+	return in.Phys["rax"], nil
+}
+
+// CallWithArgs places 32- or 64-bit args in the argument registers and
+// calls the function. widths[i] gives each argument's bit width.
+func (in *Interp) CallWithArgs(name string, args []uint64, widths []uint8) (uint64, error) {
+	if len(args) > len(ArgRegs) {
+		return 0, fmt.Errorf("vx86: too many arguments (%d)", len(args))
+	}
+	for i, a := range args {
+		w := uint8(64)
+		if i < len(widths) {
+			w = widths[i]
+		}
+		if w == 1 {
+			w = 8
+		}
+		in.writePhys(Reg{Name: ArgRegs[i], Width: w}, a)
+	}
+	return in.Call(name)
+}
+
+func (in *Interp) run(f *Function, virt, frame map[string]uint64) error {
+	blk := f.Entry()
+	prev := ""
+	idx := 0
+	for {
+		if in.steps++; in.steps > in.maxSteps() {
+			return errors.New("vx86: step budget exhausted")
+		}
+		if idx >= len(blk.Instrs) {
+			return fmt.Errorf("vx86: fell off block %s", blk.Name)
+		}
+		ins := blk.Instrs[idx]
+
+		if ins.Op == OpPhi {
+			updates := make(map[string]uint64)
+			for idx < len(blk.Instrs) && blk.Instrs[idx].Op == OpPhi {
+				phi := blk.Instrs[idx]
+				found := false
+				for _, inc := range phi.Phi {
+					if inc.Pred == prev {
+						v, err := in.operand(virt, inc.Val)
+						if err != nil {
+							return err
+						}
+						updates[phi.Dst.Name] = maskW(v, phi.Dst.Width)
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("vx86: phi %s has no incoming for %s", phi.Dst, prev)
+				}
+				idx++
+			}
+			for k, v := range updates {
+				virt[k] = v
+			}
+			continue
+		}
+
+		switch ins.Op {
+		case OpJmp:
+			prev, blk, idx = blk.Name, f.BlockByName(ins.Label), 0
+			if blk == nil {
+				return fmt.Errorf("vx86: jmp to unknown block %s", ins.Label)
+			}
+			continue
+		case OpJcc:
+			if in.cond(ins.CC) {
+				prev, blk, idx = blk.Name, f.BlockByName(ins.Label), 0
+				if blk == nil {
+					return fmt.Errorf("vx86: j%s to unknown block %s", ins.CC, ins.Label)
+				}
+			} else {
+				idx++
+			}
+			continue
+		case OpRet:
+			return nil
+		case OpCall:
+			if _, err := in.Call(ins.Callee); err != nil {
+				return err
+			}
+			idx++
+			continue
+		}
+
+		if err := in.exec(virt, frame, ins); err != nil {
+			return err
+		}
+		idx++
+	}
+}
+
+func (in *Interp) maxSteps() int {
+	if in.MaxSteps == 0 {
+		return 1 << 20
+	}
+	return in.MaxSteps
+}
+
+func (in *Interp) operand(virt map[string]uint64, o Operand) (uint64, error) {
+	switch o.Kind {
+	case OImm:
+		return uint64(o.Imm), nil
+	case OReg:
+		return in.regRead(virt, o.Reg), nil
+	}
+	return 0, fmt.Errorf("vx86: bad operand")
+}
+
+func (in *Interp) regRead(virt map[string]uint64, r Reg) uint64 {
+	if r.Virtual {
+		return maskW(virt[r.Name], r.Width)
+	}
+	return in.readPhys(r)
+}
+
+func (in *Interp) regWrite(virt map[string]uint64, r Reg, v uint64) {
+	if r.Virtual {
+		virt[r.Name] = maskW(v, r.Width)
+		return
+	}
+	in.writePhys(r, v)
+}
+
+func (in *Interp) addr(virt map[string]uint64, a *Addr) (uint64, error) {
+	if a.Base != nil {
+		return in.regRead(virt, *a.Base) + uint64(a.Off), nil
+	}
+	o, ok := in.Layout.Find(a.Sym)
+	if !ok {
+		return 0, fmt.Errorf("vx86: unknown symbol %q", a.Sym)
+	}
+	return o.Base + uint64(a.Off), nil
+}
+
+func sextW(v uint64, w uint8) int64 {
+	if w >= 64 {
+		return int64(v)
+	}
+	if v&(1<<(w-1)) != 0 {
+		return int64(v | ^uint64(0)<<w)
+	}
+	return int64(v)
+}
+
+func signBitW(v uint64, w uint8) bool { return maskW(v, w)>>(w-1)&1 == 1 }
+
+func (in *Interp) setArith(a, b, r uint64, w uint8, sub bool) {
+	in.flags.zf = maskW(r, w) == 0
+	in.flags.sf = signBitW(r, w)
+	sa, sb, sr := signBitW(a, w), signBitW(b, w), signBitW(r, w)
+	if sub {
+		in.flags.cf = maskW(a, w) < maskW(b, w)
+		in.flags.of = sa != sb && sr != sa
+	} else {
+		in.flags.cf = maskW(r, w) < maskW(a, w)
+		in.flags.of = sa == sb && sr != sa
+	}
+}
+
+func (in *Interp) setLogic(r uint64, w uint8) {
+	in.flags.zf = maskW(r, w) == 0
+	in.flags.sf = maskW(r, w)>>(w-1)&1 == 1
+	in.flags.cf = false
+	in.flags.of = false
+}
+
+func (in *Interp) cond(cc CC) bool {
+	f := in.flags
+	switch cc {
+	case CCE:
+		return f.zf
+	case CCNE:
+		return !f.zf
+	case CCB:
+		return f.cf
+	case CCAE:
+		return !f.cf
+	case CCBE:
+		return f.cf || f.zf
+	case CCA:
+		return !(f.cf || f.zf)
+	case CCL:
+		return f.sf != f.of
+	case CCGE:
+		return f.sf == f.of
+	case CCLE:
+		return f.zf || f.sf != f.of
+	case CCG:
+		return !f.zf && f.sf == f.of
+	case CCS:
+		return f.sf
+	case CCNS:
+		return !f.sf
+	}
+	return false
+}
+
+func (in *Interp) exec(virt, frame map[string]uint64, ins *Instr) error {
+	get := func(i int) (uint64, error) { return in.operand(virt, ins.Srcs[i]) }
+	switch ins.Op {
+	case OpCopy:
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		in.regWrite(virt, ins.Dst, v)
+	case OpMov:
+		in.regWrite(virt, ins.Dst, uint64(ins.Srcs[0].Imm))
+	case OpLea:
+		a, err := in.addr(virt, ins.Addr)
+		if err != nil {
+			return err
+		}
+		in.regWrite(virt, ins.Dst, a)
+	case OpMovzx:
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		in.regWrite(virt, ins.Dst, maskW(v, ins.Srcs[0].Reg.Width))
+	case OpMovsx:
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		in.regWrite(virt, ins.Dst, uint64(sextW(v, ins.Srcs[0].Reg.Width)))
+	case OpTruncR:
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		in.regWrite(virt, ins.Dst, maskW(v, ins.Dst.Width))
+	case OpAdd, OpSub, OpIMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpUDiv, OpURem, OpIDiv, OpIRem:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		b, err := get(1)
+		if err != nil {
+			return err
+		}
+		w := ins.Dst.Width
+		var r uint64
+		switch ins.Op {
+		case OpAdd:
+			r = a + b
+			in.setArith(a, b, r, w, false)
+		case OpSub:
+			r = a - b
+			in.setArith(a, b, r, w, true)
+		case OpIMul:
+			r = a * b
+			in.setLogic(r, w) // CF/OF modeled as cleared; ISel never branches on them
+		case OpAnd:
+			r = a & b
+			in.setLogic(r, w)
+		case OpOr:
+			r = a | b
+			in.setLogic(r, w)
+		case OpXor:
+			r = a ^ b
+			in.setLogic(r, w)
+		case OpShl:
+			if b >= uint64(w) {
+				r = 0
+			} else {
+				r = a << b
+			}
+			in.setLogic(r, w)
+		case OpShr:
+			if b >= uint64(w) {
+				r = 0
+			} else {
+				r = maskW(a, w) >> b
+			}
+			in.setLogic(r, w)
+		case OpSar:
+			sh := b
+			if sh >= uint64(w) {
+				sh = uint64(w) - 1
+			}
+			r = uint64(sextW(a, w) >> sh)
+			in.setLogic(r, w)
+		case OpUDiv:
+			if maskW(b, w) == 0 {
+				return &UBError{Kind: "divzero", Detail: ins.String()}
+			}
+			r = maskW(a, w) / maskW(b, w)
+		case OpURem:
+			if maskW(b, w) == 0 {
+				return &UBError{Kind: "divzero", Detail: ins.String()}
+			}
+			r = maskW(a, w) % maskW(b, w)
+		case OpIDiv, OpIRem:
+			if maskW(b, w) == 0 {
+				return &UBError{Kind: "divzero", Detail: ins.String()}
+			}
+			sa, sb := sextW(a, w), sextW(b, w)
+			if sa == -(int64(1)<<(w-1)) && sb == -1 {
+				return &UBError{Kind: "overflow", Detail: ins.String()}
+			}
+			if ins.Op == OpIDiv {
+				r = uint64(sa / sb)
+			} else {
+				r = uint64(sa % sb)
+			}
+		}
+		in.regWrite(virt, ins.Dst, r)
+	case OpInc, OpDec:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		w := ins.Dst.Width
+		var r uint64
+		savedCF := in.flags.cf
+		if ins.Op == OpInc {
+			r = a + 1
+			in.setArith(a, 1, r, w, false)
+		} else {
+			r = a - 1
+			in.setArith(a, 1, r, w, true)
+		}
+		in.flags.cf = savedCF // inc/dec preserve CF
+		in.regWrite(virt, ins.Dst, r)
+	case OpNeg:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		w := ins.Dst.Width
+		r := -a
+		in.setArith(0, a, r, w, true)
+		in.flags.cf = maskW(a, w) != 0
+		in.regWrite(virt, ins.Dst, r)
+	case OpNot:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		in.regWrite(virt, ins.Dst, ^a)
+	case OpCmp:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		b, err := get(1)
+		if err != nil {
+			return err
+		}
+		in.setArith(a, b, a-b, cmpWidth(ins), true)
+	case OpTest:
+		a, err := get(0)
+		if err != nil {
+			return err
+		}
+		b, err := get(1)
+		if err != nil {
+			return err
+		}
+		in.setLogic(a&b, cmpWidth(ins))
+	case OpSetcc:
+		v := uint64(0)
+		if in.cond(ins.CC) {
+			v = 1
+		}
+		in.regWrite(virt, ins.Dst, v)
+	case OpSpill:
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		frame[ins.Slot] = v
+	case OpReload:
+		in.regWrite(virt, ins.Dst, frame[ins.Slot])
+	case OpLoad:
+		a, err := in.addr(virt, ins.Addr)
+		if err != nil {
+			return err
+		}
+		v, err := in.Mem.Load(a, ins.Size)
+		if err != nil {
+			var oob *mem.ErrOOB
+			if errors.As(err, &oob) {
+				return &UBError{Kind: "oob", Detail: err.Error()}
+			}
+			return err
+		}
+		in.regWrite(virt, ins.Dst, v)
+	case OpStore:
+		a, err := in.addr(virt, ins.Addr)
+		if err != nil {
+			return err
+		}
+		v, err := get(0)
+		if err != nil {
+			return err
+		}
+		if err := in.Mem.Store(a, ins.Size, maskW(v, uint8(8*ins.Size))); err != nil {
+			var oob *mem.ErrOOB
+			if errors.As(err, &oob) {
+				return &UBError{Kind: "oob", Detail: err.Error()}
+			}
+			return err
+		}
+	default:
+		return fmt.Errorf("vx86: exec of unsupported op %q", opText[ins.Op])
+	}
+	return nil
+}
+
+// cmpWidth infers the comparison width from the first register operand
+// (immediates adopt the register's width).
+func cmpWidth(ins *Instr) uint8 {
+	for _, s := range ins.Srcs {
+		if s.Kind == OReg {
+			return s.Reg.Width
+		}
+	}
+	return 64
+}

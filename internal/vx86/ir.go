@@ -1,0 +1,353 @@
+// Package vx86 implements "Virtual x86" (paper §4.3): the LLVM Machine IR
+// specialized to the x86-64 instruction set as it exists right after
+// instruction selection — x86 opcodes and physical registers together with
+// Machine IR's higher-level features: an unlimited supply of typed virtual
+// registers, COPY and PHI pseudo-instructions, and a frame abstraction
+// whose slots live in the common memory model's layout.
+//
+// The package provides a textual parser/printer, a concrete interpreter,
+// and symbolic semantics implementing the language-parametric interfaces
+// of internal/core (the right side of the ISel validation instance).
+package vx86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a translation unit of Virtual x86 functions.
+type Program struct {
+	Funcs []*Function
+}
+
+// Func returns the function with the given name.
+func (p *Program) Func(name string) *Function {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Function is a Virtual x86 function body.
+type Function struct {
+	Name   string
+	Blocks []*Block
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block { return f.Blocks[0] }
+
+// BlockByName returns the block with the given label.
+func (f *Function) BlockByName(name string) *Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// NumInstrs returns the total instruction count.
+func (f *Function) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Block is a basic block of instructions; the last one is a terminator
+// (jmp/jcc pair ending, or ret).
+type Block struct {
+	Name   string
+	Instrs []*Instr
+}
+
+// Reg is a register reference: a virtual register of a fixed width, or a
+// view of a physical 64-bit register (eax is the 32-bit view of rax, etc).
+type Reg struct {
+	Virtual bool
+	Name    string // virtual: "vr0"...; physical: 64-bit base name "rax"
+	Width   uint8  // access width in bits: 8, 16, 32, 64 (virtual: 1 allowed)
+}
+
+// physViews maps an assembly register name to its base register and width.
+var physViews = map[string]struct {
+	base  string
+	width uint8
+}{
+	"rax": {"rax", 64}, "eax": {"rax", 32}, "ax": {"rax", 16}, "al": {"rax", 8},
+	"rbx": {"rbx", 64}, "ebx": {"rbx", 32}, "bx": {"rbx", 16}, "bl": {"rbx", 8},
+	"rcx": {"rcx", 64}, "ecx": {"rcx", 32}, "cx": {"rcx", 16}, "cl": {"rcx", 8},
+	"rdx": {"rdx", 64}, "edx": {"rdx", 32}, "dx": {"rdx", 16}, "dl": {"rdx", 8},
+	"rsi": {"rsi", 64}, "esi": {"rsi", 32}, "si": {"rsi", 16}, "sil": {"rsi", 8},
+	"rdi": {"rdi", 64}, "edi": {"rdi", 32}, "di": {"rdi", 16}, "dil": {"rdi", 8},
+	"r8": {"r8", 64}, "r8d": {"r8", 32}, "r8w": {"r8", 16}, "r8b": {"r8", 8},
+	"r9": {"r9", 64}, "r9d": {"r9", 32}, "r9w": {"r9", 16}, "r9b": {"r9", 8},
+	"r10": {"r10", 64}, "r10d": {"r10", 32},
+	"r11": {"r11", 64}, "r11d": {"r11", 32},
+}
+
+// PhysReg resolves an assembly register name ("eax") to a Reg, reporting
+// whether the name is known.
+func PhysReg(name string) (Reg, bool) {
+	v, ok := physViews[name]
+	if !ok {
+		return Reg{}, false
+	}
+	return Reg{Name: v.base, Width: v.width}, true
+}
+
+// PhysName renders a physical register reference in assembly syntax.
+func PhysName(base string, width uint8) string {
+	for name, v := range physViews {
+		if v.base == base && v.width == width {
+			return name
+		}
+	}
+	return fmt.Sprintf("%s:%d", base, width)
+}
+
+// VReg builds a virtual register reference.
+func VReg(n int, width uint8) Reg {
+	return Reg{Virtual: true, Name: fmt.Sprintf("vr%d", n), Width: width}
+}
+
+func (r Reg) String() string {
+	if r.Virtual {
+		return fmt.Sprintf("%%%s_%d", r.Name, r.Width)
+	}
+	return PhysName(r.Name, r.Width)
+}
+
+// OpKind classifies operands.
+type OpKind uint8
+
+// Operand kinds.
+const (
+	OReg OpKind = iota
+	OImm
+)
+
+// Operand is a register or immediate instruction operand.
+type Operand struct {
+	Kind OpKind
+	Reg  Reg
+	Imm  int64
+}
+
+// RegOp wraps a register as an operand.
+func RegOp(r Reg) Operand { return Operand{Kind: OReg, Reg: r} }
+
+// ImmOp wraps an immediate as an operand.
+func ImmOp(v int64) Operand { return Operand{Kind: OImm, Imm: v} }
+
+func (o Operand) String() string {
+	if o.Kind == OImm {
+		return fmt.Sprintf("%d", o.Imm)
+	}
+	return o.Reg.String()
+}
+
+// Addr is a memory or lea operand: either base-register-relative or
+// symbol-relative. Sym names a layout object: "@global" or a frame slot
+// ("%fn.reg", the alloca naming convention shared with internal/llvmir).
+type Addr struct {
+	Base *Reg // nil when symbol-based
+	Sym  string
+	Off  int64
+}
+
+func (a Addr) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	if a.Base != nil {
+		b.WriteString(a.Base.String())
+	} else {
+		b.WriteString(a.Sym)
+	}
+	if a.Off != 0 {
+		fmt.Fprintf(&b, "%+d", a.Off)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// PhiIn is one incoming (operand, predecessor) pair of a PHI.
+type PhiIn struct {
+	Val  Operand
+	Pred string
+}
+
+// Op enumerates Virtual x86 opcodes.
+type Op uint8
+
+// Virtual x86 opcodes.
+const (
+	OpCopy Op = iota // dst = copy src
+	OpMov            // dst = mov imm
+	OpLea            // dst = lea [addr]
+	OpPhi            // dst = phi v, B, v, B
+
+	// Flag-setting ALU (three-address virtual form, as in Figure 2).
+	OpAdd
+	OpSub
+	OpIMul
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpSar
+	OpInc // dst = inc src (CF preserved)
+	OpDec
+	OpNeg
+	OpNot // no flags
+	OpUDiv
+	OpURem
+	OpIDiv // truncated signed division (traps on 0 and INT_MIN/-1)
+	OpIRem
+
+	OpMovzx // dst = movzx src (widths from registers)
+	OpMovsx
+	OpTruncR // dst = trunc src (Machine IR subregister copy)
+
+	OpLoad  // dst = load<n> [addr]
+	OpStore // store<n> [addr], src
+
+	OpCmp  // cmp a, b (flags of a-b)
+	OpTest // test a, b (flags of a&b)
+	OpSetcc
+
+	OpJmp
+	OpJcc
+	OpCall
+	OpRet
+
+	// Frame-slot pseudo-ops (the Machine IR frame abstraction before
+	// prologue insertion): slots are named storage cells outside the
+	// common memory model. Used by the register-allocation pass of
+	// internal/regalloc. Neither op touches eflags.
+	OpSpill  // spill !slot, src
+	OpReload // dst = reload !slot
+)
+
+var opText = map[Op]string{
+	OpCopy: "copy", OpMov: "mov", OpLea: "lea", OpPhi: "phi",
+	OpAdd: "add", OpSub: "sub", OpIMul: "imul", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSar: "sar", OpInc: "inc",
+	OpDec: "dec", OpNeg: "neg", OpNot: "not", OpUDiv: "udiv", OpURem: "urem",
+	OpIDiv: "idiv", OpIRem: "irem",
+	OpMovzx: "movzx", OpMovsx: "movsx", OpTruncR: "trunc",
+	OpLoad: "load", OpStore: "store", OpCmp: "cmp", OpTest: "test",
+	OpSetcc: "set", OpJmp: "jmp", OpJcc: "j", OpCall: "call", OpRet: "ret",
+	OpSpill: "spill", OpReload: "reload",
+}
+
+// CC is an x86 condition code (for jcc/setcc/cmovcc).
+type CC string
+
+// Condition codes.
+const (
+	CCE  CC = "e"
+	CCNE CC = "ne"
+	CCB  CC = "b"
+	CCAE CC = "ae"
+	CCBE CC = "be"
+	CCA  CC = "a"
+	CCL  CC = "l"
+	CCGE CC = "ge"
+	CCLE CC = "le"
+	CCG  CC = "g"
+	CCS  CC = "s"
+	CCNS CC = "ns"
+)
+
+var allCCs = map[CC]bool{
+	CCE: true, CCNE: true, CCB: true, CCAE: true, CCBE: true, CCA: true,
+	CCL: true, CCGE: true, CCLE: true, CCG: true, CCS: true, CCNS: true,
+}
+
+// Instr is one Virtual x86 instruction.
+type Instr struct {
+	Op     Op
+	Dst    Reg // valid when HasDst
+	HasDst bool
+	Srcs   []Operand
+	Addr   *Addr
+	Size   int // load/store bytes
+	CC     CC
+	Label  string // jmp/jcc target
+	Callee string
+	Phi    []PhiIn
+	Slot   string // spill/reload frame slot name
+}
+
+// IsTerminator reports whether the instruction unconditionally leaves the
+// block (jmp, ret). jcc is a conditional terminator and is always followed
+// by a jmp in well-formed code (as ISel emits).
+func (in *Instr) IsTerminator() bool {
+	return in.Op == OpJmp || in.Op == OpRet
+}
+
+func (in *Instr) String() string {
+	var b strings.Builder
+	if in.HasDst {
+		fmt.Fprintf(&b, "%s = ", in.Dst)
+	}
+	switch in.Op {
+	case OpCopy, OpMov, OpMovzx, OpMovsx, OpTruncR, OpInc, OpDec, OpNeg, OpNot:
+		fmt.Fprintf(&b, "%s %s", opText[in.Op], in.Srcs[0])
+	case OpLea:
+		fmt.Fprintf(&b, "lea %s", in.Addr)
+	case OpPhi:
+		b.WriteString("phi ")
+		for i, p := range in.Phi {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s, %s", p.Val, p.Pred)
+		}
+	case OpAdd, OpSub, OpIMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpUDiv, OpURem, OpIDiv, OpIRem:
+		fmt.Fprintf(&b, "%s %s, %s", opText[in.Op], in.Srcs[0], in.Srcs[1])
+	case OpLoad:
+		fmt.Fprintf(&b, "load%d %s", in.Size, in.Addr)
+	case OpStore:
+		fmt.Fprintf(&b, "store%d %s, %s", in.Size, in.Addr, in.Srcs[0])
+	case OpCmp, OpTest:
+		fmt.Fprintf(&b, "%s %s, %s", opText[in.Op], in.Srcs[0], in.Srcs[1])
+	case OpSetcc:
+		fmt.Fprintf(&b, "set%s", in.CC)
+	case OpSpill:
+		fmt.Fprintf(&b, "spill !%s, %s", in.Slot, in.Srcs[0])
+	case OpReload:
+		fmt.Fprintf(&b, "reload !%s", in.Slot)
+	case OpJmp:
+		fmt.Fprintf(&b, "jmp %s", in.Label)
+	case OpJcc:
+		fmt.Fprintf(&b, "j%s %s", in.CC, in.Label)
+	case OpCall:
+		fmt.Fprintf(&b, "call @%s", in.Callee)
+	case OpRet:
+		b.WriteString("ret")
+	}
+	return b.String()
+}
+
+// String renders the program in parseable textual syntax.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, f := range p.Funcs {
+		fmt.Fprintf(&b, "%s:\n", f.Name)
+		for _, blk := range f.Blocks {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+			for _, in := range blk.Instrs {
+				fmt.Fprintf(&b, "  %s\n", in)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,381 @@
+package vx86
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var vregPat = regexp.MustCompile(`^vr[0-9]+_(1|8|16|32|64)$`)
+
+// Parse parses a Virtual x86 program in the textual form produced by
+// Program.String (and by the isel package). Function labels start at a
+// name without a leading dot; block labels start with a dot (".LBB0:").
+// Lines starting with '#' or ';' are comments.
+func Parse(src string) (*Program, error) {
+	p := &Program{}
+	var fn *Function
+	var blk *Block
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexAny(line, "#;"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") && !strings.Contains(line, " ") {
+			name := strings.TrimSuffix(line, ":")
+			if strings.HasPrefix(name, ".") {
+				if fn == nil {
+					return nil, fmt.Errorf("vx86: line %d: block label outside function", lineNo+1)
+				}
+				blk = &Block{Name: name}
+				fn.Blocks = append(fn.Blocks, blk)
+			} else {
+				fn = &Function{Name: name}
+				p.Funcs = append(p.Funcs, fn)
+				blk = nil
+			}
+			continue
+		}
+		if blk == nil {
+			return nil, fmt.Errorf("vx86: line %d: instruction outside block", lineNo+1)
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("vx86: line %d: %w", lineNo+1, err)
+		}
+		blk.Instrs = append(blk.Instrs, in)
+	}
+	return p, nil
+}
+
+// ParseFunction parses a program containing exactly one function.
+func ParseFunction(src string) (*Function, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.Funcs) != 1 {
+		return nil, fmt.Errorf("vx86: expected 1 function, found %d", len(p.Funcs))
+	}
+	return p.Funcs[0], nil
+}
+
+func parseReg(tok string) (Reg, error) {
+	if strings.HasPrefix(tok, "%") {
+		body := tok[1:]
+		if !vregPat.MatchString(body) {
+			return Reg{}, fmt.Errorf("bad virtual register %q", tok)
+		}
+		us := strings.LastIndexByte(body, '_')
+		w, _ := strconv.Atoi(body[us+1:])
+		return Reg{Virtual: true, Name: body[:us], Width: uint8(w)}, nil
+	}
+	r, ok := PhysReg(tok)
+	if !ok {
+		return Reg{}, fmt.Errorf("unknown register %q", tok)
+	}
+	return r, nil
+}
+
+func parseOperand(tok string) (Operand, error) {
+	if tok == "" {
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	if tok[0] == '-' || tok[0] >= '0' && tok[0] <= '9' {
+		v, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			u, uerr := strconv.ParseUint(tok, 10, 64)
+			if uerr != nil {
+				return Operand{}, fmt.Errorf("bad immediate %q", tok)
+			}
+			v = int64(u)
+		}
+		return ImmOp(v), nil
+	}
+	r, err := parseReg(tok)
+	if err != nil {
+		return Operand{}, err
+	}
+	return RegOp(r), nil
+}
+
+// parseAddr parses "[base]", "[base+off]", "[@sym+off]", "[%fn.slot+off]".
+func parseAddr(tok string) (*Addr, error) {
+	if !strings.HasPrefix(tok, "[") || !strings.HasSuffix(tok, "]") {
+		return nil, fmt.Errorf("bad address %q", tok)
+	}
+	body := tok[1 : len(tok)-1]
+	off := int64(0)
+	// Find a +/- that splits base and offset (not the leading char).
+	for i := 1; i < len(body); i++ {
+		if body[i] == '+' || body[i] == '-' {
+			v, err := strconv.ParseInt(body[i:], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad address offset in %q", tok)
+			}
+			off = v
+			body = body[:i]
+			break
+		}
+	}
+	if strings.HasPrefix(body, "@") {
+		return &Addr{Sym: body, Off: off}, nil
+	}
+	if strings.HasPrefix(body, "%") && !vregPat.MatchString(body[1:]) {
+		// Frame slot symbol (e.g. %f.slot).
+		return &Addr{Sym: body, Off: off}, nil
+	}
+	r, err := parseReg(body)
+	if err != nil {
+		return nil, err
+	}
+	return &Addr{Base: &r, Off: off}, nil
+}
+
+// tokenize splits an instruction line on spaces and commas, keeping
+// bracketed address operands intact.
+func tokenize(line string) []string {
+	var out []string
+	cur := strings.Builder{}
+	depth := 0
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range line {
+		switch {
+		case r == '[':
+			depth++
+			cur.WriteRune(r)
+		case r == ']':
+			depth--
+			cur.WriteRune(r)
+		case (r == ' ' || r == '\t' || r == ',') && depth == 0:
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}
+
+var textOp = map[string]Op{
+	"copy": OpCopy, "mov": OpMov, "lea": OpLea, "phi": OpPhi,
+	"add": OpAdd, "sub": OpSub, "imul": OpIMul, "and": OpAnd, "or": OpOr,
+	"xor": OpXor, "shl": OpShl, "shr": OpShr, "sar": OpSar, "inc": OpInc,
+	"dec": OpDec, "neg": OpNeg, "not": OpNot, "udiv": OpUDiv, "urem": OpURem,
+	"idiv": OpIDiv, "irem": OpIRem,
+	"movzx": OpMovzx, "movsx": OpMovsx, "trunc": OpTruncR,
+	"cmp": OpCmp, "test": OpTest, "jmp": OpJmp, "call": OpCall, "ret": OpRet,
+	"spill": OpSpill, "reload": OpReload,
+}
+
+func parseInstr(line string) (*Instr, error) {
+	toks := tokenize(line)
+	if len(toks) == 0 {
+		return nil, fmt.Errorf("empty instruction")
+	}
+
+	in := &Instr{}
+	// Destination form: "<reg> = op ..."
+	if len(toks) >= 2 && toks[1] == "=" {
+		dst, err := parseReg(toks[0])
+		if err != nil {
+			return nil, err
+		}
+		in.Dst = dst
+		in.HasDst = true
+		toks = toks[2:]
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("missing opcode after '='")
+		}
+	}
+	mn := toks[0]
+	args := toks[1:]
+
+	// Sized load/store: loadN / storeN.
+	if strings.HasPrefix(mn, "load") && len(mn) > 4 {
+		n, err := strconv.Atoi(mn[4:])
+		if err != nil || !validSize(n) {
+			return nil, fmt.Errorf("bad load size in %q", mn)
+		}
+		if !in.HasDst || len(args) != 1 {
+			return nil, fmt.Errorf("load needs a destination and one address")
+		}
+		a, err := parseAddr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Size, in.Addr = OpLoad, n, a
+		return in, checkWidth(in.Dst, 8*n)
+	}
+	if strings.HasPrefix(mn, "store") && len(mn) > 5 {
+		n, err := strconv.Atoi(mn[5:])
+		if err != nil || !validSize(n) {
+			return nil, fmt.Errorf("bad store size in %q", mn)
+		}
+		if in.HasDst || len(args) != 2 {
+			return nil, fmt.Errorf("store takes an address and a source")
+		}
+		a, err := parseAddr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		src, err := parseOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Op, in.Size, in.Addr, in.Srcs = OpStore, n, a, []Operand{src}
+		return in, nil
+	}
+	// setcc / jcc.
+	if strings.HasPrefix(mn, "set") && len(mn) > 3 {
+		cc := CC(mn[3:])
+		if !allCCs[cc] {
+			return nil, fmt.Errorf("unknown condition %q", mn)
+		}
+		if !in.HasDst || len(args) != 0 {
+			return nil, fmt.Errorf("set%s takes no operands and needs a destination", cc)
+		}
+		in.Op, in.CC = OpSetcc, cc
+		return in, nil
+	}
+	if strings.HasPrefix(mn, "j") && mn != "jmp" {
+		cc := CC(mn[1:])
+		if !allCCs[cc] {
+			return nil, fmt.Errorf("unknown jump %q", mn)
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("j%s takes one label", cc)
+		}
+		in.Op, in.CC, in.Label = OpJcc, cc, args[0]
+		return in, nil
+	}
+
+	op, ok := textOp[mn]
+	if !ok {
+		return nil, fmt.Errorf("unknown opcode %q", mn)
+	}
+	in.Op = op
+	switch op {
+	case OpCopy, OpMovzx, OpMovsx, OpTruncR, OpInc, OpDec, OpNeg, OpNot:
+		if !in.HasDst || len(args) != 1 {
+			return nil, fmt.Errorf("%s takes one source and needs a destination", mn)
+		}
+		src, err := parseOperand(args[0])
+		if err != nil {
+			return nil, err
+		}
+		in.Srcs = []Operand{src}
+	case OpMov:
+		if !in.HasDst || len(args) != 1 {
+			return nil, fmt.Errorf("mov takes one immediate")
+		}
+		src, err := parseOperand(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if src.Kind != OImm {
+			return nil, fmt.Errorf("mov source must be an immediate (use copy for registers)")
+		}
+		in.Srcs = []Operand{src}
+	case OpLea:
+		if !in.HasDst || len(args) != 1 {
+			return nil, fmt.Errorf("lea takes one address")
+		}
+		a, err := parseAddr(args[0])
+		if err != nil {
+			return nil, err
+		}
+		in.Addr = a
+		if in.Dst.Width != 64 {
+			return nil, fmt.Errorf("lea destination must be 64-bit")
+		}
+	case OpPhi:
+		if !in.HasDst || len(args) == 0 || len(args)%2 != 0 {
+			return nil, fmt.Errorf("phi takes value,label pairs")
+		}
+		for i := 0; i < len(args); i += 2 {
+			v, err := parseOperand(args[i])
+			if err != nil {
+				return nil, err
+			}
+			in.Phi = append(in.Phi, PhiIn{Val: v, Pred: args[i+1]})
+		}
+	case OpAdd, OpSub, OpIMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar, OpUDiv, OpURem, OpIDiv, OpIRem:
+		if !in.HasDst || len(args) != 2 {
+			return nil, fmt.Errorf("%s takes two sources and needs a destination", mn)
+		}
+		a, err := parseOperand(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Srcs = []Operand{a, b}
+	case OpCmp, OpTest:
+		if in.HasDst || len(args) != 2 {
+			return nil, fmt.Errorf("%s takes two sources and no destination", mn)
+		}
+		a, err := parseOperand(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := parseOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		in.Srcs = []Operand{a, b}
+	case OpSpill:
+		if in.HasDst || len(args) != 2 || !strings.HasPrefix(args[0], "!") {
+			return nil, fmt.Errorf("spill takes !slot and a register source")
+		}
+		src, err := parseOperand(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if src.Kind != OReg {
+			return nil, fmt.Errorf("spill source must be a register")
+		}
+		in.Slot = args[0][1:]
+		in.Srcs = []Operand{src}
+	case OpReload:
+		if !in.HasDst || len(args) != 1 || !strings.HasPrefix(args[0], "!") {
+			return nil, fmt.Errorf("reload takes a destination and !slot")
+		}
+		in.Slot = args[0][1:]
+	case OpJmp:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("jmp takes one label")
+		}
+		in.Label = args[0]
+	case OpCall:
+		if len(args) != 1 || !strings.HasPrefix(args[0], "@") {
+			return nil, fmt.Errorf("call takes one @function")
+		}
+		in.Callee = args[0][1:]
+	case OpRet:
+		if len(args) != 0 {
+			return nil, fmt.Errorf("ret takes no operands")
+		}
+	}
+	return in, nil
+}
+
+func validSize(n int) bool { return n == 1 || n == 2 || n == 4 || n == 8 }
+
+func checkWidth(r Reg, bits int) error {
+	if int(r.Width) != bits {
+		return fmt.Errorf("register %s width %d does not match access width %d", r, r.Width, bits)
+	}
+	return nil
+}

@@ -1,0 +1,848 @@
+package vx86
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/smt"
+)
+
+// CallSite identifies a static call site.
+type CallSite struct {
+	Block  string
+	Index  int
+	Callee string
+}
+
+// CallSites returns the function's call sites in layout order; indices
+// align with the LLVM side's call sites because ISel preserves call order.
+func CallSites(f *Function) []CallSite {
+	var out []CallSite
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == OpCall {
+				out = append(out, CallSite{Block: b.Name, Index: i, Callee: in.Callee})
+			}
+		}
+	}
+	return out
+}
+
+// Sem is the symbolic semantics of one Virtual x86 function, implementing
+// core.Semantics (the right side of the ISel validation instance).
+type Sem struct {
+	Ctx    *smt.Context
+	Fn     *Function
+	Layout *mem.Layout
+
+	sites []CallSite
+	instN int
+}
+
+// NewSem builds the symbolic semantics of f against the shared layout.
+func NewSem(ctx *smt.Context, f *Function, layout *mem.Layout) *Sem {
+	return &Sem{Ctx: ctx, Fn: f, Layout: layout, sites: CallSites(f)}
+}
+
+// symFlags is the symbolic eflags subset; nil fields materialize lazily.
+type symFlags struct {
+	zf, sf, cf, of *smt.Term
+}
+
+type state struct {
+	sem    *Sem
+	instID int
+
+	block     *Block
+	prev      string
+	idx       int
+	arrived   bool // at block start, phis not yet executed
+	afterCall int  // ≥0: just past call site #afterCall, not yet committed
+
+	virt  map[string]*smt.Term // exact-width values
+	frame map[string]*smt.Term // frame-slot values (Machine IR FrameIndex)
+	phys  map[string]*smt.Term // 64-bit base values
+	flags symFlags
+	mem   *mem.Symbolic
+	pc    *smt.Term
+
+	final   bool
+	errKind string
+}
+
+var _ core.State = (*state)(nil)
+
+// Loc implements core.State.
+func (s *state) Loc() core.Location {
+	switch {
+	case s.errKind != "":
+		return core.ErrorLoc(s.errKind)
+	case s.final:
+		return "exit"
+	case s.afterCall >= 0:
+		return core.Location(fmt.Sprintf("call:%s:%d:after",
+			s.sem.sites[s.afterCall].Callee, s.afterCall))
+	case s.arrived && s.prev == "" && s.block == s.sem.Fn.Entry():
+		return "entry"
+	case s.arrived:
+		return core.Location("block:" + s.block.Name + ":from:" + s.prev)
+	}
+	if s.idx < len(s.block.Instrs) && s.block.Instrs[s.idx].Op == OpCall {
+		if k := s.sem.siteIndex(s.block.Name, s.idx); k >= 0 {
+			return core.Location(fmt.Sprintf("call:%s:%d:before", s.sem.sites[k].Callee, k))
+		}
+	}
+	return core.Location(fmt.Sprintf("at:%s:%d:from:%s", s.block.Name, s.idx, s.prev))
+}
+
+func (sm *Sem) siteIndex(block string, idx int) int {
+	for k, st := range sm.sites {
+		if st.Block == block && st.Index == idx {
+			return k
+		}
+	}
+	return -1
+}
+
+// PathCond implements core.State.
+func (s *state) PathCond() *smt.Term { return s.pc }
+
+// MemTerm implements core.State.
+func (s *state) MemTerm() *smt.Term { return s.mem.Term() }
+
+// IsFinal implements core.State.
+func (s *state) IsFinal() bool { return s.final }
+
+// ErrorKind implements core.State.
+func (s *state) ErrorKind() string { return s.errKind }
+
+// Observable implements core.State: virtual registers ("%vr3_32") and
+// physical register views ("eax", "rdi", ...).
+func (s *state) Observable(name string) (*smt.Term, error) {
+	if strings.HasPrefix(name, "!") {
+		slot, w, err := parseSlotObs(name)
+		if err != nil {
+			return nil, err
+		}
+		return s.readSlot(slot, w)
+	}
+	if strings.HasPrefix(name, "%") {
+		r, err := parseReg(name)
+		if err != nil {
+			return nil, err
+		}
+		return s.readVirt(r), nil
+	}
+	r, ok := PhysReg(name)
+	if !ok {
+		return nil, fmt.Errorf("vx86: unknown observable %q", name)
+	}
+	return s.readPhys(r), nil
+}
+
+func (s *state) readVirt(r Reg) *smt.Term {
+	if t, ok := s.virt[r.Name]; ok {
+		return t
+	}
+	t := s.sem.Ctx.VarBV(fmt.Sprintf("vx86!i%d!%s", s.instID, r.Name), r.Width)
+	s.virt[r.Name] = t
+	return t
+}
+
+// readSlot reads a frame slot, materializing a fresh variable of the
+// given width on first read.
+func (s *state) readSlot(name string, width uint8) (*smt.Term, error) {
+	if t, ok := s.frame[name]; ok {
+		if t.Width != width {
+			return nil, fmt.Errorf("vx86: slot %s holds %d bits, read as %d", name, t.Width, width)
+		}
+		return t, nil
+	}
+	t := s.sem.Ctx.VarBV(fmt.Sprintf("vx86!i%d!slot!%s", s.instID, name), width)
+	s.frame[name] = t
+	return t, nil
+}
+
+func (s *state) physBase(name string) *smt.Term {
+	if t, ok := s.phys[name]; ok {
+		return t
+	}
+	t := s.sem.Ctx.VarBV(fmt.Sprintf("vx86!i%d!%s", s.instID, name), 64)
+	s.phys[name] = t
+	return t
+}
+
+func (s *state) readPhys(r Reg) *smt.Term {
+	base := s.physBase(r.Name)
+	if r.Width == 64 {
+		return base
+	}
+	return s.sem.Ctx.Extract(base, r.Width-1, 0)
+}
+
+func (s *state) writeReg(r Reg, v *smt.Term) {
+	ctx := s.sem.Ctx
+	if v.Width != r.Width {
+		panic(fmt.Sprintf("vx86: write width %d to %s", v.Width, r))
+	}
+	if r.Virtual {
+		s.virt[r.Name] = v
+		return
+	}
+	switch r.Width {
+	case 64:
+		s.phys[r.Name] = v
+	case 32:
+		// 32-bit writes zero the upper half (x86-64).
+		s.phys[r.Name] = ctx.ZExt(v, 64)
+	default:
+		old := s.physBase(r.Name)
+		s.phys[r.Name] = ctx.Concat(ctx.Extract(old, 63, r.Width), v)
+	}
+}
+
+// flag reads with lazy materialization.
+func (s *state) flag(which string) *smt.Term {
+	var p **smt.Term
+	switch which {
+	case "zf":
+		p = &s.flags.zf
+	case "sf":
+		p = &s.flags.sf
+	case "cf":
+		p = &s.flags.cf
+	default:
+		p = &s.flags.of
+	}
+	if *p == nil {
+		*p = s.sem.Ctx.VarBool(fmt.Sprintf("vx86!i%d!%s", s.instID, which))
+	}
+	return *p
+}
+
+func (s *state) clone() *state {
+	n := *s
+	n.virt = make(map[string]*smt.Term, len(s.virt))
+	for k, v := range s.virt {
+		n.virt[k] = v
+	}
+	n.frame = make(map[string]*smt.Term, len(s.frame))
+	for k, v := range s.frame {
+		n.frame[k] = v
+	}
+	n.phys = make(map[string]*smt.Term, len(s.phys))
+	for k, v := range s.phys {
+		n.phys[k] = v
+	}
+	return &n
+}
+
+func (s *state) operand(o Operand, width uint8) (*smt.Term, error) {
+	switch o.Kind {
+	case OImm:
+		return s.sem.Ctx.BV(uint64(o.Imm), width), nil
+	case OReg:
+		var t *smt.Term
+		if o.Reg.Virtual {
+			t = s.readVirt(o.Reg)
+		} else {
+			t = s.readPhys(o.Reg)
+		}
+		if t.Width != width {
+			return nil, fmt.Errorf("vx86: operand %s has width %d, want %d", o, t.Width, width)
+		}
+		return t, nil
+	}
+	return nil, fmt.Errorf("vx86: bad operand kind")
+}
+
+func (s *state) addrTerm(a *Addr) (*smt.Term, error) {
+	ctx := s.sem.Ctx
+	if a.Base != nil {
+		var t *smt.Term
+		if a.Base.Virtual {
+			t = s.readVirt(*a.Base)
+		} else {
+			t = s.readPhys(*a.Base)
+		}
+		if t.Width != 64 {
+			return nil, fmt.Errorf("vx86: address base %s is not 64-bit", a.Base)
+		}
+		return ctx.Add(t, ctx.BV(uint64(a.Off), 64)), nil
+	}
+	o, ok := s.sem.Layout.Find(a.Sym)
+	if !ok {
+		return nil, fmt.Errorf("vx86: unknown symbol %q", a.Sym)
+	}
+	return ctx.BV(o.Base+uint64(a.Off), 64), nil
+}
+
+// Instantiate implements core.Semantics.
+func (sm *Sem) Instantiate(loc core.Location, presets map[string]*smt.Term, memT *smt.Term) (core.State, error) {
+	sm.instN++
+	s := &state{
+		sem:       sm,
+		instID:    sm.instN,
+		afterCall: -1,
+		virt:      make(map[string]*smt.Term),
+		frame:     make(map[string]*smt.Term),
+		phys:      make(map[string]*smt.Term),
+		pc:        sm.Ctx.True(),
+	}
+	if memT == nil {
+		memT = sm.Ctx.VarMem(fmt.Sprintf("Mvx86!%d", sm.instN))
+	}
+	s.mem = mem.NewSymbolic(sm.Ctx, "unused", sm.Layout).WithTerm(memT)
+
+	for name, t := range presets {
+		if strings.HasPrefix(name, "!") {
+			slot, w, err := parseSlotObs(name)
+			if err != nil {
+				return nil, err
+			}
+			if t.Width != w {
+				return nil, fmt.Errorf("vx86: preset width %d for %s", t.Width, name)
+			}
+			s.frame[slot] = t
+			continue
+		}
+		if strings.HasPrefix(name, "%") {
+			r, err := parseReg(name)
+			if err != nil {
+				return nil, err
+			}
+			if t.Width != r.Width {
+				return nil, fmt.Errorf("vx86: preset width %d for %s", t.Width, name)
+			}
+			s.virt[r.Name] = t
+			continue
+		}
+		r, ok := PhysReg(name)
+		if !ok {
+			return nil, fmt.Errorf("vx86: cannot preset observable %q", name)
+		}
+		if t.Width != r.Width {
+			return nil, fmt.Errorf("vx86: preset width %d for %s (want %d)", t.Width, name, r.Width)
+		}
+		// Write through the view: upper bits of the base are unconstrained
+		// (32-bit views zero them, matching the ABI).
+		s.writeReg(r, t)
+	}
+
+	ls := string(loc)
+	switch {
+	case ls == "entry":
+		s.block = sm.Fn.Entry()
+		s.arrived = true
+	case strings.HasPrefix(ls, "block:"):
+		rest := ls[len("block:"):]
+		i := strings.Index(rest, ":from:")
+		if i < 0 {
+			return nil, fmt.Errorf("vx86: malformed block location %q", ls)
+		}
+		b := sm.Fn.BlockByName(rest[:i])
+		if b == nil {
+			return nil, fmt.Errorf("vx86: no block %q", rest[:i])
+		}
+		s.block = b
+		s.prev = rest[i+len(":from:"):]
+		s.arrived = true
+	case strings.HasPrefix(ls, "call:") && strings.HasSuffix(ls, ":after"):
+		parts := strings.Split(ls, ":")
+		k, err := strconv.Atoi(parts[2])
+		if err != nil || k < 0 || k >= len(sm.sites) {
+			return nil, fmt.Errorf("vx86: bad call location %q", ls)
+		}
+		site := sm.sites[k]
+		s.block = sm.Fn.BlockByName(site.Block)
+		s.idx = site.Index + 1
+		s.afterCall = k
+		s.prev = "?after-call"
+	default:
+		return nil, fmt.Errorf("vx86: cannot instantiate at location %q", ls)
+	}
+	return s, nil
+}
+
+// ObservableWidth implements core.Semantics.
+func (sm *Sem) ObservableWidth(loc core.Location, name string) (uint8, error) {
+	if strings.HasPrefix(name, "!") {
+		_, w, err := parseSlotObs(name)
+		return w, err
+	}
+	if strings.HasPrefix(name, "%") {
+		r, err := parseReg(name)
+		if err != nil {
+			return 0, err
+		}
+		return r.Width, nil
+	}
+	r, ok := PhysReg(name)
+	if !ok {
+		return 0, fmt.Errorf("vx86: unknown observable %q", name)
+	}
+	return r.Width, nil
+}
+
+// parseSlotObs parses a frame-slot observable "!name_width".
+func parseSlotObs(obs string) (string, uint8, error) {
+	body := obs[1:]
+	us := strings.LastIndexByte(body, '_')
+	if us < 1 {
+		return "", 0, fmt.Errorf("vx86: bad slot observable %q (want !name_width)", obs)
+	}
+	w, err := strconv.Atoi(body[us+1:])
+	if err != nil || w < 1 || w > 64 {
+		return "", 0, fmt.Errorf("vx86: bad slot width in %q", obs)
+	}
+	return body[:us], uint8(w), nil
+}
+
+// condTerm builds the Bool term of a condition code over the state flags.
+func (s *state) condTerm(cc CC) *smt.Term {
+	ctx := s.sem.Ctx
+	switch cc {
+	case CCE:
+		return s.flag("zf")
+	case CCNE:
+		return ctx.Not(s.flag("zf"))
+	case CCB:
+		return s.flag("cf")
+	case CCAE:
+		return ctx.Not(s.flag("cf"))
+	case CCBE:
+		return ctx.OrB(s.flag("cf"), s.flag("zf"))
+	case CCA:
+		return ctx.Not(ctx.OrB(s.flag("cf"), s.flag("zf")))
+	case CCL:
+		return ctx.Not(ctx.Eq(s.flag("sf"), s.flag("of")))
+	case CCGE:
+		return ctx.Eq(s.flag("sf"), s.flag("of"))
+	case CCLE:
+		return ctx.OrB(s.flag("zf"), ctx.Not(ctx.Eq(s.flag("sf"), s.flag("of"))))
+	case CCG:
+		return ctx.AndB(ctx.Not(s.flag("zf")), ctx.Eq(s.flag("sf"), s.flag("of")))
+	case CCS:
+		return s.flag("sf")
+	case CCNS:
+		return ctx.Not(s.flag("sf"))
+	}
+	panic("vx86: unknown condition " + string(cc))
+}
+
+func (s *state) setArithFlags(a, b, r *smt.Term, sub bool) {
+	ctx := s.sem.Ctx
+	w := r.Width
+	s.flags.zf = ctx.Eq(r, ctx.BV(0, w))
+	s.flags.sf = ctx.Eq(ctx.Extract(r, w-1, w-1), ctx.BV(1, 1))
+	if sub {
+		s.flags.cf = ctx.Ult(a, b)
+		s.flags.of = ctx.SubOverflowSigned(a, b)
+	} else {
+		s.flags.cf = ctx.Ult(r, a)
+		s.flags.of = ctx.AddOverflowSigned(a, b)
+	}
+}
+
+func (s *state) setLogicFlags(r *smt.Term) {
+	ctx := s.sem.Ctx
+	w := r.Width
+	s.flags.zf = ctx.Eq(r, ctx.BV(0, w))
+	s.flags.sf = ctx.Eq(ctx.Extract(r, w-1, w-1), ctx.BV(1, 1))
+	s.flags.cf = ctx.False()
+	s.flags.of = ctx.False()
+}
+
+// Step implements core.Semantics.
+func (sm *Sem) Step(cs core.State) ([]core.State, error) {
+	s, ok := cs.(*state)
+	if !ok {
+		return nil, fmt.Errorf("vx86: foreign state %T", cs)
+	}
+	if s.final || s.errKind != "" {
+		return nil, nil
+	}
+	if s.idx >= len(s.block.Instrs) {
+		return nil, fmt.Errorf("vx86: fell off block %s", s.block.Name)
+	}
+	ctx := sm.Ctx
+	_ = ctx
+
+	// After-call arrival: commit the position (zero-instruction step) so
+	// that an immediately following call site gets its own cut location.
+	if s.afterCall >= 0 {
+		n := s.clone()
+		n.afterCall = -1
+		return []core.State{n}, nil
+	}
+
+	// Arrival step: commit block entry and execute the leading PHI group.
+	if s.arrived {
+		n := s.clone()
+		n.arrived = false
+		updates := make(map[string]*smt.Term)
+		for n.idx < len(s.block.Instrs) && s.block.Instrs[n.idx].Op == OpPhi {
+			phi := s.block.Instrs[n.idx]
+			found := false
+			for _, inc := range phi.Phi {
+				if inc.Pred == s.prev {
+					v, err := s.operand(inc.Val, phi.Dst.Width)
+					if err != nil {
+						return nil, err
+					}
+					updates[phi.Dst.Name] = v
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("vx86: phi %s has no incoming for %s", phi.Dst, s.prev)
+			}
+			n.idx++
+		}
+		for k, v := range updates {
+			n.virt[k] = v
+		}
+		return []core.State{n}, nil
+	}
+	ins := s.block.Instrs[s.idx]
+
+	switch ins.Op {
+	case OpJmp:
+		n := s.clone()
+		n.prev = s.block.Name
+		n.block = sm.Fn.BlockByName(ins.Label)
+		if n.block == nil {
+			return nil, fmt.Errorf("vx86: jmp to unknown block %s", ins.Label)
+		}
+		n.idx = 0
+		n.arrived = true
+		return []core.State{n}, nil
+	case OpJcc:
+		cond := s.condTerm(ins.CC)
+		taken := s.clone()
+		taken.pc = ctx.AndB(s.pc, cond)
+		taken.prev = s.block.Name
+		taken.block = sm.Fn.BlockByName(ins.Label)
+		if taken.block == nil {
+			return nil, fmt.Errorf("vx86: j%s to unknown block %s", ins.CC, ins.Label)
+		}
+		taken.idx = 0
+		taken.arrived = true
+		fall := s.clone()
+		fall.pc = ctx.AndB(s.pc, ctx.Not(cond))
+		fall.idx++
+		return []core.State{taken, fall}, nil
+	case OpRet:
+		n := s.clone()
+		n.final = true
+		return []core.State{n}, nil
+	case OpCall:
+		return nil, fmt.Errorf("vx86: call site @%s not covered by a synchronization point", ins.Callee)
+	}
+
+	return sm.execSym(s, ins)
+}
+
+func (sm *Sem) execSym(s *state, ins *Instr) ([]core.State, error) {
+	ctx := sm.Ctx
+	done := func(n *state) []core.State { n.idx++; return []core.State{n} }
+
+	switch ins.Op {
+	case OpCopy:
+		v, err := s.operand(ins.Srcs[0], ins.Dst.Width)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		n.writeReg(ins.Dst, v)
+		return done(n), nil
+	case OpMov:
+		n := s.clone()
+		n.writeReg(ins.Dst, ctx.BV(uint64(ins.Srcs[0].Imm), ins.Dst.Width))
+		return done(n), nil
+	case OpLea:
+		a, err := s.addrTerm(ins.Addr)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		n.writeReg(ins.Dst, a)
+		return done(n), nil
+	case OpMovzx, OpMovsx, OpTruncR:
+		src := ins.Srcs[0]
+		if src.Kind != OReg {
+			return nil, fmt.Errorf("vx86: %s needs a register source", opText[ins.Op])
+		}
+		var v *smt.Term
+		if src.Reg.Virtual {
+			v = s.readVirt(src.Reg)
+		} else {
+			v = s.readPhys(src.Reg)
+		}
+		var out *smt.Term
+		switch ins.Op {
+		case OpMovzx:
+			out = ctx.ZExt(v, ins.Dst.Width)
+		case OpMovsx:
+			out = ctx.SExt(v, ins.Dst.Width)
+		default:
+			out = ctx.Extract(v, ins.Dst.Width-1, 0)
+		}
+		n := s.clone()
+		n.writeReg(ins.Dst, out)
+		return done(n), nil
+
+	case OpAdd, OpSub, OpIMul, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSar:
+		w := ins.Dst.Width
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.operand(ins.Srcs[1], w)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		var r *smt.Term
+		switch ins.Op {
+		case OpAdd:
+			r = ctx.Add(a, b)
+			n.setArithFlags(a, b, r, false)
+		case OpSub:
+			r = ctx.Sub(a, b)
+			n.setArithFlags(a, b, r, true)
+		case OpIMul:
+			r = ctx.Mul(a, b)
+			n.setLogicFlags(r)
+		case OpAnd:
+			r = ctx.And(a, b)
+			n.setLogicFlags(r)
+		case OpOr:
+			r = ctx.Or(a, b)
+			n.setLogicFlags(r)
+		case OpXor:
+			r = ctx.Xor(a, b)
+			n.setLogicFlags(r)
+		case OpShl:
+			r = ctx.Shl(a, b)
+			n.setLogicFlags(r)
+		case OpShr:
+			r = ctx.LShr(a, b)
+			n.setLogicFlags(r)
+		default:
+			r = ctx.AShr(a, b)
+			n.setLogicFlags(r)
+		}
+		n.writeReg(ins.Dst, r)
+		return done(n), nil
+
+	case OpUDiv, OpURem:
+		w := ins.Dst.Width
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.operand(ins.Srcs[1], w)
+		if err != nil {
+			return nil, err
+		}
+		bad := ctx.Eq(b, ctx.BV(0, w))
+		n := s.clone()
+		if ins.Op == OpUDiv {
+			n.writeReg(ins.Dst, ctx.UDiv(a, b))
+		} else {
+			n.writeReg(ins.Dst, ctx.URem(a, b))
+		}
+		n.pc = ctx.AndB(s.pc, ctx.Not(bad))
+		n.idx++
+		out := []core.State{n}
+		if !bad.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, bad)
+			e.errKind = "divzero"
+			out = append(out, e)
+		}
+		return out, nil
+
+	case OpIDiv, OpIRem:
+		// Signed division traps (#DE) on divisor 0 and on INT_MIN / -1 —
+		// the same two conditions the LLVM side marks as UB, so the error
+		// states pair up by kind.
+		w := ins.Dst.Width
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.operand(ins.Srcs[1], w)
+		if err != nil {
+			return nil, err
+		}
+		bz := ctx.Eq(b, ctx.BV(0, w))
+		ov := ctx.SDivOverflow(a, b)
+		n := s.clone()
+		if ins.Op == OpIDiv {
+			n.writeReg(ins.Dst, ctx.SDiv(a, b))
+		} else {
+			n.writeReg(ins.Dst, ctx.SRem(a, b))
+		}
+		n.pc = ctx.AndB(s.pc, ctx.AndB(ctx.Not(bz), ctx.Not(ov)))
+		n.idx++
+		out := []core.State{n}
+		if !bz.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, bz)
+			e.errKind = "divzero"
+			out = append(out, e)
+		}
+		if !ov.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, ctx.AndB(ctx.Not(bz), ov))
+			e.errKind = "overflow"
+			out = append(out, e)
+		}
+		return out, nil
+
+	case OpInc, OpDec:
+		w := ins.Dst.Width
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		one := ctx.BV(1, w)
+		n := s.clone()
+		savedCF := s.flag("cf")
+		var r *smt.Term
+		if ins.Op == OpInc {
+			r = ctx.Add(a, one)
+			n.setArithFlags(a, one, r, false)
+		} else {
+			r = ctx.Sub(a, one)
+			n.setArithFlags(a, one, r, true)
+		}
+		n.flags.cf = savedCF
+		n.writeReg(ins.Dst, r)
+		return done(n), nil
+
+	case OpNeg:
+		w := ins.Dst.Width
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		r := ctx.Neg(a)
+		n.setArithFlags(ctx.BV(0, w), a, r, true)
+		n.flags.cf = ctx.Not(ctx.Eq(a, ctx.BV(0, w)))
+		n.writeReg(ins.Dst, r)
+		return done(n), nil
+	case OpNot:
+		w := ins.Dst.Width
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		n.writeReg(ins.Dst, ctx.NotBV(a))
+		return done(n), nil
+
+	case OpCmp:
+		w := cmpWidth(ins)
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.operand(ins.Srcs[1], w)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		n.setArithFlags(a, b, ctx.Sub(a, b), true)
+		return done(n), nil
+	case OpTest:
+		w := cmpWidth(ins)
+		a, err := s.operand(ins.Srcs[0], w)
+		if err != nil {
+			return nil, err
+		}
+		b, err := s.operand(ins.Srcs[1], w)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		n.setLogicFlags(ctx.And(a, b))
+		return done(n), nil
+	case OpSetcc:
+		n := s.clone()
+		n.writeReg(ins.Dst, ctx.Ite(s.condTerm(ins.CC), ctx.BV(1, ins.Dst.Width), ctx.BV(0, ins.Dst.Width)))
+		return done(n), nil
+
+	case OpSpill:
+		src := ins.Srcs[0]
+		var v *smt.Term
+		if src.Reg.Virtual {
+			v = s.readVirt(src.Reg)
+		} else {
+			v = s.readPhys(src.Reg)
+		}
+		n := s.clone()
+		n.frame[ins.Slot] = v
+		return done(n), nil
+	case OpReload:
+		v, err := s.readSlot(ins.Slot, ins.Dst.Width)
+		if err != nil {
+			return nil, err
+		}
+		n := s.clone()
+		n.writeReg(ins.Dst, v)
+		return done(n), nil
+
+	case OpLoad:
+		a, err := s.addrTerm(ins.Addr)
+		if err != nil {
+			return nil, err
+		}
+		inb := s.mem.InBoundsCond(a, ins.Size)
+		bad := ctx.Not(inb)
+		v := s.mem.Load(a, ins.Size)
+		n := s.clone()
+		n.writeReg(ins.Dst, v)
+		n.pc = ctx.AndB(s.pc, ctx.Not(bad))
+		n.idx++
+		out := []core.State{n}
+		if !bad.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, bad)
+			e.errKind = "oob"
+			out = append(out, e)
+		}
+		return out, nil
+	case OpStore:
+		a, err := s.addrTerm(ins.Addr)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.operand(ins.Srcs[0], uint8(8*ins.Size))
+		if err != nil {
+			return nil, err
+		}
+		inb := s.mem.InBoundsCond(a, ins.Size)
+		bad := ctx.Not(inb)
+		n := s.clone()
+		n.mem = s.mem.Store(a, ins.Size, v)
+		n.pc = ctx.AndB(s.pc, ctx.Not(bad))
+		n.idx++
+		out := []core.State{n}
+		if !bad.IsFalse() {
+			e := s.clone()
+			e.pc = ctx.AndB(s.pc, bad)
+			e.errKind = "oob"
+			out = append(out, e)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("vx86: symbolic execution of unsupported op %q", opText[ins.Op])
+}

@@ -1,0 +1,480 @@
+package vx86
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/smt"
+)
+
+// fig2b is the paper's Figure 2(b) — the ISel output for arithm_seq_sum —
+// in this package's textual syntax.
+const fig2b = `
+arithm_seq_sum:
+.LBB0:
+  %vr8_32 = copy edx
+  %vr7_32 = copy esi
+  %vr6_32 = copy edi
+  %vr9_32 = mov 1
+  jmp .LBB1
+.LBB1:
+  %vr0_32 = phi %vr6_32, .LBB0, %vr4_32, .LBB3
+  %vr1_32 = phi %vr6_32, .LBB0, %vr3_32, .LBB3
+  %vr2_32 = phi %vr9_32, .LBB0, %vr5_32, .LBB3
+  %vr10_32 = sub %vr2_32, %vr8_32
+  jae .LBB4
+  jmp .LBB2
+.LBB2:
+  %vr3_32 = add %vr1_32, %vr7_32
+  %vr4_32 = add %vr0_32, %vr3_32
+  jmp .LBB3
+.LBB3:
+  %vr5_32 = inc %vr2_32
+  jmp .LBB1
+.LBB4:
+  eax = copy %vr0_32
+  ret
+`
+
+func parseOne(t *testing.T, src string) *Function {
+	t.Helper()
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatalf("ParseFunction: %v", err)
+	}
+	return f
+}
+
+func TestParseFig2b(t *testing.T) {
+	f := parseOne(t, fig2b)
+	if f.Name != "arithm_seq_sum" || len(f.Blocks) != 5 {
+		t.Fatalf("parsed %q with %d blocks", f.Name, len(f.Blocks))
+	}
+	b1 := f.BlockByName(".LBB1")
+	if b1 == nil || b1.Instrs[0].Op != OpPhi || len(b1.Instrs[0].Phi) != 2 {
+		t.Fatalf(".LBB1 phi malformed")
+	}
+	if b1.Instrs[3].Op != OpSub || b1.Instrs[4].Op != OpJcc || b1.Instrs[4].CC != CCAE {
+		t.Fatalf(".LBB1 tail: %v %v", b1.Instrs[3], b1.Instrs[4])
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	f := parseOne(t, fig2b)
+	p := &Program{Funcs: []*Function{f}}
+	f2 := parseOne(t, p.String())
+	p2 := &Program{Funcs: []*Function{f2}}
+	if p.String() != p2.String() {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"f:\n.B0:\n  %vr0_32 = frob 1\n",
+		"f:\n.B0:\n  %vr0_32 = mov %vr1_32\n", // mov wants an immediate
+		"f:\n.B0:\n  %vr0_99 = copy edi\n",    // bad width
+		"f:\n.B0:\n  jxx .B0\n",
+		"f:\n.B0:\n  %vr0_32 = load8 [@g]\n", // width mismatch 32 vs 64
+		"  %vr0_32 = copy edi\n",             // instruction outside block
+		"f:\n.B0:\n  store4 [@g]\n",          // store missing source
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestPhysRegViews(t *testing.T) {
+	r, ok := PhysReg("eax")
+	if !ok || r.Name != "rax" || r.Width != 32 {
+		t.Fatalf("eax = %+v", r)
+	}
+	if got := PhysName("rax", 8); got != "al" {
+		t.Errorf("PhysName(rax,8) = %q", got)
+	}
+	if _, ok := PhysReg("xmm0"); ok {
+		t.Errorf("xmm0 resolved")
+	}
+}
+
+func newInterp(t *testing.T, src string) *Interp {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := mem.NewLayout()
+	return NewInterp(p, layout, mem.NewConcrete(layout))
+}
+
+func TestInterpFig2b(t *testing.T) {
+	in := newInterp(t, fig2b)
+	for _, tc := range []struct{ a0, d, n, want uint64 }{
+		{1, 1, 5, 15},
+		{2, 3, 4, 26},
+		{5, 0, 3, 15},
+		{7, 2, 1, 7},
+		{7, 2, 0, 7}, // loop body never runs but first term still returned
+	} {
+		got, err := in.CallWithArgs("arithm_seq_sum",
+			[]uint64{tc.a0, tc.d, tc.n}, []uint8{32, 32, 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maskW(got, 32) != tc.want {
+			t.Errorf("arithm_seq_sum(%d,%d,%d) = %d, want %d", tc.a0, tc.d, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestInterpSubregisterWrites(t *testing.T) {
+	in := newInterp(t, "f:\n.B0:\n  ret\n")
+	in.SetReg("rax", 0xFFFFFFFFFFFFFFFF)
+	in.SetReg("eax", 0x12345678) // 32-bit write zeroes upper half
+	if got := in.Phys["rax"]; got != 0x12345678 {
+		t.Errorf("rax after eax write = %#x", got)
+	}
+	in.SetReg("rax", 0xFFFFFFFFFFFFFFFF)
+	in.SetReg("ax", 0x1234) // 16-bit write merges
+	if got := in.Phys["rax"]; got != 0xFFFFFFFFFFFF1234 {
+		t.Errorf("rax after ax write = %#x", got)
+	}
+	in.SetReg("al", 0x99)
+	if got := in.Phys["rax"]; got != 0xFFFFFFFFFFFF1299 {
+		t.Errorf("rax after al write = %#x", got)
+	}
+}
+
+func TestInterpMemoryAndLea(t *testing.T) {
+	src := `
+f:
+.B0:
+  %vr0_64 = lea [@g+4]
+  %vr1_32 = mov 305419896
+  store4 [%vr0_64], %vr1_32
+  %vr2_32 = load4 [@g+4]
+  eax = copy %vr2_32
+  ret
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := mem.NewLayout()
+	layout.Alloc("@g", 16)
+	in := NewInterp(p, layout, mem.NewConcrete(layout))
+	got, err := in.Call("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maskW(got, 32) != 305419896 {
+		t.Errorf("f() = %d", got)
+	}
+}
+
+func TestInterpOOB(t *testing.T) {
+	src := `
+f:
+.B0:
+  %vr0_64 = load8 [@a+4]
+  ret
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := mem.NewLayout()
+	layout.Alloc("@a", 6) // the scaled load-narrowing shape: 8 bytes at +4 overruns
+	in := NewInterp(p, layout, mem.NewConcrete(layout))
+	_, err = in.Call("f")
+	ub, ok := err.(*UBError)
+	if !ok || ub.Kind != "oob" {
+		t.Fatalf("err = %v, want oob UBError", err)
+	}
+}
+
+func TestInterpConditionCodes(t *testing.T) {
+	// For each cc, build a function that compares edi, esi and returns 1
+	// if the jump is taken.
+	ccSem := map[CC]func(a, b uint32) bool{
+		CCE:  func(a, b uint32) bool { return a == b },
+		CCNE: func(a, b uint32) bool { return a != b },
+		CCB:  func(a, b uint32) bool { return a < b },
+		CCAE: func(a, b uint32) bool { return a >= b },
+		CCBE: func(a, b uint32) bool { return a <= b },
+		CCA:  func(a, b uint32) bool { return a > b },
+		CCL:  func(a, b uint32) bool { return int32(a) < int32(b) },
+		CCGE: func(a, b uint32) bool { return int32(a) >= int32(b) },
+		CCLE: func(a, b uint32) bool { return int32(a) <= int32(b) },
+		CCG:  func(a, b uint32) bool { return int32(a) > int32(b) },
+	}
+	for cc, want := range ccSem {
+		src := `
+f:
+.B0:
+  cmp edi, esi
+  j` + string(cc) + ` .B1
+  jmp .B2
+.B1:
+  eax = mov 1
+  ret
+.B2:
+  eax = mov 0
+  ret
+`
+		in := newInterp(t, src)
+		f := func(a, b uint32) bool {
+			got, err := in.CallWithArgs("f", []uint64{uint64(a), uint64(b)}, []uint8{32, 32})
+			if err != nil {
+				return false
+			}
+			return (maskW(got, 32) == 1) == want(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("cc %s: %v", cc, err)
+		}
+	}
+}
+
+func TestInterpIncPreservesCF(t *testing.T) {
+	src := `
+f:
+.B0:
+  cmp edi, esi
+  %vr0_32 = inc edx
+  jb .B1
+  jmp .B2
+.B1:
+  eax = mov 1
+  ret
+.B2:
+  eax = mov 0
+  ret
+`
+	in := newInterp(t, src)
+	got, err := in.CallWithArgs("f", []uint64{1, 2, 7}, []uint8{32, 32, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maskW(got, 32) != 1 {
+		t.Errorf("CF not preserved across inc: got %d", got)
+	}
+}
+
+// --- Symbolic vs concrete differential test ---
+
+func symTerminals(t *testing.T, f *Function, layout *mem.Layout, ctx *smt.Context,
+	presets map[string]*smt.Term) []*state {
+	t.Helper()
+	sem := NewSem(ctx, f, layout)
+	s0, err := sem.Instantiate("entry", presets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []*state
+	work := []core.State{s0}
+	steps := 0
+	for len(work) > 0 {
+		cur := work[len(work)-1].(*state)
+		work = work[:len(work)-1]
+		if cur.final || cur.errKind != "" {
+			out = append(out, cur)
+			continue
+		}
+		if steps++; steps > 10000 {
+			t.Fatalf("symbolic execution did not terminate")
+		}
+		succs, err := sem.Step(cur)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		for _, n := range succs {
+			if !n.PathCond().IsFalse() {
+				work = append(work, n)
+			}
+		}
+	}
+	return out
+}
+
+func TestSymbolicMatchesInterp(t *testing.T) {
+	src := `
+f:
+.B0:
+  %vr0_32 = copy edi
+  %vr1_32 = copy esi
+  cmp %vr0_32, %vr1_32
+  jl .B1
+  jmp .B2
+.B1:
+  %vr2_32 = sub %vr1_32, %vr0_32
+  %vr3_32 = shl %vr2_32, 2
+  eax = copy %vr3_32
+  ret
+.B2:
+  %vr4_32 = xor %vr0_32, %vr1_32
+  %vr5_32 = or %vr4_32, 257
+  eax = copy %vr5_32
+  ret
+`
+	f := parseOne(t, src)
+	ctx := smt.NewContext()
+	layout := mem.NewLayout()
+	presets := map[string]*smt.Term{
+		"edi": ctx.VarBV("a", 32),
+		"esi": ctx.VarBV("b", 32),
+	}
+	terminals := symTerminals(t, f, layout, ctx, presets)
+	if len(terminals) != 2 {
+		t.Fatalf("%d terminals, want 2", len(terminals))
+	}
+	check := func(a, b uint32) bool {
+		p := &Program{Funcs: []*Function{f}}
+		l2 := mem.NewLayout()
+		in := NewInterp(p, l2, mem.NewConcrete(l2))
+		want, err := in.CallWithArgs("f", []uint64{uint64(a), uint64(b)}, []uint8{32, 32})
+		if err != nil {
+			return false
+		}
+		assign := smt.NewAssign()
+		assign.BV["a"] = uint64(a)
+		assign.BV["b"] = uint64(b)
+		var hits int
+		var got uint64
+		for _, s := range terminals {
+			ok, err := assign.EvalBool(s.pc)
+			if err != nil {
+				t.Fatalf("eval pc: %v", err)
+			}
+			if !ok {
+				continue
+			}
+			hits++
+			eax, err := s.Observable("eax")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err = assign.EvalBV(eax)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return hits == 1 && got == maskW(want, 32)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolicFig2bBoundedLoop(t *testing.T) {
+	f := parseOne(t, fig2b)
+	ctx := smt.NewContext()
+	layout := mem.NewLayout()
+	presets := map[string]*smt.Term{
+		"edi": ctx.VarBV("a0", 32),
+		"esi": ctx.VarBV("d", 32),
+		"edx": ctx.BV(3, 32), // concrete n: loop unrolls fully
+	}
+	terminals := symTerminals(t, f, layout, ctx, presets)
+	if len(terminals) != 1 {
+		t.Fatalf("%d terminals, want 1", len(terminals))
+	}
+	eax, err := terminals[0].Observable("eax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := smt.NewAssign()
+	assign.BV["a0"] = 10
+	assign.BV["d"] = 4
+	got, err := assign.EvalBV(eax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10+14+18 {
+		t.Errorf("eax = %d, want 42", got)
+	}
+}
+
+func TestSymbolicCallBoundary(t *testing.T) {
+	src := `
+f:
+.B0:
+  %vr0_32 = copy edi
+  edi = copy %vr0_32
+  call @g
+  %vr1_32 = copy eax
+  eax = copy %vr1_32
+  ret
+`
+	f := parseOne(t, src)
+	ctx := smt.NewContext()
+	layout := mem.NewLayout()
+	sem := NewSem(ctx, f, layout)
+	s0, err := sem.Instantiate("entry", map[string]*smt.Term{"edi": ctx.VarBV("x", 32)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step three times (arrival + two copies) to sit at the call.
+	cur := s0
+	for i := 0; i < 3; i++ {
+		succs, err := sem.Step(cur)
+		if err != nil || len(succs) != 1 {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		cur = succs[0]
+	}
+	if got := cur.Loc(); got != "call:g:0:before" {
+		t.Fatalf("loc = %q", got)
+	}
+	if _, err := sem.Step(cur); err == nil {
+		t.Fatalf("stepping through a call succeeded")
+	}
+	after, err := sem.Instantiate("call:g:0:after", map[string]*smt.Term{"eax": ctx.VarBV("r", 32)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := after.Loc(); got != "call:g:0:after" {
+		t.Fatalf("after-call loc = %q", got)
+	}
+	succs := []core.State{after}
+	for i := 0; i < 3; i++ { // commit, copy vr1, copy eax
+		succs, err = sem.Step(succs[0])
+		if err != nil || len(succs) != 1 {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	succs, err = sem.Step(succs[0])
+	if err != nil || len(succs) != 1 || !succs[0].IsFinal() {
+		t.Fatalf("did not reach exit: %v", err)
+	}
+	eax, err := succs[0].Observable("eax")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := smt.NewAssign()
+	assign.BV["r"] = 77
+	got, err := assign.EvalBV(eax)
+	if err != nil || got != 77 {
+		t.Fatalf("eax after call = %d, %v", got, err)
+	}
+}
+
+func TestObservableWidth(t *testing.T) {
+	f := parseOne(t, fig2b)
+	sem := NewSem(smt.NewContext(), f, mem.NewLayout())
+	for name, want := range map[string]uint8{
+		"%vr0_32": 32, "%vr5_8": 8, "eax": 32, "rdi": 64, "al": 8,
+	} {
+		got, err := sem.ObservableWidth("entry", name)
+		if err != nil || got != want {
+			t.Errorf("ObservableWidth(%s) = %d, %v; want %d", name, got, err, want)
+		}
+	}
+	if _, err := sem.ObservableWidth("entry", "xmm1"); err == nil {
+		t.Errorf("unknown observable accepted")
+	}
+}
