@@ -1,0 +1,21 @@
+# Tier-1 verification: build + full test suite, static analysis, and the
+# race detector over the concurrent packages (the harness worker pool and
+# the tv pipeline it drives).
+.PHONY: tier1 build test vet race bench
+
+tier1: build test vet race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/harness ./internal/tv
+
+bench:
+	go test -bench=. -benchmem

@@ -85,6 +85,55 @@ func BenchmarkFig6Validation(b *testing.B) {
 	}
 }
 
+// fig6ParallelBudget is the budget for the worker-pool benchmark: no
+// wall-clock timeout (timeout classes are timing-dependent and would
+// break the cross-j comparison), only the deterministic term-node limit.
+var fig6ParallelBudget = tv.Budget{MaxTermNodes: 3_000_000}
+
+var (
+	fig6BaseOnce   sync.Once
+	fig6BaseCounts string
+)
+
+// fig6BaselineCounts runs the bench corpus serially once and returns the
+// Figure 6 class counts every parallel run must reproduce exactly.
+func fig6BaselineCounts() string {
+	fig6BaseOnce.Do(func() {
+		sum := harness.Run(harness.Config{
+			Profile:         corpus.GCCLike(figure6Corpus),
+			Budget:          fig6ParallelBudget,
+			InadequateEvery: 40,
+			Workers:         1,
+		})
+		fig6BaseCounts = fmt.Sprint(sum.Counts())
+	})
+	return fig6BaseCounts
+}
+
+// BenchmarkFig6ParallelWorkers regenerates the Figure 6 corpus run across
+// worker-pool sizes (-j 1/2/4/8). Each run must produce class counts
+// byte-identical to the serial baseline — the pool only changes wall-clock
+// time, reported alongside the achieved cpu/wall speedup.
+func BenchmarkFig6ParallelWorkers(b *testing.B) {
+	base := fig6BaselineCounts()
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum := harness.Run(harness.Config{
+					Profile:         corpus.GCCLike(figure6Corpus),
+					Budget:          fig6ParallelBudget,
+					InadequateEvery: 40,
+					Workers:         j,
+				})
+				if got := fmt.Sprint(sum.Counts()); got != base {
+					b.Fatalf("j=%d class counts diverged from serial run:\n got %s\nwant %s", j, got, base)
+				}
+				b.ReportMetric(sum.Speedup(), "cpu/wall")
+			}
+		})
+	}
+}
+
 // BenchmarkFig7Distributions regenerates the Figure 7 validation-time and
 // code-size distributions from the same corpus run.
 func BenchmarkFig7Distributions(b *testing.B) {

@@ -5,15 +5,19 @@
 //
 // Usage:
 //
-//	isel [-fn name] [-merge-stores] [-bug waw|narrow] [-hints file.hints] [-o out.vx86] input.ll
+//	isel [-fn name | -all [-j n]] [-merge-stores] [-bug waw|narrow] [-hints file.hints] [-o out.vx86] input.ll
 //
-// With no -o/-hints the Virtual x86 program is printed to stdout.
+// With no -o/-hints the Virtual x86 program is printed to stdout. -all
+// compiles every definition in the module (across -j parallel workers),
+// emitting functions in module order.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/isel"
@@ -24,6 +28,8 @@ import (
 
 func main() {
 	fnName := flag.String("fn", "", "function to compile (default: the sole definition)")
+	all := flag.Bool("all", false, "compile every definition in the module")
+	jobs := flag.Int("j", 0, "parallel compile workers with -all (0 = GOMAXPROCS)")
 	mergeStores := flag.Bool("merge-stores", false, "enable the store-merging peephole (Figure 9c)")
 	strengthReduce := flag.Bool("strength-reduce", false, "enable power-of-two mul/div/rem strength reduction (§4.7)")
 	bug := flag.String("bug", "", "inject a miscompilation: waw (Figure 9b) or narrow (Figure 11b)")
@@ -43,7 +49,6 @@ func main() {
 	check(err)
 	check(llvmir.Verify(mod))
 
-	fn := pickFunction(mod, *fnName)
 	opts := isel.Options{MergeStores: *mergeStores, StrengthReduce: *strengthReduce}
 	switch *bug {
 	case "":
@@ -56,6 +61,21 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *all {
+		if *fnName != "" || *hintsOut != "" || *syncOut != "" {
+			fmt.Fprintln(os.Stderr, "isel: -all is incompatible with -fn, -hints and -sync")
+			os.Exit(2)
+		}
+		text := compileAll(mod, opts, *jobs)
+		if *out == "" {
+			fmt.Print(text)
+		} else {
+			check(os.WriteFile(*out, []byte(text), 0o644))
+		}
+		return
+	}
+
+	fn := pickFunction(mod, *fnName)
 	res, err := isel.Compile(mod, fn, opts)
 	check(err)
 
@@ -76,6 +96,68 @@ func main() {
 		check(core.WriteSyncPoints(f, points))
 		check(f.Close())
 	}
+}
+
+// compileAll compiles every defined function across a worker pool and
+// returns the Virtual x86 program text in module order (the same output
+// a serial run produces). Unsupported or failing functions are reported
+// to stderr and terminate with exit 1 after all workers finish.
+func compileAll(mod *llvmir.Module, opts isel.Options, jobs int) string {
+	var defined []*llvmir.Function
+	for _, f := range mod.Funcs {
+		if f.Defined() {
+			defined = append(defined, f)
+		}
+	}
+	if len(defined) == 0 {
+		fmt.Fprintln(os.Stderr, "isel: no function definition in input")
+		os.Exit(1)
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(defined) {
+		jobs = len(defined)
+	}
+
+	compiled := make([]*vx86.Function, len(defined))
+	errs := make([]error, len(defined))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				res, err := isel.Compile(mod, defined[i], opts)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				compiled[i] = res.Fn
+			}
+		}()
+	}
+	for i := range defined {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	failed := false
+	prog := &vx86.Program{}
+	for i, fn := range compiled {
+		if errs[i] != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "isel: @%s: %v\n", defined[i].Name, errs[i])
+			continue
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return prog.String()
 }
 
 func pickFunction(mod *llvmir.Module, name string) *llvmir.Function {

@@ -10,7 +10,11 @@
 //	tv -experiment bugs             reproduce the §5.2 bug studies
 //
 // The -timeout, -max-nodes and -conflicts flags scale the paper's
-// per-function budgets (3 h / 12 GB) down to interactive sizes.
+// per-function budgets (3 h / 12 GB) down to interactive sizes. The
+// -timeout budget bounds the whole per-function pipeline (ISel, VC
+// generation, and KEQ), not just the SMT phase. -j spreads the
+// experiment corpus across a worker pool; results are identical to a
+// serial run (rows stay in corpus order), only faster.
 package main
 
 import (
@@ -38,6 +42,8 @@ func main() {
 	inadequate := flag.Int("inadequate-every", 150, "validate every n-th function with coarse liveness (0 = never)")
 	negForm := flag.Bool("negative-form", false, "ablation: disable the positive-form SMT optimization")
 	progress := flag.Bool("progress", false, "print per-function progress")
+	jobs := flag.Int("j", 0, "parallel validation workers for fig6/fig7 (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print run-wide solver and worker-pool statistics")
 	flag.Parse()
 
 	budget := tv.Budget{Timeout: *timeout, MaxTermNodes: *maxNodes, ConflictBudget: *conflicts}
@@ -56,6 +62,7 @@ func main() {
 			Budget:          budget,
 			InadequateEvery: *inadequate,
 			Checker:         copts,
+			Workers:         *jobs,
 		}
 		if *progress {
 			cfg.Progress = os.Stderr
@@ -67,6 +74,10 @@ func main() {
 		if *experiment == "fig7" || *experiment == "eval" {
 			fmt.Println()
 			sum.Figure7(os.Stdout)
+		}
+		if *stats {
+			fmt.Println()
+			sum.RenderStats(os.Stdout)
 		}
 	case "bugs":
 		runBugs(budget)

@@ -9,14 +9,17 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/isel"
 	"repro/internal/llvmir"
+	"repro/internal/smt"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
 )
@@ -25,6 +28,10 @@ import (
 type Config struct {
 	// Corpus profile.
 	Profile corpus.Profile
+	// Functions, when non-nil, is the explicit corpus to validate and
+	// Profile is ignored. Used for externally supplied workloads and
+	// fault-injection tests.
+	Functions []corpus.Function
 	// Budget applied per function (the scaled-down analogue of the
 	// paper's 3 h / 12 GB limits).
 	Budget tv.Budget
@@ -35,7 +42,16 @@ type Config struct {
 	// Checker options (ablations).
 	Checker core.Options
 	// Progress, when non-nil, receives one line per validated function.
+	// Writes are serialized, so any io.Writer is safe here even with
+	// Workers > 1; lines arrive in completion order, not corpus order.
 	Progress io.Writer
+	// Workers is the number of functions validated concurrently
+	// (0 or negative = runtime.GOMAXPROCS(0)). Each worker owns a
+	// private SMT context and solver, so runs are state-isolated;
+	// Summary.Rows is in corpus order regardless of worker count, and a
+	// panic while validating one function is recovered into that
+	// function's row instead of killing the run.
+	Workers int
 }
 
 // ResultRow is one function's outcome.
@@ -44,36 +60,137 @@ type ResultRow struct {
 	Class    tv.Class
 	Duration time.Duration
 	CodeSize int
+	// Err carries the failure detail for non-Succeeded rows, including
+	// recovered panic messages (Class Other).
+	Err error
 }
 
 // Summary aggregates an experiment.
 type Summary struct {
 	Rows  []ResultRow
 	Total int
+	// Workers is the pool size the run actually used.
+	Workers int
+	// WallTime is the elapsed time of the whole run; CPUTime is the sum
+	// of per-function validation durations across all workers. Their
+	// ratio is the parallel speedup (see Speedup).
+	WallTime time.Duration
+	CPUTime  time.Duration
+	// SMTStats aggregates solver statistics across all workers.
+	SMTStats smt.Stats
 }
 
-// Run validates the whole corpus and returns the summary.
+// Run validates the whole corpus across Config.Workers goroutines and
+// returns the summary. Results land in Summary.Rows in corpus order
+// regardless of completion order, so a parallel run is row-for-row
+// comparable with a serial one.
 func Run(cfg Config) *Summary {
-	fns := corpus.Generate(cfg.Profile)
-	sum := &Summary{Total: len(fns)}
-	for i, f := range fns {
-		mod, err := llvmir.Parse(f.Src)
-		if err != nil {
-			panic(fmt.Sprintf("harness: corpus function %s does not parse: %v", f.Name, err))
-		}
-		vopts := vcgen.Options{}
-		if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
-			vopts.CoarseLiveness = true
-		}
-		out := tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
-		row := ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration, CodeSize: out.CodeSize}
-		sum.Rows = append(sum.Rows, row)
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, "%4d/%d %-8s %-28s %8.2fs size=%d\n",
-				i+1, len(fns), f.Name, out.Class, out.Duration.Seconds(), out.CodeSize)
-		}
+	fns := cfg.Functions
+	if fns == nil {
+		fns = corpus.Generate(cfg.Profile)
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fns) && len(fns) > 0 {
+		workers = len(fns)
+	}
+	sum := &Summary{Total: len(fns), Workers: workers, Rows: make([]ResultRow, len(fns))}
+	start := time.Now()
+
+	var (
+		mu   sync.Mutex // guards sum's aggregates, done, and Progress writes
+		done int
+		wg   sync.WaitGroup
+	)
+	indices := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				row, stats := validateOne(cfg, fns[i], i)
+				sum.Rows[i] = row // index-disjoint writes: no lock needed
+				mu.Lock()
+				sum.SMTStats.Add(stats)
+				sum.CPUTime += row.Duration
+				done++
+				if cfg.Progress != nil {
+					fmt.Fprintf(cfg.Progress, "%4d/%d %-8s %-28s %8.2fs size=%d\n",
+						done, len(fns), row.Fn, row.Class, row.Duration.Seconds(), row.CodeSize)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range fns {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	sum.WallTime = time.Since(start)
 	return sum
+}
+
+// validateHook, when non-nil, runs at the start of each function's
+// validation; tests use it to inject faults (e.g. panics) into the pool.
+var validateHook func(i int, f corpus.Function)
+
+// validateOne runs the full pipeline for one corpus function. Parse
+// failures and panics are contained here: both become a ClassOther row
+// with the cause in Err, so one bad function cannot abort the corpus run.
+func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt.Stats) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			row = ResultRow{
+				Fn:       f.Name,
+				Class:    tv.ClassOther,
+				Duration: time.Since(start),
+				Err:      fmt.Errorf("harness: panic validating %s: %v", f.Name, p),
+			}
+		}
+	}()
+	if validateHook != nil {
+		validateHook(i, f)
+	}
+	mod, err := llvmir.Parse(f.Src)
+	if err != nil {
+		return ResultRow{
+			Fn:       f.Name,
+			Class:    tv.ClassOther,
+			Duration: time.Since(start),
+			Err:      fmt.Errorf("harness: corpus function %s does not parse: %w", f.Name, err),
+		}, stats
+	}
+	vopts := vcgen.Options{}
+	if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
+		vopts.CoarseLiveness = true
+	}
+	out := tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
+	row = ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration,
+		CodeSize: out.CodeSize, Err: out.Err}
+	return row, out.SMTStats
+}
+
+// Speedup is the ratio of aggregate validation CPU time to wall-clock
+// time — the effective parallelism achieved by the worker pool.
+func (s *Summary) Speedup() float64 {
+	if s.WallTime <= 0 {
+		return 0
+	}
+	return s.CPUTime.Seconds() / s.WallTime.Seconds()
+}
+
+// RenderStats prints the run-wide solver totals and the wall-clock vs.
+// CPU-time accounting of the worker pool.
+func (s *Summary) RenderStats(w io.Writer) {
+	fmt.Fprintf(w, "Harness: %d functions, %d workers, wall %.2fs, cpu %.2fs (speedup %.2fx)\n",
+		s.Total, s.Workers, s.WallTime.Seconds(), s.CPUTime.Seconds(), s.Speedup())
+	fmt.Fprintf(w, "SMT: %d queries (%d fast), %d conflicts, %d decisions, %d clauses, solve time %.2fs\n",
+		s.SMTStats.Queries, s.SMTStats.FastQueries, s.SMTStats.SATConflicts,
+		s.SMTStats.SATDecisions, s.SMTStats.CNFClauses, s.SMTStats.SolveDuration.Seconds())
 }
 
 // Counts returns the per-class totals.
@@ -231,7 +348,10 @@ func RunBug(e BugExperiment, budget tv.Budget) (*BugResult, error) {
 		return nil, err
 	}
 	good := tv.Validate(mod, e.Fn, e.GoodOptions, vcgen.Options{}, core.Options{}, budget)
-	mod2, _ := llvmir.Parse(e.Program)
+	mod2, err := llvmir.Parse(e.Program)
+	if err != nil {
+		return nil, err
+	}
 	bad := tv.Validate(mod2, e.Fn, e.BadOptions, vcgen.Options{}, core.Options{}, budget)
 	return &BugResult{
 		Name:        e.Name,

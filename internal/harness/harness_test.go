@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -70,6 +71,146 @@ func TestInadequateEveryProducesOther(t *testing.T) {
 	if len(sum.Rows) != 4 {
 		t.Fatalf("rows = %d", len(sum.Rows))
 	}
+}
+
+// parallelProfile is a seeded corpus big enough that a 4-worker pool
+// actually interleaves completions, with budgets generous enough that
+// every class is timing-independent (deterministic across pool sizes).
+var parallelProfile = corpus.Profile{
+	Seed: 23, Functions: 24, MeanSize: 2.2, SizeSigma: 0.6,
+	MemoryWeight: 0.4, LoopWeight: 0.4, CallWeight: 0.2, BranchWeight: 0.5,
+}
+
+func TestParallelRowsDeterministic(t *testing.T) {
+	// No wall-clock timeout: under the race detector's slowdown a timed
+	// budget classifies timing-dependently. The term-node (OOM) budget is
+	// exactly reproducible, so every class here is deterministic.
+	budget := tv.Budget{MaxTermNodes: 4_000_000}
+	serial := Run(Config{Profile: parallelProfile, Budget: budget, InadequateEvery: 7, Workers: 1})
+	parallel := Run(Config{Profile: parallelProfile, Budget: budget, InadequateEvery: 7, Workers: 4})
+
+	if serial.Workers != 1 || parallel.Workers != 4 {
+		t.Fatalf("workers recorded as %d and %d, want 1 and 4", serial.Workers, parallel.Workers)
+	}
+	if len(serial.Rows) != len(parallel.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(parallel.Rows))
+	}
+	for i := range serial.Rows {
+		s, p := serial.Rows[i], parallel.Rows[i]
+		if s.Fn != p.Fn || s.Class != p.Class || s.CodeSize != p.CodeSize {
+			t.Errorf("row %d differs: serial {%s %v %d} vs parallel {%s %v %d}",
+				i, s.Fn, s.Class, s.CodeSize, p.Fn, p.Class, p.CodeSize)
+		}
+	}
+	sc, pc := serial.Counts(), parallel.Counts()
+	if fmt.Sprint(sc) != fmt.Sprint(pc) {
+		t.Errorf("class counts differ: serial %v vs parallel %v", sc, pc)
+	}
+	if parallel.CPUTime <= 0 || parallel.WallTime <= 0 {
+		t.Errorf("missing time accounting: cpu=%v wall=%v", parallel.CPUTime, parallel.WallTime)
+	}
+	// Exact query counts are timing-sensitive near the deadline (a query
+	// that hits ErrDeadline in one run may never start in another), so
+	// only check that aggregation happened on both sides.
+	if serial.SMTStats.Queries == 0 || parallel.SMTStats.Queries == 0 {
+		t.Errorf("missing aggregated SMT stats: serial %+v parallel %+v",
+			serial.SMTStats, parallel.SMTStats)
+	}
+}
+
+func TestParallelProgressSerialized(t *testing.T) {
+	// strings.Builder is not goroutine-safe, so this doubles as a -race
+	// check that Progress writes are serialized.
+	var b strings.Builder
+	sum := Run(Config{
+		Profile:  parallelProfile,
+		Budget:   tv.Budget{Timeout: time.Minute, MaxTermNodes: 4_000_000},
+		Workers:  4,
+		Progress: &b,
+	})
+	lines := strings.Count(b.String(), "\n")
+	if lines != sum.Total {
+		t.Errorf("progress printed %d lines, want %d:\n%s", lines, sum.Total, b.String())
+	}
+	if !strings.Contains(b.String(), fmt.Sprintf("%4d/%d", sum.Total, sum.Total)) {
+		t.Errorf("progress counter never reached %d/%d:\n%s", sum.Total, sum.Total, b.String())
+	}
+}
+
+func TestUnparsableFunctionClassifiedOther(t *testing.T) {
+	fns := []corpus.Function{
+		goodFn("good"),
+		{Name: "bad", Src: "define i32 @bad( this does not parse"},
+		goodFn("good2"),
+	}
+	sum := Run(Config{Functions: fns, Budget: tv.Budget{Timeout: time.Minute}, Workers: 2})
+	if len(sum.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(sum.Rows))
+	}
+	bad := sum.Rows[1]
+	if bad.Class != tv.ClassOther || bad.Err == nil {
+		t.Errorf("bad row: class=%v err=%v, want Other with parse error", bad.Class, bad.Err)
+	}
+	if bad.Err != nil && !strings.Contains(bad.Err.Error(), "does not parse") {
+		t.Errorf("bad row error %q does not mention the parse failure", bad.Err)
+	}
+	for _, i := range []int{0, 2} {
+		if sum.Rows[i].Class != tv.ClassSucceeded {
+			t.Errorf("row %d (%s): class=%v err=%v, want Succeeded",
+				i, sum.Rows[i].Fn, sum.Rows[i].Class, sum.Rows[i].Err)
+		}
+	}
+}
+
+func TestPanicIsolatedToOneRow(t *testing.T) {
+	validateHook = func(i int, f corpus.Function) {
+		if f.Name == "poison" {
+			panic("injected poison")
+		}
+	}
+	defer func() { validateHook = nil }()
+
+	fns := []corpus.Function{
+		goodFn("good"),
+		goodFn("poison"),
+		goodFn("good2"),
+		goodFn("good3"),
+	}
+	sum := Run(Config{Functions: fns, Budget: tv.Budget{Timeout: time.Minute}, Workers: 4})
+	if len(sum.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(sum.Rows))
+	}
+	counts := sum.Counts()
+	if counts[tv.ClassOther] != 1 {
+		t.Errorf("want exactly 1 Other row, got %v", counts)
+	}
+	poison := sum.Rows[1]
+	if poison.Fn != "poison" || poison.Class != tv.ClassOther {
+		t.Fatalf("poison row = {%s %v}, want {poison Other}", poison.Fn, poison.Class)
+	}
+	if poison.Err == nil || !strings.Contains(poison.Err.Error(), "injected poison") {
+		t.Errorf("poison row error %v does not carry the panic message", poison.Err)
+	}
+}
+
+// goodFn returns a small corpus function named name that validates
+// quickly.
+func goodFn(name string) corpus.Function {
+	return corpus.Function{Name: name, Src: fmt.Sprintf(`
+define i32 @%s(i32 %%a, i32 %%b) {
+entry:
+  %%cmp = icmp slt i32 %%a, %%b
+  br i1 %%cmp, label %%lt, label %%ge
+
+lt:
+  %%add = add i32 %%a, %%b
+  ret i32 %%add
+
+ge:
+  %%sub = sub i32 %%a, %%b
+  ret i32 %%sub
+}
+`, name)}
 }
 
 func TestRunBugExperiments(t *testing.T) {

@@ -41,6 +41,18 @@ type Stats struct {
 	SolveDuration time.Duration
 }
 
+// Add accumulates o into s. Callers that run many solvers (one per
+// harness worker) use it to aggregate per-solver statistics into one
+// run-wide total.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.FastQueries += o.FastQueries
+	s.SATConflicts += o.SATConflicts
+	s.SATDecisions += o.SATDecisions
+	s.CNFClauses += o.CNFClauses
+	s.SolveDuration += o.SolveDuration
+}
+
 // Solver decides QF_ABV formulas built in a Context. The zero value is not
 // usable; use NewSolver.
 type Solver struct {

@@ -21,13 +21,30 @@ import (
 // Budget bounds one validation run, mirroring the paper's per-function
 // limits (3-hour timeout, 12 GB memory).
 type Budget struct {
-	// Timeout bounds wall-clock time (0 = none).
+	// Timeout bounds wall-clock time for the whole pipeline — ISel, VC
+	// generation, symbolic stepping, and SMT solving — measured from
+	// Validate/ValidateTranslation entry, like the paper's 3-hour
+	// per-function limit (0 = none).
 	Timeout time.Duration
 	// MaxTermNodes bounds solver term allocation — the stand-in for the
 	// memory limit (0 = none).
 	MaxTermNodes uint64
 	// ConflictBudget bounds CDCL conflicts per SMT query (0 = none).
 	ConflictBudget int64
+}
+
+// deadlineFrom converts the relative Timeout into the absolute deadline
+// for a run that started at start (zero when unbounded).
+func (b Budget) deadlineFrom(start time.Time) time.Time {
+	if b.Timeout <= 0 {
+		return time.Time{}
+	}
+	return start.Add(b.Timeout)
+}
+
+// pastDeadline reports whether a non-zero deadline has elapsed.
+func pastDeadline(d time.Time) bool {
+	return !d.IsZero() && time.Now().After(d)
 }
 
 // Class classifies an outcome the way Figure 6 does.
@@ -78,6 +95,7 @@ type Outcome struct {
 func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen.Options,
 	copts core.Options, budget Budget) *Outcome {
 	start := time.Now()
+	deadline := budget.deadlineFrom(start)
 	out := &Outcome{Fn: fnName}
 	defer func() { out.Duration = time.Since(start) }()
 
@@ -100,8 +118,13 @@ func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen
 		out.Err = err
 		return out
 	}
+	if pastDeadline(deadline) {
+		out.Class = ClassTimeout
+		out.Err = fmt.Errorf("tv: instruction selection of @%s: %w", fnName, smt.ErrDeadline)
+		return out
+	}
 	out.Compiled = res
-	return validateCompiled(mod, fn, res, vopts, copts, budget, out)
+	return validateCompiled(mod, fn, res, vopts, copts, budget, deadline, out)
 }
 
 // ValidateTranslation checks an existing (possibly externally produced)
@@ -109,27 +132,33 @@ func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen
 func ValidateTranslation(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 	points []*core.SyncPoint, copts core.Options, budget Budget) *Outcome {
 	start := time.Now()
+	deadline := budget.deadlineFrom(start)
 	out := &Outcome{Fn: fn.Name, CodeSize: fn.NumInstrs(), Points: len(points)}
 	defer func() { out.Duration = time.Since(start) }()
-	runCheck(mod, fn, xfn, points, copts, budget, out)
+	runCheck(mod, fn, xfn, points, copts, budget, deadline, out)
 	return out
 }
 
 func validateCompiled(mod *llvmir.Module, fn *llvmir.Function, res *isel.Result,
-	vopts vcgen.Options, copts core.Options, budget Budget, out *Outcome) *Outcome {
+	vopts vcgen.Options, copts core.Options, budget Budget, deadline time.Time, out *Outcome) *Outcome {
 	points, err := vcgen.Generate(fn, res.Fn, res.Hints, vopts)
 	if err != nil {
 		out.Class = ClassOther
 		out.Err = err
 		return out
 	}
+	if pastDeadline(deadline) {
+		out.Class = ClassTimeout
+		out.Err = fmt.Errorf("tv: VC generation for @%s: %w", fn.Name, smt.ErrDeadline)
+		return out
+	}
 	out.Points = len(points)
-	runCheck(mod, fn, res.Fn, points, copts, budget, out)
+	runCheck(mod, fn, res.Fn, points, copts, budget, deadline, out)
 	return out
 }
 
 func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
-	points []*core.SyncPoint, copts core.Options, budget Budget, out *Outcome) {
+	points []*core.SyncPoint, copts core.Options, budget Budget, deadline time.Time, out *Outcome) {
 	// Term construction during symbolic execution may trip the node budget
 	// outside a solver call; treat it as the same out-of-memory outcome.
 	defer func() {
@@ -146,9 +175,10 @@ func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 	ctx.MaxNodes = budget.MaxTermNodes
 	solver := smt.NewSolver(ctx)
 	solver.ConflictBudget = budget.ConflictBudget
-	if budget.Timeout > 0 {
-		solver.Deadline = time.Now().Add(budget.Timeout)
-	}
+	// The deadline is absolute, computed at pipeline entry, so the SMT
+	// phase only gets whatever the earlier phases left of the budget. The
+	// checker's symbolic-stepping loop polls the same deadline.
+	solver.Deadline = deadline
 
 	layout := llvmir.BuildLayout(mod, fn)
 	left := llvmir.NewSem(ctx, mod, fn, layout)

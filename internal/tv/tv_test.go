@@ -1,6 +1,7 @@
 package tv
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/isel"
 	"repro/internal/llvmir"
 	"repro/internal/paperprogs"
+	"repro/internal/smt"
 	"repro/internal/vcgen"
 	"repro/internal/vx86"
 )
@@ -278,5 +280,47 @@ entry:
 		Budget{Timeout: 2 * time.Minute})
 	if bad.Class != ClassNotValidated {
 		t.Fatalf("wrong strength reduction: class = %v", bad.Class)
+	}
+}
+
+// TestTimeoutBoundsWholePipeline: the Timeout budget is measured from
+// Validate entry, so a deadline that elapses before the SMT phase (here:
+// immediately) is still classified as a timeout, not as some other
+// failure — the paper's 3-hour limit covers ISel and VC generation too.
+func TestTimeoutBoundsWholePipeline(t *testing.T) {
+	mod, err := llvmir.Parse(paperprogs.ArithmSeqSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Validate(mod, "arithm_seq_sum", isel.Options{}, vcgen.Options{},
+		core.Options{}, Budget{Timeout: time.Nanosecond})
+	if out.Class != ClassTimeout {
+		t.Fatalf("class = %v (err = %v), want ClassTimeout", out.Class, out.Err)
+	}
+	if !errors.Is(out.Err, smt.ErrDeadline) {
+		t.Errorf("err = %v, want wrapped smt.ErrDeadline", out.Err)
+	}
+}
+
+// TestValidateTranslationTimeout: ValidateTranslation computes its
+// deadline at entry as well.
+func TestValidateTranslationTimeout(t *testing.T) {
+	mod, err := llvmir.Parse(paperprogs.ArithmSeqSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := mod.Func("arithm_seq_sum")
+	res, err := isel.Compile(mod, fn, isel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := vcgen.Generate(fn, res.Fn, res.Hints, vcgen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ValidateTranslation(mod, fn, res.Fn, points, core.Options{},
+		Budget{Timeout: time.Nanosecond})
+	if out.Class != ClassTimeout {
+		t.Fatalf("class = %v (err = %v), want ClassTimeout", out.Class, out.Err)
 	}
 }
