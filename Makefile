@@ -1,9 +1,9 @@
-# Tier-1 verification: build + full test suite, static analysis, and the
-# race detector over the concurrent packages (the harness worker pool and
-# the tv pipeline it drives).
-.PHONY: tier1 build test vet race bench
+# Tier-1 verification: build + full test suite, static analysis, gofmt
+# cleanliness, and the race detector over the concurrent packages (the
+# harness worker pool and the tv pipeline it drives).
+.PHONY: tier1 build test vet fmtcheck race bench benchall
 
-tier1: build test vet race
+tier1: build test vet fmtcheck race
 
 build:
 	go build ./...
@@ -14,8 +14,19 @@ test:
 vet:
 	go vet ./...
 
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt: the following files need formatting:" >&2; \
+		echo "$$out" >&2; exit 1; fi
+
 race:
 	go test -race ./internal/harness ./internal/tv
 
+# bench reproduces the Figure 6 cache-on/cache-off comparison and writes
+# the machine-readable artifact BENCH_PR2.json.
 bench:
+	go test -run '^$$' -bench 'BenchmarkFigure6' -benchtime 1x .
+	WRITE_BENCH_JSON=1 go test -run TestBenchPR2JSON -v .
+
+benchall:
 	go test -bench=. -benchmem

@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"sync"
@@ -379,4 +380,130 @@ func BenchmarkRegAllocValidation(b *testing.B) {
 			b.Fatalf("verdict %v err %v", rep.Verdict, err)
 		}
 	}
+}
+
+// figure6Config builds the canonical Fig. 6 bench configuration; cache
+// toggles only the run-wide VC result cache, everything else held fixed.
+func figure6Config(workers int, cache bool) harness.Config {
+	return harness.Config{
+		Profile:         corpus.GCCLike(figure6Corpus),
+		Budget:          fig6ParallelBudget,
+		InadequateEvery: 40,
+		Workers:         workers,
+		DisableVCCache:  !cache,
+	}
+}
+
+// BenchmarkFigure6 is the PR's headline comparison: the Figure 6 corpus
+// run with and without the shared VC result cache at the same worker
+// count. Class counts must match the serial baseline in both
+// configurations — the cache may only change time, never verdicts. The
+// cache=on runs report hit-rate metrics next to ns/op.
+func BenchmarkFigure6(b *testing.B) {
+	base := fig6BaselineCounts()
+	const workers = 4
+	for _, cache := range []bool{false, true} {
+		name := "cache=off"
+		if cache {
+			name = "cache=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sum := harness.Run(figure6Config(workers, cache))
+				if got := fmt.Sprint(sum.Counts()); got != base {
+					b.Fatalf("%s class counts diverged from serial baseline:\n got %s\nwant %s",
+						name, got, base)
+				}
+				if cache {
+					hits, misses := sum.SMTStats.CacheHits, sum.SMTStats.CacheMisses
+					if hits+misses > 0 {
+						b.ReportMetric(float64(hits), "hits")
+						b.ReportMetric(100*float64(hits)/float64(hits+misses), "hit%")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBenchPR2JSON writes the machine-readable benchmark artifact
+// BENCH_PR2.json (the `make bench` target). Gated behind WRITE_BENCH_JSON
+// so plain `go test ./...` stays fast and side-effect free.
+func TestBenchPR2JSON(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_JSON") == "" {
+		t.Skip("set WRITE_BENCH_JSON=1 to write BENCH_PR2.json")
+	}
+	const workers = 4
+	type configResult struct {
+		WallSeconds float64 `json:"wall_seconds"`
+		CPUSeconds  float64 `json:"cpu_seconds"`
+		CacheHits   int64   `json:"cache_hits"`
+		CacheMisses int64   `json:"cache_misses"`
+		Counts      string  `json:"class_counts"`
+	}
+	measure := func(cache bool) configResult {
+		start := time.Now()
+		sum := harness.Run(figure6Config(workers, cache))
+		return configResult{
+			WallSeconds: time.Since(start).Seconds(),
+			CPUSeconds:  sum.CPUTime.Seconds(),
+			CacheHits:   sum.SMTStats.CacheHits,
+			CacheMisses: sum.SMTStats.CacheMisses,
+			Counts:      fmt.Sprint(sum.Counts()),
+		}
+	}
+	// Warm the process (page cache, JIT-free but first-run allocator noise)
+	// with the baseline, which also pins the expected class counts.
+	base := fig6BaselineCounts()
+	off := measure(false)
+	on := measure(true)
+	if off.Counts != base || on.Counts != base {
+		t.Fatalf("class counts diverged: baseline %s, cache-off %s, cache-on %s",
+			base, off.Counts, on.Counts)
+	}
+	artifact := struct {
+		Benchmark string       `json:"benchmark"`
+		Corpus    int          `json:"corpus_functions"`
+		Workers   int          `json:"workers"`
+		CacheOff  configResult `json:"cache_off"`
+		CacheOn   configResult `json:"cache_on"`
+		Speedup   float64      `json:"wall_speedup_cache_on"`
+	}{
+		Benchmark: "Figure6",
+		Corpus:    figure6Corpus,
+		Workers:   workers,
+		CacheOff:  off,
+		CacheOn:   on,
+		Speedup:   off.WallSeconds / on.WallSeconds,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR2.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_PR2.json: cache off %.2fs, on %.2fs (%.2fx), %d hits / %d misses",
+		off.WallSeconds, on.WallSeconds, artifact.Speedup, on.CacheHits, on.CacheMisses)
+}
+
+// BenchmarkAblationNoVCCache and BenchmarkAblationNoClauseReduce are the
+// EXPERIMENTS.md ablation rows for the two solver-side accelerators
+// introduced with the VC cache work. They reuse the same 10-function
+// corpus as the other ablations so the table stays comparable.
+func BenchmarkAblationNoVCCache(b *testing.B) {
+	// tv.Validate creates a fresh solver per function with no shared
+	// cache, so the per-function ablation baseline is runAblation itself;
+	// what this row measures is a corpus run with the harness cache off.
+	base := fig6BaselineCounts()
+	for i := 0; i < b.N; i++ {
+		sum := harness.Run(figure6Config(4, false))
+		if got := fmt.Sprint(sum.Counts()); got != base {
+			b.Fatalf("counts diverged: got %s want %s", got, base)
+		}
+	}
+}
+
+func BenchmarkAblationNoClauseReduce(b *testing.B) {
+	runAblation(b, core.Options{DisableClauseDBReduction: true})
 }

@@ -14,13 +14,20 @@
 // -timeout budget bounds the whole per-function pipeline (ISel, VC
 // generation, and KEQ), not just the SMT phase. -j spreads the
 // experiment corpus across a worker pool; results are identical to a
-// serial run (rows stay in corpus order), only faster.
+// serial run (rows stay in corpus order), only faster. All experiment
+// workers share one verification-condition result cache keyed by
+// alpha-invariant canonical term hashes; -no-vc-cache and
+// -no-clause-reduce are the ablations for the two solver-side
+// accelerators. -cpuprofile/-memprofile write pprof profiles for corpus
+// runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/core"
@@ -34,6 +41,12 @@ import (
 )
 
 func main() {
+	// All work happens in run so its deferred profile writers complete
+	// before the process exits (os.Exit skips pending defers).
+	os.Exit(run())
+}
+
+func run() int {
 	experiment := flag.String("experiment", "", "fig6, fig7, eval (both), or bugs")
 	n := flag.Int("n", 300, "corpus size for fig6/fig7")
 	timeout := flag.Duration("timeout", 20*time.Second, "per-function wall-clock budget")
@@ -41,21 +54,49 @@ func main() {
 	conflicts := flag.Int64("conflicts", 0, "per-query SAT conflict budget (0 = unlimited)")
 	inadequate := flag.Int("inadequate-every", 150, "validate every n-th function with coarse liveness (0 = never)")
 	negForm := flag.Bool("negative-form", false, "ablation: disable the positive-form SMT optimization")
+	noVCCache := flag.Bool("no-vc-cache", false, "ablation: disable the run-wide VC result cache")
+	noClauseReduce := flag.Bool("no-clause-reduce", false, "ablation: disable LBD learned-clause database reduction")
 	progress := flag.Bool("progress", false, "print per-function progress")
 	jobs := flag.Int("j", 0, "parallel validation workers for fig6/fig7 (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print run-wide solver and worker-pool statistics")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	budget := tv.Budget{Timeout: *timeout, MaxTermNodes: *maxNodes, ConflictBudget: *conflicts}
-	copts := core.Options{DisablePositiveForm: *negForm}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		check(err)
+		check(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			check(err)
+			runtime.GC() // materialize up-to-date allocation stats
+			check(pprof.WriteHeapProfile(f))
+			f.Close()
+		}()
+	}
 
+	budget := tv.Budget{Timeout: *timeout, MaxTermNodes: *maxNodes, ConflictBudget: *conflicts}
+	copts := core.Options{
+		DisablePositiveForm:      *negForm,
+		DisableClauseDBReduction: *noClauseReduce,
+	}
+
+	code := 0
 	switch *experiment {
 	case "":
 		if flag.NArg() != 1 {
 			fmt.Fprintln(os.Stderr, "usage: tv [flags] file.ll | tv -experiment fig6|fig7|bugs")
-			os.Exit(2)
+			code = 2
+			break
 		}
-		validateFile(flag.Arg(0), copts, budget)
+		code = validateFile(flag.Arg(0), copts, budget)
 	case "fig6", "fig7", "eval":
 		cfg := harness.Config{
 			Profile:         corpus.GCCLike(*n),
@@ -63,6 +104,7 @@ func main() {
 			InadequateEvery: *inadequate,
 			Checker:         copts,
 			Workers:         *jobs,
+			DisableVCCache:  *noVCCache,
 		}
 		if *progress {
 			cfg.Progress = os.Stderr
@@ -80,14 +122,15 @@ func main() {
 			sum.RenderStats(os.Stdout)
 		}
 	case "bugs":
-		runBugs(budget)
+		code = runBugs(budget)
 	default:
 		fmt.Fprintf(os.Stderr, "tv: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		code = 2
 	}
+	return code
 }
 
-func validateFile(path string, copts core.Options, budget tv.Budget) {
+func validateFile(path string, copts core.Options, budget tv.Budget) int {
 	src, err := os.ReadFile(path)
 	check(err)
 	mod, err := llvmir.Parse(string(src))
@@ -115,11 +158,12 @@ func validateFile(path string, copts core.Options, budget tv.Budget) {
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func runBugs(budget tv.Budget) {
+func runBugs(budget tv.Budget) int {
 	experiments := []harness.BugExperiment{
 		{
 			Name:        "WAW store merge (Fig. 8/9, PR25154)",
@@ -146,8 +190,9 @@ func runBugs(budget tv.Budget) {
 	}
 	harness.RenderBugTable(os.Stdout, results)
 	if !ok {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 func check(err error) {

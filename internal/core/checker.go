@@ -41,6 +41,15 @@ type Options struct {
 	// (the behavior the paper's §5.1 blames for much of the timeout tail
 	// in K's Z3 integration; incremental solving is the default here).
 	DisableIncrementalSMT bool
+	// VCCache, when non-nil, is the shared verification-condition result
+	// cache the solver consults before solving (see smt.Cache). The
+	// harness injects one cache per corpus run so structurally identical
+	// obligations are proved once across all functions and workers.
+	VCCache *smt.Cache
+	// DisableClauseDBReduction turns off the LBD-based learned-clause
+	// database reduction in the SAT backend, reverting to the legacy
+	// activity-threshold policy (ablation).
+	DisableClauseDBReduction bool
 }
 
 // Checker runs the symbolic variant of Algorithm 1 over two language
@@ -62,6 +71,8 @@ func NewChecker(solver *smt.Solver, left, right Semantics, opts Options) *Checke
 		opts.MaxSteps = 1 << 20
 	}
 	solver.Incremental = !opts.DisableIncrementalSMT
+	solver.Cache = opts.VCCache
+	solver.DisableClauseDB = opts.DisableClauseDBReduction
 	return &Checker{
 		ctx:    solver.Context(),
 		solver: solver,

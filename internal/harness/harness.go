@@ -52,6 +52,12 @@ type Config struct {
 	// panic while validating one function is recovered into that
 	// function's row instead of killing the run.
 	Workers int
+	// DisableVCCache turns off the run-wide verification-condition result
+	// cache (ablation). By default Run creates one smt.Cache shared by all
+	// workers, so an obligation that is alpha-equivalent to one already
+	// discharged — by any worker, in any function — is answered without
+	// solving. Ignored when Checker.VCCache is already set by the caller.
+	DisableVCCache bool
 }
 
 // ResultRow is one function's outcome.
@@ -88,6 +94,9 @@ func Run(cfg Config) *Summary {
 	fns := cfg.Functions
 	if fns == nil {
 		fns = corpus.Generate(cfg.Profile)
+	}
+	if cfg.Checker.VCCache == nil && !cfg.DisableVCCache {
+		cfg.Checker.VCCache = smt.NewCache()
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -191,6 +200,11 @@ func (s *Summary) RenderStats(w io.Writer) {
 	fmt.Fprintf(w, "SMT: %d queries (%d fast), %d conflicts, %d decisions, %d clauses, solve time %.2fs\n",
 		s.SMTStats.Queries, s.SMTStats.FastQueries, s.SMTStats.SATConflicts,
 		s.SMTStats.SATDecisions, s.SMTStats.CNFClauses, s.SMTStats.SolveDuration.Seconds())
+	if looked := s.SMTStats.CacheHits + s.SMTStats.CacheMisses; looked > 0 {
+		fmt.Fprintf(w, "VC cache: %d hits / %d lookups (%.1f%% hit rate), %d canonical bytes hashed\n",
+			s.SMTStats.CacheHits, looked,
+			100*float64(s.SMTStats.CacheHits)/float64(looked), s.SMTStats.CacheBytes)
+	}
 }
 
 // Counts returns the per-class totals.

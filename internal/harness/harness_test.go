@@ -9,6 +9,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/isel"
 	"repro/internal/paperprogs"
+	"repro/internal/smt"
 	"repro/internal/tv"
 )
 
@@ -256,5 +257,70 @@ func TestHistogramEdges(t *testing.T) {
 	lines := strings.Count(b.String(), "\n")
 	if lines != 3 {
 		t.Errorf("histogram has %d buckets, want 3:\n%s", lines, b.String())
+	}
+}
+
+// TestVCCacheParity is the cache-correctness acceptance test: a 4-worker
+// run sharing the run-wide VC cache must produce row-for-row identical
+// results to a cache-disabled serial run. Only the term-node budget is
+// set (no wall clock), so every class is exactly reproducible and a
+// cache hit can never move a function across a classification boundary.
+func TestVCCacheParity(t *testing.T) {
+	budget := tv.Budget{MaxTermNodes: 4_000_000}
+	serial := Run(Config{
+		Profile: parallelProfile, Budget: budget, InadequateEvery: 7,
+		Workers: 1, DisableVCCache: true,
+	})
+	cached := Run(Config{
+		Profile: parallelProfile, Budget: budget, InadequateEvery: 7,
+		Workers: 4,
+	})
+
+	if serial.SMTStats.CacheHits != 0 || serial.SMTStats.CacheMisses != 0 {
+		t.Fatalf("DisableVCCache run still consulted a cache: hits=%d misses=%d",
+			serial.SMTStats.CacheHits, serial.SMTStats.CacheMisses)
+	}
+	if cached.SMTStats.CacheHits == 0 {
+		t.Errorf("shared-cache run recorded no hits (misses=%d); corpus too diverse or cache not wired",
+			cached.SMTStats.CacheMisses)
+	}
+	if len(serial.Rows) != len(cached.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(cached.Rows))
+	}
+	for i := range serial.Rows {
+		s, p := serial.Rows[i], cached.Rows[i]
+		if s.Fn != p.Fn || s.Class != p.Class || s.CodeSize != p.CodeSize {
+			t.Errorf("row %d differs: uncached {%s %v %d} vs cached {%s %v %d}",
+				i, s.Fn, s.Class, s.CodeSize, p.Fn, p.Class, p.CodeSize)
+		}
+	}
+	sc, pc := serial.Counts(), cached.Counts()
+	if fmt.Sprint(sc) != fmt.Sprint(pc) {
+		t.Errorf("class counts differ: uncached %v vs cached %v", sc, pc)
+	}
+}
+
+// TestVCCachePresetNotOverwritten: a caller-provided cache is used as-is,
+// so several Run invocations can share hits across whole corpus runs.
+func TestVCCachePresetNotOverwritten(t *testing.T) {
+	shared := smt.NewCache()
+	budget := tv.Budget{MaxTermNodes: 4_000_000}
+	cfg := Config{Profile: parallelProfile, Budget: budget, Workers: 2}
+	cfg.Checker.VCCache = shared
+	first := Run(cfg)
+	entries := shared.Len()
+	if entries == 0 {
+		t.Fatalf("run with preset cache stored nothing")
+	}
+	second := Run(cfg)
+	if second.SMTStats.CacheHits <= first.SMTStats.CacheHits {
+		t.Errorf("second run over a warm cache did not hit more: %d then %d",
+			first.SMTStats.CacheHits, second.SMTStats.CacheHits)
+	}
+	for i := range first.Rows {
+		if first.Rows[i].Class != second.Rows[i].Class {
+			t.Errorf("row %d class changed across warm-cache reruns: %v vs %v",
+				i, first.Rows[i].Class, second.Rows[i].Class)
+		}
 	}
 }

@@ -10,6 +10,7 @@ package sat
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -64,6 +65,7 @@ type clause struct {
 	lits    []Lit
 	learnt  bool
 	act     float64
+	lbd     int32 // literal block distance at learning time (LBD mode only)
 	deleted bool
 }
 
@@ -128,11 +130,32 @@ type Solver struct {
 	// (checked at restart boundaries and every few thousand conflicts).
 	Deadline time.Time
 
+	// LBD enables Glucose-style learned-clause database management: each
+	// learnt clause is tagged with its literal block distance (number of
+	// distinct decision levels among its literals), clauses touched during
+	// conflict analysis are bumped and their LBD refreshed downward, and
+	// the database is reduced periodically at restart boundaries keeping
+	// the glue set (LBD ≤ 2), binary, and locked clauses. This is what
+	// keeps a long-lived incremental instance from drowning in stale
+	// learnt clauses over thousands of queries. Off by default so the
+	// zero-value solver reproduces the legacy activity-threshold policy
+	// bit for bit.
+	LBD bool
+	// ReduceInterval is the conflict gap between LBD database reductions
+	// (0 = default 2000). The gap grows by 300 per reduction performed.
+	ReduceInterval int64
+
 	// Stats
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
 	Restarts     int64
+	Reduces      int64 // LBD database reductions performed
+	Removed      int64 // learnt clauses deleted by LBD reductions
+
+	lbdSeen    []int64 // per-level stamp array for computeLBD
+	lbdStamp   int64
+	nextReduce int64
 
 	model []lbool
 	ok    bool
@@ -158,6 +181,11 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NewVar allocates a fresh variable and returns its index.
 func (s *Solver) NewVar() int {
 	v := len(s.assigns)
+	// Decision levels range 0..NumVars, so lbdSeen needs NumVars+1 slots.
+	if len(s.lbdSeen) == 0 {
+		s.lbdSeen = append(s.lbdSeen, 0)
+	}
+	s.lbdSeen = append(s.lbdSeen, 0)
 	s.assigns = append(s.assigns, lUndef)
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
@@ -317,6 +345,15 @@ func (s *Solver) analyze(confl *clause) ([]Lit, int) {
 	idx := len(s.trail) - 1
 
 	for {
+		if s.LBD && confl.learnt {
+			// Reward clauses that keep participating in conflicts and let
+			// their LBD improve: a clause that has become glue is worth
+			// keeping regardless of the level pattern it was learnt at.
+			s.bumpClause(confl)
+			if nl := s.computeLBD(confl.lits); nl < confl.lbd {
+				confl.lbd = nl
+			}
+		}
 		for _, q := range confl.lits {
 			if p != -1 && q == p {
 				continue
@@ -450,6 +487,79 @@ func (s *Solver) pickBranchLit() Lit {
 	}
 }
 
+// computeLBD returns the literal block distance of lits: the number of
+// distinct non-root decision levels among them. Must be called while the
+// literals' levels are current (before backtracking past them).
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	s.lbdStamp++
+	var n int32
+	for _, l := range lits {
+		lv := s.level[l.Var()]
+		if lv == 0 {
+			continue
+		}
+		if s.lbdSeen[lv] != s.lbdStamp {
+			s.lbdSeen[lv] = s.lbdStamp
+			n++
+		}
+	}
+	return n
+}
+
+// reduceDBLBD is the LBD-mode database reduction: glue clauses (LBD ≤ 2),
+// binary clauses, and locked clauses are kept unconditionally; of the
+// rest, the worse half — highest LBD first, lowest activity as tiebreak —
+// is deleted. Deleted clauses are detached lazily by propagate.
+func (s *Solver) reduceDBLBD() {
+	var removable []*clause
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || c.lbd <= 2 || s.locked(c) {
+			continue
+		}
+		removable = append(removable, c)
+	}
+	if len(removable) < 2 {
+		return
+	}
+	sort.Slice(removable, func(i, j int) bool {
+		if removable[i].lbd != removable[j].lbd {
+			return removable[i].lbd > removable[j].lbd
+		}
+		return removable[i].act < removable[j].act
+	})
+	for _, c := range removable[:len(removable)/2] {
+		c.deleted = true
+		s.Removed++
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !c.deleted {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	s.Reduces++
+}
+
+// maybeReduceLBD runs the periodic LBD reduction schedule; called at
+// restart boundaries (decision level 0), mirroring Glucose: reduce every
+// ReduceInterval conflicts, with the interval stretching by 300 per
+// reduction so a long-lived incremental instance settles into a steady
+// clause budget instead of thrashing.
+func (s *Solver) maybeReduceLBD() {
+	interval := s.ReduceInterval
+	if interval <= 0 {
+		interval = 2000
+	}
+	if s.nextReduce == 0 {
+		s.nextReduce = interval
+	}
+	if s.Conflicts >= s.nextReduce {
+		s.reduceDBLBD()
+		s.nextReduce = s.Conflicts + interval + 300*s.Reduces
+	}
+}
+
 // reduceDB removes half of the learnt clauses with lowest activity.
 func (s *Solver) reduceDB() {
 	if len(s.learnts) < 2 {
@@ -526,6 +636,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		s.Restarts++
 		s.cancelUntil(0)
+		if s.LBD {
+			s.maybeReduceLBD()
+		}
 	}
 }
 
@@ -543,11 +656,16 @@ func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float6
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			var lbd int32
+			if s.LBD {
+				// Levels are only valid before backtracking.
+				lbd = s.computeLBD(learnt)
+			}
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true}
+				c := &clause{lits: learnt, learnt: true, lbd: lbd}
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
 				s.bumpClause(c)
@@ -560,7 +678,9 @@ func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float6
 		if conflicts >= conflBudget {
 			return Unknown
 		}
-		if float64(len(s.learnts)) > *maxLearnts+float64(len(s.trail)) {
+		// LBD mode reduces at restart boundaries (see Solve); the in-search
+		// activity-threshold policy is the legacy fallback.
+		if !s.LBD && float64(len(s.learnts)) > *maxLearnts+float64(len(s.trail)) {
 			s.reduceDB()
 			*maxLearnts *= 1.1
 		}

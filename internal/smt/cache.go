@@ -1,0 +1,80 @@
+package smt
+
+import "sync"
+
+// cacheShards stripes the cache mutexes; keys distribute uniformly (they
+// are SHA-256 outputs), so shard pressure stays even under a full worker
+// pool hammering the cache.
+const cacheShards = 64
+
+// Cache is a run-wide verification-condition result cache keyed by
+// CanonKey. It is safe for concurrent use by any number of Solvers: the
+// harness creates one Cache per corpus run and every worker's solver
+// consults it, so an obligation proved once — in any function, by any
+// worker — is never re-proved.
+//
+// Only sound, budget-independent entries are admitted: ResultSat and
+// ResultUnsat verdicts. ResultUnknown outcomes depend on the querying
+// solver's conflict budget and deadline and are rejected by Put (and
+// filtered again by Get, so even a corrupted entry can never decide a
+// query). Sat entries carry no model; a cache hit on a Sat query returns a
+// nil assignment (see Solver.Cache).
+type Cache struct {
+	shards [cacheShards]cacheShard
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[CanonKey]Result
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[CanonKey]Result)
+	}
+	return c
+}
+
+func (c *Cache) shard(k CanonKey) *cacheShard {
+	return &c.shards[k[0]%cacheShards]
+}
+
+// Get returns the cached verdict for k. Unknown entries are never served:
+// a stored Result that is not Sat or Unsat reports a miss.
+func (c *Cache) Get(k CanonKey) (Result, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	r, ok := s.m[k]
+	s.mu.Unlock()
+	if !ok || (r != ResultSat && r != ResultUnsat) {
+		return ResultUnknown, false
+	}
+	return r, true
+}
+
+// Put stores the verdict for k. Anything other than Sat or Unsat is
+// silently dropped — Unknown is budget-dependent and caching it would let
+// one worker's tight budget decide another's query.
+func (c *Cache) Put(k CanonKey, r Result) {
+	if r != ResultSat && r != ResultUnsat {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	s.m[k] = r
+	s.mu.Unlock()
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}

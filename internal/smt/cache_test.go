@@ -1,0 +1,245 @@
+package smt
+
+import (
+	"testing"
+)
+
+func TestCachePutGetRoundtrip(t *testing.T) {
+	c := NewContext()
+	cache := NewCache()
+	k1, _ := CanonicalHash(c.Eq(c.VarBV("x", 8), c.BV(1, 8)))
+	k2, _ := CanonicalHash(c.Eq(c.VarBV("y", 8), c.BV(2, 8)))
+
+	if _, ok := cache.Get(k1); ok {
+		t.Fatalf("empty cache reported a hit")
+	}
+	cache.Put(k1, ResultUnsat)
+	cache.Put(k2, ResultSat)
+	if r, ok := cache.Get(k1); !ok || r != ResultUnsat {
+		t.Fatalf("Get(k1) = %v, %v; want Unsat hit", r, ok)
+	}
+	if r, ok := cache.Get(k2); !ok || r != ResultSat {
+		t.Fatalf("Get(k2) = %v, %v; want Sat hit", r, ok)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", cache.Len())
+	}
+}
+
+func TestCacheRejectsUnknownOnPut(t *testing.T) {
+	c := NewContext()
+	cache := NewCache()
+	k, _ := CanonicalHash(c.Eq(c.VarBV("x", 8), c.BV(1, 8)))
+	cache.Put(k, ResultUnknown)
+	if cache.Len() != 0 {
+		t.Fatalf("Put(Unknown) was stored; Len = %d", cache.Len())
+	}
+	if _, ok := cache.Get(k); ok {
+		t.Fatalf("Get returned a hit for an Unknown Put")
+	}
+}
+
+// TestCachePoisonedSentinel plants an Unknown entry directly into the
+// shard map — bypassing Put's filter — and proves both that Get refuses
+// to serve it and that a solver consulting the poisoned cache still
+// solves the query itself and reaches the correct verdict. No verdict
+// may ever come from an Unknown entry.
+func TestCachePoisonedSentinel(t *testing.T) {
+	c := NewContext()
+	x := c.VarBV("x", 8)
+	f := c.AndB(c.Eq(x, c.BV(1, 8)), c.Eq(x, c.BV(2, 8))) // unsat
+	if f.IsFalse() {
+		t.Skip("simplifier decided the formula; pick a harder sentinel")
+	}
+	k, _ := CanonicalHash(f)
+
+	cache := NewCache()
+	sh := cache.shard(k)
+	sh.mu.Lock()
+	sh.m[k] = ResultUnknown // poison
+	sh.mu.Unlock()
+
+	if _, ok := cache.Get(k); ok {
+		t.Fatalf("Get served a poisoned Unknown entry")
+	}
+
+	s := NewSolver(c)
+	s.Cache = cache
+	res, _, err := s.CheckSat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != ResultUnsat {
+		t.Fatalf("CheckSat = %v, want Unsat", res)
+	}
+	if s.Stats.CacheHits != 0 {
+		t.Fatalf("poisoned entry counted as a cache hit")
+	}
+	if s.Stats.CacheMisses != 1 {
+		t.Fatalf("CacheMisses = %d, want 1", s.Stats.CacheMisses)
+	}
+	// The real verdict must have overwritten the poison.
+	if r, ok := cache.Get(k); !ok || r != ResultUnsat {
+		t.Fatalf("solved verdict not stored over poison: %v, %v", r, ok)
+	}
+}
+
+// TestCacheCrossContextHit: two solvers over DIFFERENT contexts with
+// alpha-renamed variables share one cache; the second query is answered
+// without solving and the verdicts agree.
+func TestCacheCrossContextHit(t *testing.T) {
+	cache := NewCache()
+
+	// (x+1)*(x-1) == x*x - 1 is a theorem at any width, but not one the
+	// construction-time simplifier can see — its negation reaches the SAT
+	// solver and comes back Unsat.
+	mkNegTheorem := func(c *Context, name string) *Term {
+		x := c.VarBV(name, 8)
+		one := c.BV(1, 8)
+		lhs := c.Mul(c.Add(x, one), c.Sub(x, one))
+		rhs := c.Sub(c.Mul(x, x), one)
+		return c.Not(c.Eq(lhs, rhs))
+	}
+
+	c1 := NewContext()
+	f1 := mkNegTheorem(c1, "x")
+
+	s1 := NewSolver(c1)
+	s1.Cache = cache
+	res1, _, err := s1.CheckSat(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != ResultUnsat {
+		t.Fatalf("first solve = %v, want Unsat", res1)
+	}
+	if s1.Stats.CacheMisses != 1 || s1.Stats.CacheHits != 0 {
+		t.Fatalf("first solve stats: hits=%d misses=%d", s1.Stats.CacheHits, s1.Stats.CacheMisses)
+	}
+
+	c2 := NewContext()
+	f2 := mkNegTheorem(c2, "vreg!0")
+
+	s2 := NewSolver(c2)
+	s2.Cache = cache
+	res2, model, err := s2.CheckSat(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res1 {
+		t.Fatalf("cached verdict %v differs from solved verdict %v", res2, res1)
+	}
+	if s2.Stats.CacheHits != 1 || s2.Stats.CacheMisses != 0 {
+		t.Fatalf("second solve stats: hits=%d misses=%d", s2.Stats.CacheHits, s2.Stats.CacheMisses)
+	}
+	if model != nil {
+		t.Fatalf("Unsat hit returned a model")
+	}
+	if s2.Stats.SATConflicts != 0 && s2.Stats.CNFClauses != 0 {
+		t.Fatalf("cache hit still ran the SAT solver")
+	}
+}
+
+// TestCacheSatHitReturnsNilModel: a Sat verdict served from the cache
+// carries no model — callers that need counterexamples must solve
+// uncached, and the checker never reads models from cached paths.
+func TestCacheSatHitReturnsNilModel(t *testing.T) {
+	cache := NewCache()
+
+	c1 := NewContext()
+	f1 := c1.Eq(c1.Mul(c1.VarBV("x", 8), c1.BV(3, 8)), c1.BV(9, 8))
+	s1 := NewSolver(c1)
+	s1.Cache = cache
+	res1, model1, err := s1.CheckSat(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1 != ResultSat || model1 == nil {
+		t.Fatalf("first solve = %v model=%v, want Sat with model", res1, model1)
+	}
+
+	c2 := NewContext()
+	f2 := c2.Eq(c2.Mul(c2.VarBV("q", 8), c2.BV(3, 8)), c2.BV(9, 8))
+	s2 := NewSolver(c2)
+	s2.Cache = cache
+	res2, model2, err := s2.CheckSat(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != ResultSat {
+		t.Fatalf("cached solve = %v, want Sat", res2)
+	}
+	if model2 != nil {
+		t.Fatalf("Sat cache hit returned a model; hits must return nil")
+	}
+	if s2.Stats.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1", s2.Stats.CacheHits)
+	}
+}
+
+// TestCacheUnknownResultNotCached: a query killed by the conflict budget
+// yields Unknown and must leave no cache entry behind.
+func TestCacheUnknownResultNotCached(t *testing.T) {
+	c := NewContext()
+	// Negated 10-bit theorem (x+1)*(x-1) == x*x - 1: proving Unsat needs
+	// real search, far more than a 1-conflict budget allows.
+	x := c.VarBV("x", 10)
+	one := c.BV(1, 10)
+	f := c.Not(c.Eq(
+		c.Mul(c.Add(x, one), c.Sub(x, one)),
+		c.Sub(c.Mul(x, x), one),
+	))
+
+	cache := NewCache()
+	s := NewSolver(c)
+	s.Cache = cache
+	s.ConflictBudget = 1
+	res, _, err := s.CheckSat(f)
+	if res != ResultUnknown || err == nil {
+		t.Skipf("query decided within 1 conflict (res=%v); cannot exercise Unknown path", res)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("Unknown result was cached; Len = %d", cache.Len())
+	}
+	// A fresh unbudgeted solver must still be able to decide and cache it.
+	s2 := NewSolver(c)
+	s2.Cache = cache
+	res2, _, err := s2.CheckSat(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 == ResultUnknown {
+		t.Fatalf("unbudgeted solve still Unknown")
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("decided verdict not cached; Len = %d", cache.Len())
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	cache := NewCache()
+	c := NewContext()
+	keys := make([]CanonKey, 256)
+	for i := range keys {
+		keys[i], _ = CanonicalHash(c.Eq(c.VarBV("x", 16), c.BV(uint64(i), 16)))
+	}
+	done := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i, k := range keys {
+				if (i+w)%2 == 0 {
+					cache.Put(k, ResultUnsat)
+				} else {
+					cache.Get(k)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+	if cache.Len() == 0 {
+		t.Fatalf("no entries after concurrent writes")
+	}
+}

@@ -1,0 +1,91 @@
+package smt
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// CanonKey is the alpha-invariant canonical hash of a term: two terms have
+// the same key iff they are identical up to a bijective renaming of their
+// free variables (modulo SHA-256 collisions). Because hash-consing is
+// deterministic in term structure, the key is stable across Contexts, so it
+// can index a cache shared by solvers that never exchanged a term.
+type CanonKey [sha256.Size]byte
+
+// CanonicalHash computes the CanonKey of t plus the number of serialized
+// bytes fed to the hash (the cache-accounting metric in Stats.CacheBytes).
+//
+// The serialization walks the term DAG iteratively in deterministic
+// post-order, numbering each distinct node once. Variable nodes do not
+// contribute their names: each is replaced by an alpha index assigned at
+// its first occurrence in the traversal. Equal serializations therefore
+// pin down a variable bijection, giving alpha-invariance in both
+// directions: renamed formulas collide, while collapsing two distinct
+// variables onto one (a non-bijective renaming) changes the index pattern
+// and separates the keys.
+func CanonicalHash(t *Term) (CanonKey, int64) {
+	h := sha256.New()
+	var rec [40]byte
+	num := make(map[*Term]uint64)
+	nextNode := uint64(1)
+	nextVar := uint64(1)
+	written := int64(0)
+
+	type frame struct {
+		t *Term
+		i int // next arg to descend into
+	}
+	stack := []frame{{t, 0}}
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if _, done := num[fr.t]; done {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		if fr.i < len(fr.t.Args) {
+			child := fr.t.Args[fr.i]
+			fr.i++
+			if _, done := num[child]; !done {
+				stack = append(stack, frame{child, 0})
+			}
+			continue
+		}
+		// All children numbered: emit this node's record. The node may sit
+		// on the stack twice (DAG sharing); only the first emission counts.
+		cur := fr.t
+		stack = stack[:len(stack)-1]
+		if _, done := num[cur]; done {
+			continue
+		}
+		n := 0
+		rec[n] = byte(cur.Kind)
+		rec[n+1] = cur.Width
+		rec[n+2] = cur.Hi
+		rec[n+3] = cur.Lo
+		n += 4
+		switch cur.Kind {
+		case KConstBV, KConstBool:
+			binary.LittleEndian.PutUint64(rec[n:], cur.Val)
+			n += 8
+		case KVarBV, KVarBool, KVarMem:
+			binary.LittleEndian.PutUint64(rec[n:], nextVar)
+			nextVar++
+			n += 8
+		default:
+			rec[n] = byte(len(cur.Args))
+			n++
+			for _, a := range cur.Args {
+				binary.LittleEndian.PutUint64(rec[n:], num[a])
+				n += 8
+			}
+		}
+		h.Write(rec[:n])
+		written += int64(n)
+		num[cur] = nextNode
+		nextNode++
+	}
+
+	var key CanonKey
+	h.Sum(key[:0])
+	return key, written
+}

@@ -35,6 +35,9 @@ func (r Result) String() string {
 type Stats struct {
 	Queries       int64
 	FastQueries   int64 // decided by simplification alone, no SAT call
+	CacheHits     int64 // decided by the shared VC cache, no SAT call
+	CacheMisses   int64 // cache consulted but the query had to be solved
+	CacheBytes    int64 // canonical serialization bytes hashed for cache keys
 	SATConflicts  int64
 	SATDecisions  int64
 	CNFClauses    int64
@@ -47,6 +50,9 @@ type Stats struct {
 func (s *Stats) Add(o Stats) {
 	s.Queries += o.Queries
 	s.FastQueries += o.FastQueries
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheBytes += o.CacheBytes
 	s.SATConflicts += o.SATConflicts
 	s.SATDecisions += o.SATDecisions
 	s.CNFClauses += o.CNFClauses
@@ -68,12 +74,24 @@ type Solver struct {
 	// as the missing piece of K's Z3 integration. Each query is solved
 	// under an activation assumption, so queries do not pollute each other.
 	Incremental bool
+	// Cache, when non-nil, is consulted before solving and updated after:
+	// queries are keyed by their alpha-invariant CanonKey, so structurally
+	// identical obligations — from another function, another worker, or an
+	// earlier query of this solver — are answered without touching the SAT
+	// layer. A Sat hit returns a nil model (the cache stores verdicts
+	// only); callers that need counterexample models must run uncached.
+	Cache *Cache
+	// DisableClauseDB turns off the LBD-based learned-clause database
+	// reduction in the underlying SAT instances, reverting to the legacy
+	// activity-threshold policy (ablation; see sat.Solver.LBD).
+	DisableClauseDB bool
 
 	Stats Stats
 
 	incSAT     *sat.Solver
 	incBlaster *blaster
 	incReducer *arrayReducer
+	canonMemo  map[*Term]CanonKey
 }
 
 // ErrDeadline is returned when the Solver's deadline has passed.
@@ -122,6 +140,45 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 		return ResultUnsat, nil, nil
 	}
 
+	var key CanonKey
+	cached := false
+	if s.Cache != nil {
+		key = s.canonKey(f)
+		cached = true
+		if r, ok := s.Cache.Get(key); ok {
+			s.Stats.CacheHits++
+			if r == ResultUnsat {
+				return ResultUnsat, nil, nil
+			}
+			return ResultSat, nil, nil
+		}
+		s.Stats.CacheMisses++
+	}
+	res, model, err = s.checkSatSolve(f)
+	if cached && err == nil {
+		s.Cache.Put(key, res) // Put drops anything but Sat/Unsat
+	}
+	return res, model, err
+}
+
+// canonKey returns the cache key of f, memoized per term node: hash-consing
+// makes repeat queries over the same formula pointer-equal, so each
+// distinct formula is serialized at most once per solver.
+func (s *Solver) canonKey(f *Term) CanonKey {
+	if k, ok := s.canonMemo[f]; ok {
+		return k
+	}
+	k, n := CanonicalHash(f)
+	s.Stats.CacheBytes += n
+	if s.canonMemo == nil {
+		s.canonMemo = make(map[*Term]CanonKey)
+	}
+	s.canonMemo[f] = k
+	return k
+}
+
+// checkSatSolve decides f by actually solving (no cache consultation).
+func (s *Solver) checkSatSolve(f *Term) (Result, *Assign, error) {
 	if s.Incremental {
 		return s.checkSatIncremental(f)
 	}
@@ -142,6 +199,7 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 	}
 
 	solver := sat.New()
+	solver.LBD = !s.DisableClauseDB
 	solver.ConflictBudget = s.ConflictBudget
 	solver.Deadline = s.Deadline
 	b := newBlaster(s.ctx, solver)
@@ -168,9 +226,21 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 func (s *Solver) checkSatIncremental(f *Term) (Result, *Assign, error) {
 	if s.incSAT == nil {
 		s.incSAT = sat.New()
+		s.incSAT.LBD = !s.DisableClauseDB
 		s.incBlaster = newBlaster(s.ctx, s.incSAT)
 		s.incReducer = newArrayReducer(s.ctx)
 	}
+	// The persistent instance accumulates counters across queries; charge
+	// this query with the deltas only, on every return path (fast-path
+	// returns can still have asserted consistency clauses).
+	confBefore := s.incSAT.Conflicts
+	decBefore := s.incSAT.Decisions
+	clausesBefore := int64(s.incSAT.NumClauses())
+	defer func() {
+		s.Stats.SATConflicts += s.incSAT.Conflicts - confBefore
+		s.Stats.SATDecisions += s.incSAT.Decisions - decBefore
+		s.Stats.CNFClauses += int64(s.incSAT.NumClauses()) - clausesBefore
+	}()
 	g, cons, err := s.incReducer.reduce(f)
 	if err != nil {
 		return ResultUnknown, nil, err
@@ -198,8 +268,6 @@ func (s *Solver) checkSatIncremental(f *Term) (Result, *Assign, error) {
 	s.incSAT.ConflictBudget = s.ConflictBudget
 	s.incSAT.Deadline = s.Deadline
 	st := s.incSAT.Solve(root)
-	s.Stats.SATConflicts += s.incSAT.Conflicts
-	s.Stats.SATDecisions += s.incSAT.Decisions
 	switch st {
 	case sat.Unsat:
 		return ResultUnsat, nil, nil
