@@ -22,11 +22,12 @@ fmtcheck:
 race:
 	go test -race ./internal/harness ./internal/tv
 
-# bench reproduces the Figure 6 cache-on/cache-off comparison and writes
-# the machine-readable artifact BENCH_PR2.json.
+# bench reproduces the Figure 6 comparisons — cache on/off and proof
+# emission on/off — and writes the machine-readable artifacts
+# BENCH_PR2.json and BENCH_PR3.json.
 bench:
 	go test -run '^$$' -bench 'BenchmarkFigure6' -benchtime 1x .
-	WRITE_BENCH_JSON=1 go test -run TestBenchPR2JSON -v .
+	WRITE_BENCH_JSON=1 go test -run 'TestBenchPR2JSON|TestBenchPR3JSON' -v .
 
 benchall:
 	go test -bench=. -benchmem

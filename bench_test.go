@@ -23,6 +23,7 @@ import (
 	"repro/internal/isel"
 	"repro/internal/llvmir"
 	"repro/internal/paperprogs"
+	"repro/internal/proof"
 	"repro/internal/regalloc"
 	"repro/internal/smt"
 	"repro/internal/stack"
@@ -394,27 +395,43 @@ func figure6Config(workers int, cache bool) harness.Config {
 	}
 }
 
-// BenchmarkFigure6 is the PR's headline comparison: the Figure 6 corpus
-// run with and without the shared VC result cache at the same worker
-// count. Class counts must match the serial baseline in both
-// configurations — the cache may only change time, never verdicts. The
-// cache=on runs report hit-rate metrics next to ns/op.
+// BenchmarkFigure6 compares the Figure 6 corpus run across the solver
+// configurations: with and without the shared VC result cache, and with
+// proof-certificate emission on top of the cached configuration. Class
+// counts must match the serial baseline in every configuration — neither
+// the cache nor proof logging may change verdicts, only time. The
+// cache=on runs report hit-rate metrics, the proofs=on runs certificate
+// counts, next to ns/op.
 func BenchmarkFigure6(b *testing.B) {
 	base := fig6BaselineCounts()
 	const workers = 4
-	for _, cache := range []bool{false, true} {
-		name := "cache=off"
-		if cache {
-			name = "cache=on"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		cache  bool
+		proofs bool
+	}{
+		{"cache=off", false, false},
+		{"cache=on", true, false},
+		{"proofs=on", true, true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sum := harness.Run(figure6Config(workers, cache))
+				cfg := figure6Config(workers, mode.cache)
+				if mode.proofs {
+					cfg.ProofDir = b.TempDir()
+				}
+				sum := harness.Run(cfg)
+				if sum.ProofErr != nil {
+					b.Fatal(sum.ProofErr)
+				}
 				if got := fmt.Sprint(sum.Counts()); got != base {
 					b.Fatalf("%s class counts diverged from serial baseline:\n got %s\nwant %s",
-						name, got, base)
+						mode.name, got, base)
 				}
-				if cache {
+				if mode.proofs {
+					b.ReportMetric(float64(sum.SMTStats.Certificates), "certs")
+					b.ReportMetric(float64(sum.Certified), "certified")
+				} else if mode.cache {
 					hits, misses := sum.SMTStats.CacheHits, sum.SMTStats.CacheMisses
 					if hits+misses > 0 {
 						b.ReportMetric(float64(hits), "hits")
@@ -485,6 +502,99 @@ func TestBenchPR2JSON(t *testing.T) {
 	}
 	t.Logf("BENCH_PR2.json: cache off %.2fs, on %.2fs (%.2fx), %d hits / %d misses",
 		off.WallSeconds, on.WallSeconds, artifact.Speedup, on.CacheHits, on.CacheMisses)
+}
+
+// TestBenchPR3JSON writes the proof-certificate overhead artifact
+// BENCH_PR3.json (the `make bench` target): the Figure 6 corpus run with
+// certificate emission off and on, at the same worker count and with the
+// VC cache enabled in both. Class counts must be byte-identical — proof
+// logging may never change verdicts — and the emitted directory must pass
+// the independent proofcheck verifier with zero rejections. The wall-clock
+// ratio is recorded against the <=1.3x overhead target. Gated behind
+// WRITE_BENCH_JSON like TestBenchPR2JSON.
+func TestBenchPR3JSON(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_JSON") == "" {
+		t.Skip("set WRITE_BENCH_JSON=1 to write BENCH_PR3.json")
+	}
+	const workers = 4
+	type configResult struct {
+		WallSeconds  float64 `json:"wall_seconds"`
+		CPUSeconds   float64 `json:"cpu_seconds"`
+		Certificates int64   `json:"certificates"`
+		ProofBytes   int64   `json:"proof_bytes"`
+		Certified    int     `json:"functions_certified"`
+		Counts       string  `json:"class_counts"`
+	}
+	measure := func(proofDir string) configResult {
+		cfg := figure6Config(workers, true)
+		cfg.ProofDir = proofDir
+		start := time.Now()
+		sum := harness.Run(cfg)
+		if sum.ProofErr != nil {
+			t.Fatal(sum.ProofErr)
+		}
+		return configResult{
+			WallSeconds:  time.Since(start).Seconds(),
+			CPUSeconds:   sum.CPUTime.Seconds(),
+			Certificates: sum.SMTStats.Certificates,
+			ProofBytes:   sum.SMTStats.ProofBytes,
+			Certified:    sum.Certified,
+			Counts:       fmt.Sprint(sum.Counts()),
+		}
+	}
+	base := fig6BaselineCounts()
+	off := measure("")
+	proofDir := t.TempDir()
+	on := measure(proofDir)
+	if off.Counts != base || on.Counts != base {
+		t.Fatalf("class counts diverged: baseline %s, proofs-off %s, proofs-on %s",
+			base, off.Counts, on.Counts)
+	}
+	report, err := proof.CheckDir(proofDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) != 0 {
+		t.Fatalf("proofcheck rejected %d certificates, first: %s",
+			len(report.Rejections), report.Rejections[0])
+	}
+	ratio := on.WallSeconds / off.WallSeconds
+	artifact := struct {
+		Benchmark     string       `json:"benchmark"`
+		Corpus        int          `json:"corpus_functions"`
+		Workers       int          `json:"workers"`
+		ProofsOff     configResult `json:"proofs_off"`
+		ProofsOn      configResult `json:"proofs_on"`
+		WallRatio     float64      `json:"wall_ratio_proofs_on"`
+		RatioTarget   float64      `json:"wall_ratio_target"`
+		CheckQueries  int          `json:"proofcheck_queries"`
+		CheckSteps    int          `json:"proofcheck_trace_steps"`
+		CheckWitness  int          `json:"proofcheck_witnesses"`
+		CheckRejected int          `json:"proofcheck_rejections"`
+	}{
+		Benchmark:    "Figure6-proofs",
+		Corpus:       figure6Corpus,
+		Workers:      workers,
+		ProofsOff:    off,
+		ProofsOn:     on,
+		WallRatio:    ratio,
+		RatioTarget:  1.3,
+		CheckQueries: report.Queries,
+		CheckSteps:   report.Steps,
+		CheckWitness: report.Witnesses,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR3.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_PR3.json: proofs off %.2fs, on %.2fs (%.2fx, target <=1.30x), %d certs, %d trace bytes, %d/%d certified",
+		off.WallSeconds, on.WallSeconds, ratio, on.Certificates, on.ProofBytes, on.Certified, figure6Corpus)
+	if ratio > 1.3 {
+		t.Errorf("proof logging overhead %.2fx exceeds 1.3x wall-clock target", ratio)
+	}
 }
 
 // BenchmarkAblationNoVCCache and BenchmarkAblationNoClauseReduce are the

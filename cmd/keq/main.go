@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/llvmir"
+	"repro/internal/proof"
 	"repro/internal/tv"
 	"repro/internal/vx86"
 )
@@ -29,6 +30,7 @@ func main() {
 	mode := flag.String("mode", "equivalence", "equivalence or refinement")
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-run wall-clock budget")
 	verbose := flag.Bool("v", false, "print per-point statistics")
+	emitProof := flag.String("emit-proof", "", "write proof certificates and the bisimulation witness to this directory")
 	flag.Parse()
 	if flag.NArg() != 3 {
 		fmt.Fprintln(os.Stderr, "usage: keq [flags] input.ll output.vx86 points.sync")
@@ -80,7 +82,22 @@ func main() {
 		check(fmt.Errorf("unknown -mode %q", *mode))
 	}
 
+	var rec *proof.Recorder
+	if *emitProof != "" {
+		check(os.MkdirAll(*emitProof, 0o755))
+		rec = proof.NewRecorder(fn.Name)
+		opts.Proof = rec
+	}
+
 	out := tv.ValidateTranslation(mod, fn, xfn, points, opts, tv.Budget{Timeout: *timeout})
+	if rec != nil {
+		_, err := proof.WriteCerts(*emitProof, rec)
+		check(err)
+		if out.Class == tv.ClassSucceeded {
+			_, err := proof.WriteWitness(*emitProof, rec)
+			check(err)
+		}
+	}
 	if *verbose && out.Report != nil {
 		fmt.Printf("points checked: %d, states: %d, SMT queries: %d (%d fast)\n",
 			out.Report.Stats.PointsChecked, out.Report.Stats.StatesExplored,

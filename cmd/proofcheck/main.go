@@ -1,0 +1,71 @@
+// Command proofcheck independently verifies a proof directory emitted by
+// tv -emit-proofs (or keq -emit-proof): DRAT traces are replayed by
+// reverse unit propagation, Sat models are re-evaluated against the
+// original term DAGs, cache references are resolved against the verified
+// certificate with the same canonical key, and each bisimulation witness
+// is checked for structural well-formedness with every cited query
+// verified.
+//
+// The checker deliberately shares no solving code with the validator: it
+// imports only the certificate package (internal/proof) and the term
+// layer (internal/term) — never the SAT or SMT solvers — so the trusted
+// base of a certified run is this program plus the term evaluator.
+//
+// Usage:
+//
+//	proofcheck [-v] DIR
+//
+// Exit status 0 when every certificate and witness verifies, 1 when
+// anything is rejected, 2 on usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/proof"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "list every rejection (default: first 20)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] DIR")
+		os.Exit(2)
+	}
+	report, err := proof.CheckDir(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofcheck:", err)
+		os.Exit(2)
+	}
+
+	kinds := make([]string, 0, len(report.ByKind))
+	for k := range report.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("proofcheck: %d functions, %d query certificates, %d trace steps, %d witnesses\n",
+		report.Functions, report.Queries, report.Steps, report.Witnesses)
+	for _, k := range kinds {
+		fmt.Printf("  %-10s %d\n", k, report.ByKind[k])
+	}
+
+	if len(report.Rejections) == 0 {
+		fmt.Println("OK: all certificates verified")
+		return
+	}
+	limit := len(report.Rejections)
+	if !*verbose && limit > 20 {
+		limit = 20
+	}
+	for _, r := range report.Rejections[:limit] {
+		fmt.Fprintln(os.Stderr, "REJECTED:", r)
+	}
+	if limit < len(report.Rejections) {
+		fmt.Fprintf(os.Stderr, "... and %d more (use -v)\n", len(report.Rejections)-limit)
+	}
+	fmt.Fprintf(os.Stderr, "proofcheck: %d rejections\n", len(report.Rejections))
+	os.Exit(1)
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/isel"
 	"repro/internal/llvmir"
 	"repro/internal/paperprogs"
+	"repro/internal/proof"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
 )
@@ -59,9 +60,14 @@ func run() int {
 	progress := flag.Bool("progress", false, "print per-function progress")
 	jobs := flag.Int("j", 0, "parallel validation workers for fig6/fig7 (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print run-wide solver and worker-pool statistics")
+	emitProofs := flag.String("emit-proofs", "", "write proof certificates and bisimulation witnesses to this directory (verify with proofcheck)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *emitProofs != "" {
+		check(os.MkdirAll(*emitProofs, 0o755))
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -96,7 +102,7 @@ func run() int {
 			code = 2
 			break
 		}
-		code = validateFile(flag.Arg(0), copts, budget)
+		code = validateFile(flag.Arg(0), copts, budget, *emitProofs)
 	case "fig6", "fig7", "eval":
 		cfg := harness.Config{
 			Profile:         corpus.GCCLike(*n),
@@ -105,11 +111,13 @@ func run() int {
 			Checker:         copts,
 			Workers:         *jobs,
 			DisableVCCache:  *noVCCache,
+			ProofDir:        *emitProofs,
 		}
 		if *progress {
 			cfg.Progress = os.Stderr
 		}
 		sum := harness.Run(cfg)
+		check(sum.ProofErr)
 		if *experiment == "fig6" || *experiment == "eval" {
 			sum.Figure6(os.Stdout)
 		}
@@ -130,7 +138,7 @@ func run() int {
 	return code
 }
 
-func validateFile(path string, copts core.Options, budget tv.Budget) int {
+func validateFile(path string, copts core.Options, budget tv.Budget, proofDir string) int {
 	src, err := os.ReadFile(path)
 	check(err)
 	mod, err := llvmir.Parse(string(src))
@@ -138,11 +146,30 @@ func validateFile(path string, copts core.Options, budget tv.Budget) int {
 	check(llvmir.Verify(mod))
 
 	failed := false
+	var manifest proof.Manifest
 	for _, fn := range mod.Funcs {
 		if !fn.Defined() {
 			continue
 		}
+		var rec *proof.Recorder
+		if proofDir != "" {
+			rec = proof.NewRecorder(fn.Name)
+			copts.Proof = rec
+		}
 		out := tv.Validate(mod, fn.Name, isel.Options{}, vcgen.Options{}, copts, budget)
+		certified := false
+		if rec != nil {
+			_, err := proof.WriteCerts(proofDir, rec)
+			check(err)
+			if out.Class == tv.ClassSucceeded {
+				_, err := proof.WriteWitness(proofDir, rec)
+				check(err)
+				certified = true
+			}
+			manifest.Functions = append(manifest.Functions, proof.ManifestRow{
+				Name: fn.Name, Class: out.Class.String(), Certified: certified,
+			})
+		}
 		fmt.Printf("@%-30s %-28s %8.2fs  %d points\n",
 			fn.Name, out.Class, out.Duration.Seconds(), out.Points)
 		if out.Class != tv.ClassSucceeded {
@@ -156,6 +183,9 @@ func validateFile(path string, copts core.Options, budget tv.Budget) int {
 				}
 			}
 		}
+	}
+	if proofDir != "" {
+		check(proof.WriteManifest(proofDir, &manifest))
 	}
 	if failed {
 		return 1

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/proof"
 	"repro/internal/smt"
 )
 
@@ -50,6 +51,12 @@ type Options struct {
 	// database reduction in the SAT backend, reverting to the legacy
 	// activity-threshold policy (ablation).
 	DisableClauseDBReduction bool
+	// Proof, when non-nil, records a bisimulation witness for the run and
+	// is wired into the solver so every query emits a certificate: the
+	// sync points of P, each non-exiting point's cut successors with
+	// their feasibility queries, and every pairing decision with the
+	// query certificates discharging its obligations (see internal/proof).
+	Proof *proof.Recorder
 }
 
 // Checker runs the symbolic variant of Algorithm 1 over two language
@@ -61,6 +68,7 @@ type Checker struct {
 	left   Semantics
 	right  Semantics
 	opts   Options
+	rec    *proof.Recorder
 
 	Stats CheckStats
 }
@@ -73,12 +81,14 @@ func NewChecker(solver *smt.Solver, left, right Semantics, opts Options) *Checke
 	solver.Incremental = !opts.DisableIncrementalSMT
 	solver.Cache = opts.VCCache
 	solver.DisableClauseDB = opts.DisableClauseDBReduction
+	solver.Recorder = opts.Proof
 	return &Checker{
 		ctx:    solver.Context(),
 		solver: solver,
 		left:   left,
 		right:  right,
 		opts:   opts,
+		rec:    opts.Proof,
 	}
 }
 
@@ -101,6 +111,21 @@ type Report struct {
 // semantics error); a Report with Verdict NotValidated means P failed.
 func (ck *Checker) Run(points []*SyncPoint) (*Report, error) {
 	rel := NewRelation(points)
+	if ck.rec != nil {
+		ck.rec.SetMode(ck.opts.Mode.String())
+		infos := make([]proof.PointInfo, len(rel.Points))
+		for i, p := range rel.Points {
+			infos[i] = proof.PointInfo{
+				ID:           p.ID,
+				Left:         string(p.LocLeft),
+				Right:        string(p.LocRight),
+				Exiting:      p.Exiting,
+				MemEqual:     p.MemEqual,
+				NConstraints: len(p.Constraints),
+			}
+		}
+		ck.rec.SetPoints(infos)
+	}
 	report := &Report{Verdict: Validated, Mode: ck.opts.Mode}
 	for _, p := range rel.Points {
 		if p.Exiting {
@@ -120,17 +145,57 @@ func (ck *Checker) Run(points []*SyncPoint) (*Report, error) {
 	return report, nil
 }
 
+// watermark helpers: bracket a group of solver calls to learn which
+// certificate IDs they produced (every decided query emits exactly one).
+func (ck *Checker) qmark() int {
+	if ck.rec == nil {
+		return 0
+	}
+	return ck.rec.NumQueries()
+}
+
+func (ck *Checker) qsince(w int) []string {
+	if ck.rec == nil {
+		return nil
+	}
+	return ck.rec.QueriesSince(w)
+}
+
+// qone returns the single certificate ID recorded since w ("" when
+// recording is off or the query was decided without a certificate).
+func (ck *Checker) qone(w int) string {
+	ids := ck.qsince(w)
+	if len(ids) == 1 {
+		return ids[0]
+	}
+	return ""
+}
+
+// succsOf converts cut successors into their witness records.
+func (ck *Checker) succsOf(states []State, feasQ []string) []proof.SuccState {
+	out := make([]proof.SuccState, len(states))
+	for i, s := range states {
+		out[i] = proof.SuccState{
+			Loc:   string(s.Loc()),
+			Error: s.ErrorKind(),
+			PC:    ck.rec.EncodeTerm(s.PathCond()),
+			FeasQ: feasQ[i],
+		}
+	}
+	return out
+}
+
 // checkPoint is function check(p1, p2) of Algorithm 1.
 func (ck *Checker) checkPoint(rel *Relation, p *SyncPoint) ([]Failure, error) {
 	sL, sR, err := ck.instantiate(p)
 	if err != nil {
 		return nil, err
 	}
-	n1, err := ck.cutSuccessors(ck.left, sL, rel.LeftLocs())
+	n1, feas1, pruned1, err := ck.cutSuccessors(ck.left, sL, rel.LeftLocs())
 	if err != nil {
 		return nil, fmt.Errorf("left side: %w", err)
 	}
-	n2, err := ck.cutSuccessors(ck.right, sR, rel.RightLocs())
+	n2, feas2, pruned2, err := ck.cutSuccessors(ck.right, sR, rel.RightLocs())
 	if err != nil {
 		return nil, fmt.Errorf("right side: %w", err)
 	}
@@ -148,17 +213,31 @@ func (ck *Checker) checkPoint(rel *Relation, p *SyncPoint) ([]Failure, error) {
 		}
 	}
 
+	var pairs []proof.PairWitness
 	for i := range n1 {
 		for j := range n2 {
-			ok, err := ck.tryPair(rel, n1, n2, i, j, excuse)
+			ok, pw, err := ck.tryPair(rel, n1, n2, i, j, excuse)
 			if err != nil {
 				return nil, err
 			}
 			if ok {
 				black1[i] = true
 				black2[j] = true
+				if ck.rec != nil {
+					pairs = append(pairs, pw)
+				}
 			}
 		}
+	}
+	if ck.rec != nil {
+		ck.rec.AddChecked(proof.CheckedPoint{
+			Point:       p.ID,
+			Left:        ck.succsOf(n1, feas1),
+			Right:       ck.succsOf(n2, feas2),
+			PrunedLeft:  pruned1,
+			PrunedRight: pruned2,
+			Pairs:       pairs,
+		})
 	}
 
 	var fails []Failure
@@ -285,11 +364,15 @@ func addPreset(m map[string]*smt.Term, name string, t *smt.Term, pid string) err
 // cutSuccessors is function next_i of Algorithm 1: symbolic execution from
 // s until every path reaches a cut state (a location in cuts, a final
 // state, or an error state). Successors with unsatisfiable path conditions
-// are pruned (they denote no concrete states).
-func (ck *Checker) cutSuccessors(sem Semantics, s State, cuts map[Location]bool) ([]State, error) {
+// are pruned (they denote no concrete states). The second return value
+// holds, per returned state, the ID of the certificate of its feasibility
+// query; the third lists the pruned cut states with their Unsat query.
+func (ck *Checker) cutSuccessors(sem Semantics, s State, cuts map[Location]bool) ([]State, []string, []proof.Pruned, error) {
 	work := []State{s}
 	first := true
 	var ret []State
+	var feasQ []string
+	var pruned []proof.Pruned
 	steps := 0
 	for len(work) > 0 {
 		cur := work[len(work)-1]
@@ -298,13 +381,17 @@ func (ck *Checker) cutSuccessors(sem Semantics, s State, cuts map[Location]bool)
 		// so the first expansion always steps.
 		if !first {
 			if cur.ErrorKind() != "" || cur.IsFinal() || cuts[cur.Loc()] {
+				w := ck.qmark()
 				sat, err := ck.pathFeasible(cur)
 				if err != nil {
-					return nil, err
+					return nil, nil, nil, err
 				}
 				if sat {
 					ret = append(ret, cur)
+					feasQ = append(feasQ, ck.qone(w))
 					ck.Stats.StatesExplored++
+				} else if ck.rec != nil {
+					pruned = append(pruned, proof.Pruned{Loc: string(cur.Loc()), Q: ck.qone(w)})
 				}
 				continue
 			}
@@ -313,17 +400,17 @@ func (ck *Checker) cutSuccessors(sem Semantics, s State, cuts map[Location]bool)
 		steps++
 		ck.Stats.Steps++
 		if steps > ck.opts.MaxSteps {
-			return nil, fmt.Errorf("no cut reached within %d steps from %s (P is not a cut)", ck.opts.MaxSteps, s.Loc())
+			return nil, nil, nil, fmt.Errorf("no cut reached within %d steps from %s (P is not a cut)", ck.opts.MaxSteps, s.Loc())
 		}
 		if steps%256 == 0 && !ck.solver.Deadline.IsZero() && time.Now().After(ck.solver.Deadline) {
-			return nil, fmt.Errorf("searching cut successors of %s: %w", s.Loc(), smt.ErrDeadline)
+			return nil, nil, nil, fmt.Errorf("searching cut successors of %s: %w", s.Loc(), smt.ErrDeadline)
 		}
 		succs, err := sem.Step(cur)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		if len(succs) == 0 && !(cur.IsFinal() || cur.ErrorKind() != "") {
-			return nil, fmt.Errorf("stuck state at %s", cur.Loc())
+			return nil, nil, nil, fmt.Errorf("stuck state at %s", cur.Loc())
 		}
 		// Quick syntactic pruning: drop branches whose path condition
 		// already simplified to false.
@@ -334,7 +421,7 @@ func (ck *Checker) cutSuccessors(sem Semantics, s State, cuts map[Location]bool)
 			work = append(work, n)
 		}
 	}
-	return ret, nil
+	return ret, feasQ, pruned, nil
 }
 
 // pathFeasible checks satisfiability of a cut successor's path condition.
@@ -357,55 +444,70 @@ func (ck *Checker) pathFeasible(s State) (bool, error) {
 // undefined-behavior acceptability policy, or by finding a sync point in P
 // whose constraints are provable once the two path conditions are shown to
 // pair up.
-func (ck *Checker) tryPair(rel *Relation, n1, n2 []State, i, j int, excuse *smt.Term) (bool, error) {
+func (ck *Checker) tryPair(rel *Relation, n1, n2 []State, i, j int, excuse *smt.Term) (bool, proof.PairWitness, error) {
 	a, b := n1[i], n2[j]
 	ctx := ck.ctx
+	pw := proof.PairWitness{L: i, R: j}
 
 	if IsError(a) {
 		// A left (input-program) error state is related to any right state
 		// whose path overlaps it: undefined behavior in the input excuses
 		// all output behavior on those inputs (paper §4.6).
+		w := ck.qmark()
 		res, _, err := ck.solver.CheckSat(ctx.AndB(a.PathCond(), b.PathCond()))
 		if err != nil {
-			return false, err
+			return false, pw, err
 		}
-		return res == smt.ResultSat, nil
+		if res != smt.ResultSat {
+			return false, pw, nil
+		}
+		pw.How = proof.HowExcuse
+		pw.PairQs = ck.qsince(w)
+		return true, pw, nil
 	}
 	if IsError(b) {
 		// A right error state is acceptable only against a left error of
 		// the same kind — and that case is handled above.
-		return false, nil
+		return false, pw, nil
 	}
 
 	cands := rel.Candidates(a.Loc(), b.Loc())
 	if len(cands) == 0 {
-		return false, nil
+		return false, pw, nil
 	}
 
-	ok, err := ck.pathsPair(n1, n2, i, j, excuse)
+	ok, fast, pairQs, err := ck.pathsPair(n1, n2, i, j, excuse)
 	if err != nil {
-		return false, err
+		return false, pw, err
 	}
 	if !ok {
-		return false, nil
+		return false, pw, nil
 	}
+	pw.How = proof.HowQueries
+	if fast {
+		pw.How = proof.HowFastPath
+	}
+	pw.PairQs = pairQs
 
 	premise := ctx.AndB(a.PathCond(), b.PathCond())
 	for _, q := range cands {
 		oblig, err := ck.obligations(q, a, b)
 		if err != nil {
-			return false, err
+			return false, pw, err
 		}
 		ck.Stats.ConstraintProof++
+		w := ck.qmark()
 		proved, _, err := ck.solver.ProveImplies(premise, oblig)
 		if err != nil {
-			return false, err
+			return false, pw, err
 		}
 		if proved {
-			return true, nil
+			pw.Sync = q.ID
+			pw.ObligQ = ck.qone(w)
+			return true, pw, nil
 		}
 	}
-	return false, nil
+	return false, pw, nil
 }
 
 // pathsPair decides whether the path conditions of n1[i] and n2[j] denote
@@ -413,13 +515,13 @@ func (ck *Checker) tryPair(rel *Relation, n1, n2 []State, i, j int, excuse *smt.
 // With the positive-form optimization (paper §3) the negations are replaced
 // by the disjunction of the sibling path conditions, exploiting that both
 // transition systems are deterministic so sibling conditions partition.
-func (ck *Checker) pathsPair(n1, n2 []State, i, j int, excuse *smt.Term) (bool, error) {
+func (ck *Checker) pathsPair(n1, n2 []State, i, j int, excuse *smt.Term) (ok, fast bool, qids []string, err error) {
 	ctx := ck.ctx
 	pc1, pc2 := n1[i].PathCond(), n2[j].PathCond()
 
 	if !ck.opts.DisablePCFastPath && pc1 == pc2 && excuse.IsFalse() {
 		ck.Stats.FastPCPairs++
-		return true, nil
+		return true, true, nil, nil
 	}
 
 	var q1, q2 *smt.Term
@@ -443,20 +545,24 @@ func (ck *Checker) pathsPair(n1, n2 []State, i, j int, excuse *smt.Term) (bool, 
 		q2 = ctx.AndB(pc2, psi1)
 	}
 
+	w := ck.qmark()
 	ck.Stats.PairQueries++
 	res, _, err := ck.solver.CheckSat(q1)
 	if err != nil {
-		return false, err
+		return false, false, nil, err
 	}
 	if res != smt.ResultUnsat {
-		return false, nil
+		return false, false, nil, nil
 	}
 	ck.Stats.PairQueries++
 	res, _, err = ck.solver.CheckSat(q2)
 	if err != nil {
-		return false, err
+		return false, false, nil, err
 	}
-	return res == smt.ResultUnsat, nil
+	if res != smt.ResultUnsat {
+		return false, false, nil, nil
+	}
+	return true, false, ck.qsince(w), nil
 }
 
 // obligations builds the conjunction of q's equality constraints evaluated

@@ -19,6 +19,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/isel"
 	"repro/internal/llvmir"
+	"repro/internal/proof"
 	"repro/internal/smt"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
@@ -58,6 +59,12 @@ type Config struct {
 	// discharged — by any worker, in any function — is answered without
 	// solving. Ignored when Checker.VCCache is already set by the caller.
 	DisableVCCache bool
+	// ProofDir, when non-empty, makes every validated function emit proof
+	// certificates into that directory: query certificates plus DRAT
+	// traces for all functions (so cache references across functions never
+	// dangle), a bisimulation witness for each Succeeded function, and a
+	// MANIFEST.json for the run. Verify with cmd/proofcheck.
+	ProofDir string
 }
 
 // ResultRow is one function's outcome.
@@ -69,6 +76,9 @@ type ResultRow struct {
 	// Err carries the failure detail for non-Succeeded rows, including
 	// recovered panic messages (Class Other).
 	Err error
+	// Certified reports that proof emission was on and the function's
+	// certificates and bisimulation witness were written successfully.
+	Certified bool
 }
 
 // Summary aggregates an experiment.
@@ -84,6 +94,11 @@ type Summary struct {
 	CPUTime  time.Duration
 	// SMTStats aggregates solver statistics across all workers.
 	SMTStats smt.Stats
+	// Certified counts rows whose certificates and witness were written
+	// (0 when proof emission was off).
+	Certified int
+	// ProofErr records a failure writing the run manifest, if any.
+	ProofErr error
 }
 
 // Run validates the whole corpus across Config.Workers goroutines and
@@ -139,6 +154,18 @@ func Run(cfg Config) *Summary {
 	close(indices)
 	wg.Wait()
 	sum.WallTime = time.Since(start)
+	if cfg.ProofDir != "" {
+		m := &proof.Manifest{}
+		for _, r := range sum.Rows {
+			if r.Certified {
+				sum.Certified++
+			}
+			m.Functions = append(m.Functions, proof.ManifestRow{
+				Name: r.Fn, Class: r.Class.String(), Certified: r.Certified,
+			})
+		}
+		sum.ProofErr = proof.WriteManifest(cfg.ProofDir, m)
+	}
 	return sum
 }
 
@@ -151,6 +178,7 @@ var validateHook func(i int, f corpus.Function)
 // with the cause in Err, so one bad function cannot abort the corpus run.
 func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt.Stats) {
 	start := time.Now()
+	var rec *proof.Recorder
 	defer func() {
 		if p := recover(); p != nil {
 			row = ResultRow{
@@ -158,6 +186,11 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 				Class:    tv.ClassOther,
 				Duration: time.Since(start),
 				Err:      fmt.Errorf("harness: panic validating %s: %v", f.Name, p),
+			}
+			if rec != nil {
+				// Certificates recorded before the panic may already back
+				// cache entries other functions reference; keep them.
+				proof.WriteCerts(cfg.ProofDir, rec)
 			}
 		}
 	}()
@@ -173,6 +206,10 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 			Err:      fmt.Errorf("harness: corpus function %s does not parse: %w", f.Name, err),
 		}, stats
 	}
+	if cfg.ProofDir != "" {
+		rec = proof.NewRecorder(f.Name)
+		cfg.Checker.Proof = rec
+	}
 	vopts := vcgen.Options{}
 	if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
 		vopts.CoarseLiveness = true
@@ -180,6 +217,22 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 	out := tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
 	row = ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration,
 		CodeSize: out.CodeSize, Err: out.Err}
+	if rec != nil {
+		// Certificates are written for every row — including failures — so
+		// a "ref" certificate in another function can always resolve; the
+		// witness is written only when validation succeeded.
+		_, perr := proof.WriteCerts(cfg.ProofDir, rec)
+		if perr == nil && out.Class == tv.ClassSucceeded {
+			if _, werr := proof.WriteWitness(cfg.ProofDir, rec); werr == nil {
+				row.Certified = true
+			} else {
+				perr = werr
+			}
+		}
+		if perr != nil && row.Err == nil {
+			row.Err = fmt.Errorf("harness: writing proofs for %s: %w", f.Name, perr)
+		}
+	}
 	return row, out.SMTStats
 }
 
@@ -204,6 +257,10 @@ func (s *Summary) RenderStats(w io.Writer) {
 		fmt.Fprintf(w, "VC cache: %d hits / %d lookups (%.1f%% hit rate), %d canonical bytes hashed\n",
 			s.SMTStats.CacheHits, looked,
 			100*float64(s.SMTStats.CacheHits)/float64(looked), s.SMTStats.CacheBytes)
+	}
+	if s.SMTStats.Certificates > 0 {
+		fmt.Fprintf(w, "Proofs: %d query certificates, %d DRAT trace bytes, %d/%d functions certified\n",
+			s.SMTStats.Certificates, s.SMTStats.ProofBytes, s.Certified, s.Total)
 	}
 }
 

@@ -1,0 +1,621 @@
+package proof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// CheckReport is the outcome of replaying a proof directory.
+type CheckReport struct {
+	Functions  int            // certificate files checked
+	Witnesses  int            // witnesses verified
+	Queries    int            // query certificates verified
+	Steps      int            // trace steps replayed
+	ByKind     map[string]int // verified certificates per kind
+	Certified  []string       // functions with a verified witness
+	Rejections []string       // empty means the whole directory verified
+}
+
+func (r *CheckReport) reject(format string, args ...interface{}) {
+	r.Rejections = append(r.Rejections, fmt.Sprintf(format, args...))
+}
+
+// certStatus tracks one query certificate through verification.
+type certStatus struct {
+	QueryCert
+	verified bool
+}
+
+// fnCerts is the verified certificate set of one function.
+type fnCerts struct {
+	name string
+	byID map[string]*certStatus
+	refs []*certStatus
+}
+
+// CheckDir verifies every certificate artifact in dir: DRAT traces by
+// reverse unit propagation, Sat models by direct term evaluation,
+// cache references against the verified certificate with the same
+// canonical key, and bisimulation witnesses for structural
+// well-formedness with every cited query verified. The returned report
+// lists every rejection; an error is returned only for directory-level
+// I/O failures.
+func CheckDir(dir string) (*CheckReport, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var certBases []string
+	witnessBases := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, CertsSuffix) {
+			certBases = append(certBases, strings.TrimSuffix(name, CertsSuffix))
+		}
+		if strings.HasSuffix(name, WitnessSuffix) {
+			witnessBases[strings.TrimSuffix(name, WitnessSuffix)] = true
+		}
+	}
+	sort.Strings(certBases)
+
+	report := &CheckReport{ByKind: make(map[string]int)}
+	byFunction := map[string]*fnCerts{}
+	for _, base := range certBases {
+		fc := checkFunctionCerts(dir, base, report)
+		if fc != nil {
+			byFunction[fc.name] = fc
+		}
+	}
+
+	// Content-addressed index of verified concrete certificates, for
+	// resolving "ref" (cache hit) certificates. Conflicting verdicts for
+	// one key mean the pipeline contradicted itself — reject loudly.
+	type indexed struct {
+		result string
+		where  string
+	}
+	index := map[string]indexed{}
+	names := make([]string, 0, len(byFunction))
+	for name := range byFunction {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fc := byFunction[name]
+		ids := make([]string, 0, len(fc.byID))
+		for id := range fc.byID {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			cs := fc.byID[id]
+			if !cs.verified || cs.Kind == KindRef || cs.Key == "" {
+				continue
+			}
+			where := name + "/" + id
+			if prev, ok := index[cs.Key]; ok {
+				if prev.result != cs.Result {
+					report.reject("%s: key %s verified %s here but %s at %s",
+						where, cs.Key, cs.Result, prev.result, prev.where)
+				}
+				continue
+			}
+			index[cs.Key] = indexed{result: cs.Result, where: where}
+		}
+	}
+	for _, name := range names {
+		fc := byFunction[name]
+		for _, cs := range fc.refs {
+			got, ok := index[cs.Key]
+			switch {
+			case !ok:
+				report.reject("%s/%s: ref to key %s but no verified certificate has that key",
+					name, cs.ID, cs.Key)
+			case got.result != cs.Result:
+				report.reject("%s/%s: ref claims %s but key %s verified %s at %s",
+					name, cs.ID, cs.Result, cs.Key, got.result, got.where)
+			default:
+				cs.verified = true
+				report.Queries++
+				report.ByKind[KindRef]++
+			}
+		}
+	}
+
+	// Witnesses.
+	wbases := make([]string, 0, len(witnessBases))
+	for b := range witnessBases {
+		wbases = append(wbases, b)
+	}
+	sort.Strings(wbases)
+	for _, base := range wbases {
+		var wf WitnessFile
+		if !loadJSON(dir, base+WitnessSuffix, &wf, report) {
+			continue
+		}
+		fc := byFunction[wf.Function]
+		if fc == nil {
+			report.reject("%s: witness for %q has no certificate file", base+WitnessSuffix, wf.Function)
+			continue
+		}
+		before := len(report.Rejections)
+		verifyWitness(&wf, fc, report)
+		if len(report.Rejections) == before {
+			report.Witnesses++
+			report.Certified = append(report.Certified, wf.Function)
+		}
+	}
+
+	// Manifest, when present: every row the run recorded as certified
+	// must have a verified witness, and no succeeded row may be silently
+	// uncertified.
+	manifest, err := ReadManifest(dir)
+	if err != nil {
+		report.reject("%v", err)
+	}
+	if manifest != nil {
+		certified := map[string]bool{}
+		for _, fn := range report.Certified {
+			certified[fn] = true
+		}
+		for _, row := range manifest.Functions {
+			if row.Certified && !certified[row.Name] {
+				report.reject("manifest: %s recorded as certified but its witness did not verify", row.Name)
+			}
+			if row.Class == "Succeeded" && !row.Certified {
+				report.reject("manifest: %s succeeded but was not certified", row.Name)
+			}
+		}
+	}
+	return report, nil
+}
+
+func loadJSON(dir, name string, v interface{}, report *CheckReport) bool {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		report.reject("%s: %v", name, err)
+		return false
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		report.reject("%s: bad JSON: %v", name, err)
+		return false
+	}
+	return true
+}
+
+// checkFunctionCerts verifies one function's certificate file plus its
+// DRAT companion and returns the per-query status map (nil when the
+// file itself is unreadable).
+func checkFunctionCerts(dir, base string, report *CheckReport) *fnCerts {
+	var cf CertsFile
+	if !loadJSON(dir, base+CertsSuffix, &cf, report) {
+		return nil
+	}
+	report.Functions++
+	if cf.Schema != Schema {
+		report.reject("%s: unsupported schema %d", base+CertsSuffix, cf.Schema)
+		return nil
+	}
+	fc := &fnCerts{name: cf.Function, byID: make(map[string]*certStatus, len(cf.Queries))}
+
+	ctx := term.NewContext()
+	terms, err := DecodeTerms(ctx, cf.Terms)
+	if err != nil {
+		report.reject("%s: %v", base+CertsSuffix, err)
+		return fc
+	}
+
+	var sessions [][]ParsedStep
+	if f, err := os.Open(filepath.Join(dir, base+DratSuffix)); err == nil {
+		sessions, err = ParseSessions(f)
+		f.Close()
+		if err != nil {
+			report.reject("%s: %v", base+DratSuffix, err)
+			return fc
+		}
+	} else if !os.IsNotExist(err) {
+		report.reject("%s: %v", base+DratSuffix, err)
+		return fc
+	}
+
+	// Group the DRAT obligations per session, ordered by trace position.
+	type checkpoint struct {
+		pos int
+		cs  *certStatus
+	}
+	bySess := map[int][]checkpoint{}
+
+	termOf := func(cs *certStatus) *term.Term {
+		if cs.Term < 0 || cs.Term >= len(terms) {
+			report.reject("%s/%s: term index %d out of range", fc.name, cs.ID, cs.Term)
+			return nil
+		}
+		return terms[cs.Term]
+	}
+
+	for i := range cf.Queries {
+		cs := &certStatus{QueryCert: cf.Queries[i]}
+		if _, dup := fc.byID[cs.ID]; dup {
+			report.reject("%s: duplicate query id %s", fc.name, cs.ID)
+			continue
+		}
+		fc.byID[cs.ID] = cs
+		if cs.Result != ResSat && cs.Result != ResUnsat {
+			report.reject("%s/%s: bad result %q", fc.name, cs.ID, cs.Result)
+			continue
+		}
+		switch cs.Kind {
+		case KindTrivial:
+			t := termOf(cs)
+			if t == nil {
+				continue
+			}
+			want := cs.Result == ResSat
+			if t.Kind != term.KConstBool || (t.Val == 1) != want {
+				report.reject("%s/%s: trivial certificate term is not the constant %v", fc.name, cs.ID, want)
+				continue
+			}
+			cs.verified = true
+		case KindSimplified:
+			// The verdict came from the (trusted) simplification pipeline;
+			// the checker validates shape only and counts these separately.
+			t := termOf(cs)
+			if t == nil {
+				continue
+			}
+			if t.SortKind() != term.SortBool {
+				report.reject("%s/%s: simplified certificate term is not Bool-sorted", fc.name, cs.ID)
+				continue
+			}
+			cs.verified = true
+		case KindModel:
+			t := termOf(cs)
+			if t == nil {
+				continue
+			}
+			if cs.Result != ResSat {
+				report.reject("%s/%s: model certificate with result %s", fc.name, cs.ID, cs.Result)
+				continue
+			}
+			if cs.Model == nil {
+				report.reject("%s/%s: model certificate without model", fc.name, cs.ID)
+				continue
+			}
+			a, err := AssignFromModel(cs.Model)
+			if err != nil {
+				report.reject("%s/%s: %v", fc.name, cs.ID, err)
+				continue
+			}
+			v, err := a.EvalBool(t)
+			if err != nil {
+				report.reject("%s/%s: model evaluation failed: %v", fc.name, cs.ID, err)
+				continue
+			}
+			if !v {
+				report.reject("%s/%s: recorded model does not satisfy the term", fc.name, cs.ID)
+				continue
+			}
+			cs.verified = true
+		case KindDRAT:
+			if cs.Result != ResUnsat {
+				report.reject("%s/%s: drat certificate with result %s", fc.name, cs.ID, cs.Result)
+				continue
+			}
+			if cs.Sess < 0 || cs.Sess >= len(sessions) {
+				report.reject("%s/%s: session %d not in trace", fc.name, cs.ID, cs.Sess)
+				continue
+			}
+			bySess[cs.Sess] = append(bySess[cs.Sess], checkpoint{pos: cs.Pos, cs: cs})
+		case KindRef:
+			if cs.Key == "" {
+				report.reject("%s/%s: ref certificate without key", fc.name, cs.ID)
+				continue
+			}
+			fc.refs = append(fc.refs, cs)
+			continue // resolved globally after all functions verify
+		default:
+			report.reject("%s/%s: unknown certificate kind %q", fc.name, cs.ID, cs.Kind)
+			continue
+		}
+		if cs.verified {
+			report.Queries++
+			report.ByKind[cs.Kind]++
+		}
+	}
+
+	// Replay each session once, verifying learnt clauses as they appear
+	// and each query's final clause at its recorded position.
+	for si, steps := range sessions {
+		cps := bySess[si]
+		sort.SliceStable(cps, func(i, j int) bool { return cps[i].pos < cps[j].pos })
+		ck := NewSessionChecker()
+		next := 0
+		fail := func(cs *certStatus, err error) {
+			report.reject("%s/%s: %v", fc.name, cs.ID, err)
+		}
+		for i := 0; i <= len(steps); i++ {
+			for next < len(cps) && cps[next].pos == i {
+				cp := cps[next]
+				next++
+				if err := ck.CheckFinal(int32Slice(cp.cs.Final)); err != nil {
+					fail(cp.cs, err)
+					continue
+				}
+				cp.cs.verified = true
+				report.Queries++
+				report.ByKind[KindDRAT]++
+			}
+			if i == len(steps) {
+				break
+			}
+			st := steps[i]
+			report.Steps++
+			var err error
+			switch st.Op {
+			case OpInput:
+				err = ck.AddInput(st.Lits)
+			case OpLearn:
+				err = ck.AddLearnt(st.Lits)
+			case OpDelete:
+				err = ck.Delete(st.Lits)
+			}
+			if err != nil {
+				report.reject("%s: session %d step %d: %v", fc.name, si, i, err)
+				// The trace is broken from here on; obligations at later
+				// positions cannot be trusted.
+				for ; next < len(cps); next++ {
+					report.reject("%s/%s: unverifiable, trace broken at step %d", fc.name, cps[next].cs.ID, i)
+				}
+				break
+			}
+		}
+		for ; next < len(cps); next++ {
+			report.reject("%s/%s: position %d beyond end of session %d (%d steps)",
+				fc.name, cps[next].cs.ID, cps[next].pos, si, len(steps))
+		}
+	}
+	return fc
+}
+
+func int32Slice(v []int) []int32 {
+	out := make([]int32, len(v))
+	for i, x := range v {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+// verifyWitness checks the structural well-formedness of a bisimulation
+// witness: entry and exit points present, every non-exiting point
+// explored, every cut successor covered by a pair, and every pair's
+// obligations discharged by verified certificates.
+func verifyWitness(wf *WitnessFile, fc *fnCerts, report *CheckReport) {
+	name := wf.Function
+	if wf.Schema != Schema {
+		report.reject("%s: witness has unsupported schema %d", name, wf.Schema)
+		return
+	}
+	if wf.Mode != "equivalence" && wf.Mode != "refinement" {
+		report.reject("%s: witness has unknown mode %q", name, wf.Mode)
+		return
+	}
+	ctx := term.NewContext()
+	terms, err := DecodeTerms(ctx, wf.Terms)
+	if err != nil {
+		report.reject("%s: witness terms: %v", name, err)
+		return
+	}
+
+	cert := func(qid, role string) *certStatus {
+		cs, ok := fc.byID[qid]
+		if !ok {
+			report.reject("%s: %s cites unknown query %q", name, role, qid)
+			return nil
+		}
+		if !cs.verified {
+			report.reject("%s: %s cites unverified query %s", name, role, qid)
+			return nil
+		}
+		return cs
+	}
+	requireResult := func(qid, role, want string) bool {
+		cs := cert(qid, role)
+		if cs == nil {
+			return false
+		}
+		if cs.Result != want {
+			report.reject("%s: %s cites query %s with result %s, need %s", name, role, qid, cs.Result, want)
+			return false
+		}
+		return true
+	}
+
+	points := map[string]PointInfo{}
+	entries, exits, nonExiting := 0, 0, 0
+	for _, p := range wf.Points {
+		if _, dup := points[p.ID]; dup {
+			report.reject("%s: duplicate sync point %s", name, p.ID)
+			return
+		}
+		points[p.ID] = p
+		if p.Exiting {
+			exits++
+		} else {
+			nonExiting++
+			if p.Left == "entry" {
+				entries++
+			}
+		}
+	}
+	if entries == 0 {
+		report.reject("%s: witness has no entry sync point", name)
+	}
+	if exits == 0 {
+		report.reject("%s: witness has no exiting sync point", name)
+	}
+
+	checked := map[string]bool{}
+	for ci := range wf.Checked {
+		cp := &wf.Checked[ci]
+		p, ok := points[cp.Point]
+		if !ok {
+			report.reject("%s: checked record for unknown point %q", name, cp.Point)
+			continue
+		}
+		if p.Exiting {
+			report.reject("%s: checked record for exiting point %s", name, cp.Point)
+			continue
+		}
+		if checked[cp.Point] {
+			report.reject("%s: duplicate checked record for point %s", name, cp.Point)
+			continue
+		}
+		checked[cp.Point] = true
+
+		role := func(what string, i int) string {
+			return fmt.Sprintf("point %s %s %d", cp.Point, what, i)
+		}
+		okSucc := func(side string, succs []SuccState) bool {
+			for i, s := range succs {
+				if s.PC < 0 || s.PC >= len(terms) {
+					report.reject("%s: %s: pc index out of range", name, role(side, i))
+					return false
+				}
+				if s.FeasQ == "" {
+					pc := terms[s.PC]
+					if pc.Kind != term.KConstBool || pc.Val != 1 {
+						report.reject("%s: %s has no feasibility query and a non-trivial path condition",
+							name, role(side, i))
+						return false
+					}
+				} else if !requireResult(s.FeasQ, role(side+" successor", i), ResSat) {
+					return false
+				}
+			}
+			return true
+		}
+		if !okSucc("left successor", cp.Left) || !okSucc("right successor", cp.Right) {
+			continue
+		}
+		for i, pr := range cp.PrunedLeft {
+			if pr.Q != "" {
+				requireResult(pr.Q, role("pruned left", i), ResUnsat)
+			}
+		}
+		for i, pr := range cp.PrunedRight {
+			if pr.Q != "" {
+				requireResult(pr.Q, role("pruned right", i), ResUnsat)
+			}
+		}
+
+		leftErrors := false
+		for _, s := range cp.Left {
+			if s.Error != "" {
+				leftErrors = true
+			}
+		}
+
+		coveredL := make([]bool, len(cp.Left))
+		coveredR := make([]bool, len(cp.Right))
+		for pi, pair := range cp.Pairs {
+			prole := fmt.Sprintf("point %s pair %d", cp.Point, pi)
+			if pair.L < 0 || pair.L >= len(cp.Left) || pair.R < 0 || pair.R >= len(cp.Right) {
+				report.reject("%s: %s references successors out of range", name, prole)
+				continue
+			}
+			okPair := false
+			switch pair.How {
+			case HowExcuse:
+				// Left UB excuses any overlapping right behavior (§4.6):
+				// the left successor must be an error state and the overlap
+				// of the two path conditions satisfiable.
+				if cp.Left[pair.L].Error == "" {
+					report.reject("%s: %s claims UB excuse but the left successor is not an error state", name, prole)
+					break
+				}
+				if len(pair.PairQs) != 1 {
+					report.reject("%s: %s excuse needs exactly one overlap query", name, prole)
+					break
+				}
+				okPair = requireResult(pair.PairQs[0], prole+" overlap", ResSat)
+			case HowFastPath:
+				// Syntactic path-condition equality: valid only when both
+				// pcs decode to the same node and no left error state could
+				// widen the excuse disjunction.
+				if cp.Left[pair.L].PC != cp.Right[pair.R].PC {
+					report.reject("%s: %s claims syntactic pc equality but the conditions differ", name, prole)
+					break
+				}
+				if leftErrors {
+					report.reject("%s: %s fast path invalid: left error successors present", name, prole)
+					break
+				}
+				okPair = verifySyncPair(wf, fc, points, cp, pair, prole, name, report, requireResult)
+			case HowQueries:
+				if len(pair.PairQs) != 2 {
+					report.reject("%s: %s needs two pairing queries", name, prole)
+					break
+				}
+				if !requireResult(pair.PairQs[0], prole+" pairing", ResUnsat) ||
+					!requireResult(pair.PairQs[1], prole+" pairing", ResUnsat) {
+					break
+				}
+				okPair = verifySyncPair(wf, fc, points, cp, pair, prole, name, report, requireResult)
+			default:
+				report.reject("%s: %s has unknown kind %q", name, prole, pair.How)
+			}
+			if okPair {
+				coveredL[pair.L] = true
+				coveredR[pair.R] = true
+			}
+		}
+		for i, c := range coveredL {
+			if !c {
+				report.reject("%s: point %s left successor %d (%s) is not covered by any pair",
+					name, cp.Point, i, cp.Left[i].Loc)
+			}
+		}
+		if wf.Mode == "equivalence" {
+			for i, c := range coveredR {
+				if !c {
+					report.reject("%s: point %s right successor %d (%s) is not covered by any pair",
+						name, cp.Point, i, cp.Right[i].Loc)
+				}
+			}
+		}
+	}
+
+	for _, p := range wf.Points {
+		if !p.Exiting && !checked[p.ID] {
+			report.reject("%s: non-exiting point %s has no checked record", name, p.ID)
+		}
+	}
+}
+
+// verifySyncPair checks the sync-point citation and obligation query of
+// a queries/fastpath pair.
+func verifySyncPair(wf *WitnessFile, fc *fnCerts, points map[string]PointInfo,
+	cp *CheckedPoint, pair PairWitness, prole, name string, report *CheckReport,
+	requireResult func(qid, role, want string) bool) bool {
+	q, ok := points[pair.Sync]
+	if !ok {
+		report.reject("%s: %s cites unknown sync point %q", name, prole, pair.Sync)
+		return false
+	}
+	if q.Left != cp.Left[pair.L].Loc || q.Right != cp.Right[pair.R].Loc {
+		report.reject("%s: %s sync point %s is at (%s,%s) but the successors are at (%s,%s)",
+			name, prole, pair.Sync, q.Left, q.Right, cp.Left[pair.L].Loc, cp.Right[pair.R].Loc)
+		return false
+	}
+	if pair.ObligQ == "" {
+		report.reject("%s: %s has no obligation query", name, prole)
+		return false
+	}
+	return requireResult(pair.ObligQ, prole+" obligation", ResUnsat)
+}

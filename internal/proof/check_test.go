@@ -1,0 +1,323 @@
+package proof_test
+
+// End-to-end tests of the certificate chain: a real corpus run emits
+// certificates and witnesses, the independent checker verifies them with
+// zero rejections, and targeted tampering with every artifact class —
+// DRAT clauses, witness pairs, Sat models — must be caught. The final
+// test pins the trust-base claim: cmd/proofcheck must never link the SAT
+// or SMT solver.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/harness"
+	"repro/internal/proof"
+	"repro/internal/tv"
+)
+
+var (
+	e2eOnce sync.Once
+	e2eDir  string
+	e2eSum  *harness.Summary
+	e2eErr  error
+)
+
+// emitProofDir runs a small corpus once with proof emission on and caches
+// the directory for every test in this file.
+func emitProofDir(t *testing.T) (string, *harness.Summary) {
+	t.Helper()
+	e2eOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "proofdir")
+		if err != nil {
+			e2eErr = err
+			return
+		}
+		e2eDir = dir
+		e2eSum = harness.Run(harness.Config{
+			Profile:  corpus.GCCLike(8),
+			Budget:   tv.Budget{MaxTermNodes: 3_000_000},
+			Workers:  2,
+			ProofDir: dir,
+		})
+		e2eErr = e2eSum.ProofErr
+	})
+	if e2eErr != nil {
+		t.Fatal(e2eErr)
+	}
+	return e2eDir, e2eSum
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if e2eDir != "" {
+		os.RemoveAll(e2eDir)
+	}
+	os.Exit(code)
+}
+
+// copyProofDir clones the emitted proof directory so tamper tests can
+// mutate their own copy.
+func copyProofDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		out.Close()
+	}
+	return dst
+}
+
+// TestEndToEndProofsVerify is the pipeline acceptance test: corpus run →
+// emitted certificates → CheckDir with zero rejections, and the run must
+// actually exercise the interesting certificate kinds.
+func TestEndToEndProofsVerify(t *testing.T) {
+	dir, sum := emitProofDir(t)
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) != 0 {
+		t.Fatalf("%d rejections, first: %s", len(report.Rejections), report.Rejections[0])
+	}
+	if report.Functions != 8 {
+		t.Fatalf("checked %d functions, want 8", report.Functions)
+	}
+	if report.Witnesses == 0 || report.Witnesses != sum.Certified {
+		t.Fatalf("verified %d witnesses, harness certified %d", report.Witnesses, sum.Certified)
+	}
+	for _, kind := range []string{proof.KindDRAT, proof.KindModel} {
+		if report.ByKind[kind] == 0 {
+			t.Errorf("corpus run produced no %q certificates — test corpus too small to be meaningful", kind)
+		}
+	}
+	if report.Queries != int(sum.SMTStats.Certificates) {
+		t.Errorf("checker saw %d query certs, solver recorded %d", report.Queries, sum.SMTStats.Certificates)
+	}
+}
+
+// findFile returns a file in dir with the given suffix for which accept
+// (on its contents) returns true.
+func findFile(t *testing.T, dir, suffix string, accept func([]byte) bool) (string, []byte) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), suffix) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept == nil || accept(data) {
+			return path, data
+		}
+	}
+	t.Fatalf("no %s file matching predicate in %s", suffix, dir)
+	return "", nil
+}
+
+// TestTamperedDRATClauseRejected flips a literal inside a learnt clause
+// of a DRAT trace; the RUP replay must reject the session and the
+// certificates pointing into it.
+func TestTamperedDRATClauseRejected(t *testing.T) {
+	src, _ := emitProofDir(t)
+	dir := copyProofDir(t, src)
+	path, data := findFile(t, dir, proof.DratSuffix, func(b []byte) bool {
+		return strings.Contains(string(b), "\nl ")
+	})
+	lines := strings.Split(string(data), "\n")
+	tampered := false
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "l ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 { // "l <lit> 0" at minimum
+			continue
+		}
+		// Flip the sign of the first literal of the learnt clause.
+		if strings.HasPrefix(fields[1], "-") {
+			fields[1] = fields[1][1:]
+		} else {
+			fields[1] = "-" + fields[1]
+		}
+		lines[i] = strings.Join(fields, " ")
+		tampered = true
+		break
+	}
+	if !tampered {
+		t.Fatal("no learnt clause found to tamper with")
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) == 0 {
+		t.Fatalf("tampered DRAT clause in %s was not rejected", filepath.Base(path))
+	}
+}
+
+// TestTamperedWitnessPairRejected drops one blackened pair from a
+// bisimulation witness; the coverage check must reject the witness.
+func TestTamperedWitnessPairRejected(t *testing.T) {
+	src, _ := emitProofDir(t)
+	dir := copyProofDir(t, src)
+	path, data := findFile(t, dir, proof.WitnessSuffix, func(b []byte) bool {
+		var w proof.WitnessFile
+		if err := json.Unmarshal(b, &w); err != nil {
+			return false
+		}
+		for _, cp := range w.Checked {
+			if len(cp.Pairs) > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	var w proof.WitnessFile
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Checked {
+		if len(w.Checked[i].Pairs) > 0 {
+			w.Checked[i].Pairs = w.Checked[i].Pairs[1:]
+			break
+		}
+	}
+	out, err := json.Marshal(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) == 0 {
+		t.Fatalf("witness %s with a dropped sync pair was not rejected", filepath.Base(path))
+	}
+}
+
+// TestTamperedModelRejected corrupts a Sat model value in a certificate
+// file; re-evaluating the term DAG under the broken model must fail.
+func TestTamperedModelRejected(t *testing.T) {
+	src, _ := emitProofDir(t)
+	dir := copyProofDir(t, src)
+	path, data := findFile(t, dir, proof.CertsSuffix, func(b []byte) bool {
+		var f proof.CertsFile
+		if err := json.Unmarshal(b, &f); err != nil {
+			return false
+		}
+		for _, q := range f.Queries {
+			if q.Kind == proof.KindModel && q.Model != nil && len(q.Model.BV) > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	var f proof.CertsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	rejections := 0
+	for i := range f.Queries {
+		q := &f.Queries[i]
+		if q.Kind != proof.KindModel || q.Model == nil || len(q.Model.BV) == 0 {
+			continue
+		}
+		// Flipping the low bit of every bitvector assignment breaks at
+		// least one model in the file (a model where no variable matters
+		// would have been a trivial certificate instead). Tamper all of
+		// them so the test does not depend on which query is load-bearing.
+		for j := range q.Model.BV {
+			v, err := strconv.ParseUint(q.Model.BV[j].Val, 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q.Model.BV[j].Val = strconv.FormatUint(v^1, 10)
+		}
+		rejections++
+	}
+	if rejections == 0 {
+		t.Fatal("no model certificate found to tamper with")
+	}
+	out, err := json.Marshal(&f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) == 0 {
+		t.Fatalf("tampered models in %s were not rejected", filepath.Base(path))
+	}
+}
+
+// TestProofcheckImportConstraint pins the trust-base claim with the build
+// graph itself: the transitive dependencies of cmd/proofcheck must
+// include the certificate package but never the SAT solver or the SMT
+// facade.
+func TestProofcheckImportConstraint(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not in PATH")
+	}
+	out, err := exec.Command(goBin, "list", "-deps", "repro/cmd/proofcheck").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go list -deps: %v\n%s", err, out)
+	}
+	deps := strings.Fields(string(out))
+	has := func(pkg string) bool {
+		for _, d := range deps {
+			if d == pkg {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("repro/internal/proof") {
+		t.Fatal("proofcheck does not depend on repro/internal/proof — wrong package listed?")
+	}
+	for _, forbidden := range []string{"repro/internal/sat", "repro/internal/smt", "repro/internal/core"} {
+		if has(forbidden) {
+			t.Errorf("cmd/proofcheck links %s — the checker must not share solving code with the validator", forbidden)
+		}
+	}
+}

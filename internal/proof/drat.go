@@ -1,0 +1,142 @@
+package proof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The .drat companion file is a line-oriented text format, one step per
+// line, DIMACS-style literals terminated by 0:
+//
+//	s <index>          start of session <index>
+//	i <lits...> 0      input clause (as handed to the SAT solver)
+//	l <lits...> 0      learnt clause (RUP obligation)
+//	d <lits...> 0      deleted clause
+//
+// Certificates of kind "drat" reference a session index and a step
+// position within it.
+
+// WriteSessions serializes the sessions of a recorder to w.
+func WriteSessions(w io.Writer, sessions []*Session) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var buf []byte
+	for _, s := range sessions {
+		buf = buf[:0]
+		buf = append(buf, 's', ' ')
+		buf = strconv.AppendInt(buf, int64(s.index), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		for i := 0; i < s.Len(); i++ {
+			op, lits := s.step(i)
+			buf = buf[:0]
+			buf = append(buf, op)
+			for _, l := range lits {
+				buf = append(buf, ' ')
+				buf = strconv.AppendInt(buf, int64(l), 10)
+			}
+			buf = append(buf, ' ', '0', '\n')
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ParsedStep is one step of a parsed session trace.
+type ParsedStep struct {
+	Op   byte
+	Lits []int32
+}
+
+// ParseSessions parses a .drat stream back into per-session step lists,
+// indexed by session number.
+func ParseSessions(r io.Reader) ([][]ParsedStep, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var sessions [][]ParsedStep
+	cur := -1
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, err
+		}
+		lineNo++
+		// Trim the trailing newline; tolerate a missing one on the last line.
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
+		}
+		if line == "" {
+			continue
+		}
+		op := line[0]
+		rest := line[1:]
+		switch op {
+		case 's':
+			idx, perr := strconv.Atoi(trimSpace(rest))
+			if perr != nil || idx != len(sessions) {
+				return nil, fmt.Errorf("proof: line %d: bad session header %q", lineNo, line)
+			}
+			sessions = append(sessions, nil)
+			cur = idx
+		case OpInput, OpLearn, OpDelete:
+			if cur < 0 {
+				return nil, fmt.Errorf("proof: line %d: step before session header", lineNo)
+			}
+			lits, perr := parseLits(rest)
+			if perr != nil {
+				return nil, fmt.Errorf("proof: line %d: %v", lineNo, perr)
+			}
+			sessions[cur] = append(sessions[cur], ParsedStep{Op: op, Lits: lits})
+		default:
+			return nil, fmt.Errorf("proof: line %d: unknown step %q", lineNo, line)
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	return sessions, nil
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && s[0] == ' ' {
+		s = s[1:]
+	}
+	for len(s) > 0 && s[len(s)-1] == ' ' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func parseLits(s string) ([]int32, error) {
+	var lits []int32
+	i := 0
+	for {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("clause not terminated by 0")
+		}
+		j := i
+		for j < len(s) && s[j] != ' ' {
+			j++
+		}
+		v, err := strconv.ParseInt(s[i:j], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad literal %q", s[i:j])
+		}
+		if v == 0 {
+			return lits, nil
+		}
+		lits = append(lits, int32(v))
+		i = j
+	}
+}

@@ -1,0 +1,112 @@
+package proof
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// TNode is one serialized term-DAG node. Nodes are stored in
+// topological order: argument indices always point at earlier nodes, so
+// a single forward pass decodes the table. Kinds are named by mnemonic
+// (see term.KindName) so the format is independent of ordinal values.
+type TNode struct {
+	K  string `json:"k"`
+	W  uint8  `json:"w,omitempty"`
+	V  string `json:"v,omitempty"`
+	N  string `json:"n,omitempty"`
+	Hi uint8  `json:"hi,omitempty"`
+	Lo uint8  `json:"lo,omitempty"`
+	A  []int  `json:"a,omitempty"`
+}
+
+// TermTable interns term DAGs into a shared node list. Hash-consing in
+// the source Context makes structurally equal terms pointer-equal, so
+// interning by pointer both deduplicates shared subterms and gives
+// syntactically identical terms identical node indices — the witness
+// checker verifies "fastpath" pairs (syntactic path-condition equality)
+// by comparing indices.
+type TermTable struct {
+	nodes []TNode
+	index map[*term.Term]int
+}
+
+// NewTermTable returns an empty table.
+func NewTermTable() *TermTable {
+	return &TermTable{index: make(map[*term.Term]int)}
+}
+
+// Nodes returns the serialized node list.
+func (tt *TermTable) Nodes() []TNode { return tt.nodes }
+
+// Add interns t (and its subterms) and returns its node index. The DAG
+// is walked iteratively so deep terms cannot overflow the stack.
+func (tt *TermTable) Add(t *term.Term) int {
+	if i, ok := tt.index[t]; ok {
+		return i
+	}
+	type frame struct {
+		t    *term.Term
+		next int
+	}
+	stack := []frame{{t: t}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(f.t.Args) {
+			arg := f.t.Args[f.next]
+			f.next++
+			if _, ok := tt.index[arg]; !ok {
+				stack = append(stack, frame{t: arg})
+			}
+			continue
+		}
+		if _, ok := tt.index[f.t]; !ok {
+			n := TNode{
+				K:  term.KindName(f.t.Kind),
+				W:  f.t.Width,
+				N:  f.t.Name,
+				Hi: f.t.Hi,
+				Lo: f.t.Lo,
+			}
+			if f.t.Val != 0 {
+				n.V = fmt.Sprintf("%d", f.t.Val)
+			}
+			for _, a := range f.t.Args {
+				n.A = append(n.A, tt.index[a])
+			}
+			tt.index[f.t] = len(tt.nodes)
+			tt.nodes = append(tt.nodes, n)
+		}
+		stack = stack[:len(stack)-1]
+	}
+	return tt.index[t]
+}
+
+// DecodeTerms rebuilds a serialized node table into terms of ctx using
+// the raw (non-simplifying) constructor, so the checker evaluates
+// exactly the DAG that was certified: re-simplifying during decode would
+// let a constructor bug mask itself. Returns one term per node.
+func DecodeTerms(ctx *term.Context, nodes []TNode) ([]*term.Term, error) {
+	out := make([]*term.Term, len(nodes))
+	for i, n := range nodes {
+		k, ok := term.KindByName(n.K)
+		if !ok {
+			return nil, fmt.Errorf("proof: node %d has unknown kind %q", i, n.K)
+		}
+		var val uint64
+		if n.V != "" {
+			if _, err := fmt.Sscanf(n.V, "%d", &val); err != nil {
+				return nil, fmt.Errorf("proof: node %d has bad value %q: %v", i, n.V, err)
+			}
+		}
+		args := make([]*term.Term, len(n.A))
+		for j, ai := range n.A {
+			if ai < 0 || ai >= i {
+				return nil, fmt.Errorf("proof: node %d references node %d (not topologically ordered)", i, ai)
+			}
+			args[j] = out[ai]
+		}
+		out[i] = ctx.Raw(k, n.W, val, n.N, n.Hi, n.Lo, args...)
+	}
+	return out, nil
+}

@@ -1,0 +1,106 @@
+package proof
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// File suffixes of the per-function artifacts.
+const (
+	CertsSuffix   = ".certs.json"
+	DratSuffix    = ".drat"
+	WitnessSuffix = ".witness.json"
+	ManifestName  = "MANIFEST.json"
+)
+
+// FileBase returns the sanitized per-function artifact base name.
+func FileBase(function string) string {
+	b := []byte(function)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func writeJSON(path string, v interface{}) (int64, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(data)), nil
+}
+
+// WriteCerts writes <fn>.certs.json and, when any session recorded
+// steps, <fn>.drat. It returns the number of bytes written.
+func WriteCerts(dir string, rec *Recorder) (int64, error) {
+	base := filepath.Join(dir, FileBase(rec.function))
+	n, err := writeJSON(base+CertsSuffix, rec.CertsFile())
+	if err != nil {
+		return n, err
+	}
+	steps := 0
+	for _, s := range rec.sessions {
+		steps += s.Len()
+	}
+	if steps > 0 {
+		f, err := os.Create(base + DratSuffix)
+		if err != nil {
+			return n, err
+		}
+		if err := WriteSessions(f, rec.sessions); err != nil {
+			f.Close()
+			return n, err
+		}
+		st, _ := f.Stat()
+		if st != nil {
+			n += st.Size()
+		}
+		if err := f.Close(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// WriteWitness writes <fn>.witness.json. Call it only for functions
+// whose validation succeeded: the witness of a failed run is not a
+// bisimulation witness.
+func WriteWitness(dir string, rec *Recorder) (int64, error) {
+	base := filepath.Join(dir, FileBase(rec.function))
+	return writeJSON(base+WitnessSuffix, rec.WitnessFile())
+}
+
+// WriteManifest writes MANIFEST.json for a corpus run.
+func WriteManifest(dir string, m *Manifest) error {
+	m.Schema = Schema
+	_, err := writeJSON(filepath.Join(dir, ManifestName), m)
+	return err
+}
+
+// ReadManifest loads MANIFEST.json from dir; it returns (nil, nil) when
+// the file does not exist (single-file runs write no manifest).
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("proof: bad manifest: %v", err)
+	}
+	return &m, nil
+}

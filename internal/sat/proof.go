@@ -1,0 +1,95 @@
+package sat
+
+// Proof-trace support: when Solver.Proof is non-nil the solver appends an
+// in-memory DRAT-style trace of its run — every input clause as given to
+// AddClause, every learnt clause produced by conflict analysis, and every
+// clause deleted by database reduction. The trace is sufficient for an
+// independent checker to re-derive each Unsat verdict by reverse unit
+// propagation (RUP) alone, with no CDCL heuristics: each learnt clause C
+// must be refutable by asserting ¬C and running unit propagation over the
+// clauses live at the time C was learnt, and the per-query final clause
+// (the empty clause, or the negated assumptions in incremental mode) must
+// be RUP against the trace prefix at the verdict position.
+//
+// Logging is off by default (Proof == nil costs one predictable branch per
+// event) and allocation-light: the trace is two append-only flat slices —
+// a literal pool and fixed-size step headers indexing into it — so steady
+// state logging performs no per-step allocations beyond amortized slice
+// growth.
+
+// Proof-step opcodes.
+const (
+	// OpInput records a clause added through AddClause, pre-normalization.
+	OpInput = byte('i')
+	// OpLearn records a clause learnt by conflict analysis. Learnt
+	// clauses must be RUP with respect to the preceding live clause set.
+	OpLearn = byte('l')
+	// OpDelete records a learnt clause removed by database reduction.
+	OpDelete = byte('d')
+)
+
+type proofStep struct {
+	off int32
+	n   int32
+	op  byte
+}
+
+// ProofLog is an append-only in-memory DRAT-style trace. The zero value
+// is an empty trace ready for use.
+type ProofLog struct {
+	steps []proofStep
+	lits  []Lit
+}
+
+// Len returns the number of steps recorded so far. A step index below the
+// current Len is a stable position marker: incremental users snapshot it
+// at each verdict so per-query certificates can point into the shared
+// session trace.
+func (p *ProofLog) Len() int { return len(p.steps) }
+
+// Step returns the opcode and literal slice of step i. The returned slice
+// aliases the trace pool and must not be modified.
+func (p *ProofLog) Step(i int) (op byte, lits []Lit) {
+	st := p.steps[i]
+	return st.op, p.lits[st.off : st.off+int32(st.n)]
+}
+
+// Bytes returns the approximate in-memory size of the trace, counting the
+// literal pool and the step headers.
+func (p *ProofLog) Bytes() int64 {
+	return int64(len(p.lits))*4 + int64(len(p.steps))*9
+}
+
+func (p *ProofLog) append(op byte, lits []Lit) {
+	off := int32(len(p.lits))
+	p.lits = append(p.lits, lits...)
+	p.steps = append(p.steps, proofStep{off: off, n: int32(len(lits)), op: op})
+}
+
+// logInput records an original clause when proof logging is enabled.
+func (s *Solver) logInput(lits []Lit) {
+	if s.Proof != nil {
+		s.Proof.append(OpInput, lits)
+	}
+}
+
+// logLearnt records a learnt clause when proof logging is enabled.
+func (s *Solver) logLearnt(lits []Lit) {
+	if s.Proof != nil {
+		s.Proof.append(OpLearn, lits)
+	}
+}
+
+// logDelete records a deleted learnt clause when proof logging is enabled.
+func (s *Solver) logDelete(lits []Lit) {
+	if s.Proof != nil {
+		s.Proof.append(OpDelete, lits)
+	}
+}
+
+// Okay reports whether the solver is still globally consistent: false once
+// the input clauses alone (no assumptions) have been refuted at decision
+// level 0. After an Unsat verdict, Okay distinguishes a global refutation
+// (certificate: the empty clause is RUP) from an assumption failure
+// (certificate: the negated-assumption clause is RUP).
+func (s *Solver) Okay() bool { return s.ok }

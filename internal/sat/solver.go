@@ -145,6 +145,11 @@ type Solver struct {
 	// (0 = default 2000). The gap grows by 300 per reduction performed.
 	ReduceInterval int64
 
+	// Proof, when non-nil, receives a DRAT-style trace of the run: input
+	// clauses, learnt clauses, and database deletions (see proof.go).
+	// Nil by default: proof logging is opt-in and costs nothing when off.
+	Proof *ProofLog
+
 	// Stats
 	Conflicts    int64
 	Decisions    int64
@@ -215,6 +220,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause above decision level 0")
 	}
+	// Log the clause as given: the proof checker replays the original
+	// formula, so normalization below must not be reflected in the trace.
+	s.logInput(lits)
 	// Normalize: sort-free dedup, drop false lits, detect tautology/sat.
 	out := lits[:0:0]
 	for _, l := range lits {
@@ -530,6 +538,7 @@ func (s *Solver) reduceDBLBD() {
 	for _, c := range removable[:len(removable)/2] {
 		c.deleted = true
 		s.Removed++
+		s.logDelete(c.lits)
 	}
 	kept := s.learnts[:0]
 	for _, c := range s.learnts {
@@ -576,6 +585,7 @@ func (s *Solver) reduceDB() {
 	for _, c := range s.learnts {
 		if len(c.lits) > 2 && c.act < threshold && !s.locked(c) {
 			c.deleted = true
+			s.logDelete(c.lits)
 		} else {
 			kept = append(kept, c)
 		}
@@ -656,6 +666,7 @@ func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float6
 				return Unsat
 			}
 			learnt, btLevel := s.analyze(confl)
+			s.logLearnt(learnt)
 			var lbd int32
 			if s.LBD {
 				// Levels are only valid before backtracking.

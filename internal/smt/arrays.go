@@ -177,7 +177,7 @@ func (r *arrayReducer) rebuild(t *Term, a []*Term) (*Term, error) {
 	case KBNot:
 		return c.Not(a[0]), nil
 	}
-	return nil, fmt.Errorf("smt: rebuild of unsupported kind %s", kindNames[t.Kind])
+	return nil, fmt.Errorf("smt: rebuild of unsupported kind %s", kindName(t.Kind))
 }
 
 // reduceSelect turns select(chain, addr) into an ite cascade over the

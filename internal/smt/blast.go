@@ -16,6 +16,11 @@ type blaster struct {
 	boolMemo map[*Term]sat.Lit
 	bvMemo   map[*Term][]sat.Lit
 	gateMemo map[gateKey]sat.Lit
+
+	// varHook, when non-nil, is invoked once per free variable as it is
+	// assigned SAT variables (bit literals, LSB first for BV). Proof
+	// emission uses it to record the CNF variable map in certificates.
+	varHook func(t *Term, lits []sat.Lit)
 }
 
 type gateKey struct {
@@ -215,6 +220,9 @@ func (b *blaster) blastBool(t *Term) (sat.Lit, error) {
 		return 0, err
 	}
 	b.boolMemo[t] = l
+	if b.varHook != nil && t.Kind == KVarBool {
+		b.varHook(t, []sat.Lit{l})
+	}
 	return l, nil
 }
 
@@ -303,7 +311,7 @@ func (b *blaster) blastBool1(t *Term) (sat.Lit, error) {
 			return b.sltBits(y, x).Not(), nil
 		}
 	}
-	return 0, fmt.Errorf("smt: cannot blast Bool term kind %s", kindNames[t.Kind])
+	return 0, fmt.Errorf("smt: cannot blast Bool term kind %s", kindName(t.Kind))
 }
 
 func (b *blaster) sltBits(x, y []sat.Lit) sat.Lit {
@@ -331,6 +339,9 @@ func (b *blaster) blastBV(t *Term) ([]sat.Lit, error) {
 		return nil, fmt.Errorf("smt: internal width mismatch blasting %v: got %d want %d", t, len(ls), t.Width)
 	}
 	b.bvMemo[t] = ls
+	if b.varHook != nil && t.Kind == KVarBV {
+		b.varHook(t, ls)
+	}
 	return ls, nil
 }
 
@@ -507,7 +518,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		}
 		return b.muxBits(c, x, y), nil
 	}
-	return nil, fmt.Errorf("smt: cannot blast BV term kind %s", kindNames[t.Kind])
+	return nil, fmt.Errorf("smt: cannot blast BV term kind %s", kindName(t.Kind))
 }
 
 // shift implements barrel shifters for shl/lshr/ashr with SMT-LIB

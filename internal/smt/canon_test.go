@@ -75,8 +75,8 @@ func TestCanonicalHashAlphaInvariant(t *testing.T) {
 func TestCanonicalHashNonBijectiveRenamingDiffers(t *testing.T) {
 	c := NewContext()
 	x, y := c.VarBV("x", 16), c.VarBV("y", 16)
-	two := c.mk(KAdd, 16, x, y)       // x + y (raw node: no simplification reordering)
-	collapsed := c.mk(KAdd, 16, x, x) // x + x
+	two := c.Raw(KAdd, 16, 0, "", 0, 0, x, y)       // x + y (raw node: no simplification reordering)
+	collapsed := c.Raw(KAdd, 16, 0, "", 0, 0, x, x) // x + x
 	k1, _ := CanonicalHash(c.Eq(two, c.BV(0, 16)))
 	k2, _ := CanonicalHash(c.Eq(collapsed, c.BV(0, 16)))
 	if k1 == k2 {
@@ -95,8 +95,8 @@ func TestCanonicalHashSharingPattern(t *testing.T) {
 	shared := c.AndB(ab, c.OrB(ab, c.False()))
 	distinct := c.AndB(ab, c.OrB(cd, c.False()))
 	// Simplification may collapse trivially; rebuild with raw nodes.
-	sharedRaw := c.mk(KBAnd, 0, ab, ab)
-	distinctRaw := c.mk(KBAnd, 0, ab, cd)
+	sharedRaw := c.Raw(KBAnd, 0, 0, "", 0, 0, ab, ab)
+	distinctRaw := c.Raw(KBAnd, 0, 0, "", 0, 0, ab, cd)
 	k1, _ := CanonicalHash(sharedRaw)
 	k2, _ := CanonicalHash(distinctRaw)
 	if k1 == k2 {
@@ -159,7 +159,7 @@ func TestCanonicalHashDeepTerm(t *testing.T) {
 	x := c.VarBV("x", 64)
 	acc := x
 	for i := 0; i < 200_000; i++ {
-		acc = c.mk(KNot, 64, acc)
+		acc = c.Raw(KNot, 64, 0, "", 0, 0, acc)
 	}
 	k, n := CanonicalHash(c.Eq(acc, x))
 	if n <= 0 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/proof"
 	"repro/internal/sat"
 )
 
@@ -42,6 +43,8 @@ type Stats struct {
 	SATDecisions  int64
 	CNFClauses    int64
 	SolveDuration time.Duration
+	ProofBytes    int64 // serialized DRAT trace bytes recorded for certificates
+	Certificates  int64 // query certificates emitted
 }
 
 // Add accumulates o into s. Callers that run many solvers (one per
@@ -57,6 +60,8 @@ func (s *Stats) Add(o Stats) {
 	s.SATDecisions += o.SATDecisions
 	s.CNFClauses += o.CNFClauses
 	s.SolveDuration += o.SolveDuration
+	s.ProofBytes += o.ProofBytes
+	s.Certificates += o.Certificates
 }
 
 // Solver decides QF_ABV formulas built in a Context. The zero value is not
@@ -85,12 +90,20 @@ type Solver struct {
 	// reduction in the underlying SAT instances, reverting to the legacy
 	// activity-threshold policy (ablation; see sat.Solver.LBD).
 	DisableClauseDB bool
+	// Recorder, when non-nil, makes every decided query emit a proof
+	// certificate: Unsat verdicts stream their SAT clause trace into a
+	// DRAT session, Sat verdicts record the extracted model against the
+	// original term, and cache hits record a reference to the canonical
+	// key they resolved to. Off by default; see internal/proof.
+	Recorder *proof.Recorder
 
 	Stats Stats
 
 	incSAT     *sat.Solver
 	incBlaster *blaster
 	incReducer *arrayReducer
+	incSession *proof.Session
+	incFlushed int
 	canonMemo  map[*Term]CanonKey
 }
 
@@ -133,20 +146,27 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 	// Fast path: construction-time simplification may already decide it.
 	if f.IsTrue() {
 		s.Stats.FastQueries++
+		s.recordTrivial(f, proof.ResSat)
 		return ResultSat, NewAssign(), nil
 	}
 	if f.IsFalse() {
 		s.Stats.FastQueries++
+		s.recordTrivial(f, proof.ResUnsat)
 		return ResultUnsat, nil, nil
 	}
 
+	// The canonical key doubles as cache index and certificate content
+	// address, so compute it when either consumer is present.
 	var key CanonKey
-	cached := false
-	if s.Cache != nil {
+	var keyHex string
+	if s.Cache != nil || s.Recorder != nil {
 		key = s.canonKey(f)
-		cached = true
+		keyHex = key.Hex()
+	}
+	if s.Cache != nil {
 		if r, ok := s.Cache.Get(key); ok {
 			s.Stats.CacheHits++
+			s.recordRef(keyHex, r.String())
 			if r == ResultUnsat {
 				return ResultUnsat, nil, nil
 			}
@@ -154,8 +174,8 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 		}
 		s.Stats.CacheMisses++
 	}
-	res, model, err = s.checkSatSolve(f)
-	if cached && err == nil {
+	res, model, err = s.checkSatSolve(f, keyHex)
+	if s.Cache != nil && err == nil {
 		s.Cache.Put(key, res) // Put drops anything but Sat/Unsat
 	}
 	return res, model, err
@@ -178,9 +198,9 @@ func (s *Solver) canonKey(f *Term) CanonKey {
 }
 
 // checkSatSolve decides f by actually solving (no cache consultation).
-func (s *Solver) checkSatSolve(f *Term) (Result, *Assign, error) {
+func (s *Solver) checkSatSolve(f *Term, keyHex string) (Result, *Assign, error) {
 	if s.Incremental {
-		return s.checkSatIncremental(f)
+		return s.checkSatIncremental(f, keyHex)
 	}
 
 	red := newArrayReducer(s.ctx)
@@ -191,10 +211,12 @@ func (s *Solver) checkSatSolve(f *Term) (Result, *Assign, error) {
 	g = s.ctx.AndB(g, cons)
 	if g.IsTrue() {
 		s.Stats.FastQueries++
+		s.recordSimplified(f, proof.ResSat, keyHex)
 		return ResultSat, NewAssign(), nil
 	}
 	if g.IsFalse() {
 		s.Stats.FastQueries++
+		s.recordSimplified(f, proof.ResUnsat, keyHex)
 		return ResultUnsat, nil, nil
 	}
 
@@ -202,7 +224,17 @@ func (s *Solver) checkSatSolve(f *Term) (Result, *Assign, error) {
 	solver.LBD = !s.DisableClauseDB
 	solver.ConflictBudget = s.ConflictBudget
 	solver.Deadline = s.Deadline
+	// The proof log must be attached before the blaster exists: its
+	// constructor already asserts the constant-true unit clause.
+	var sess *proof.Session
+	if s.Recorder != nil {
+		sess = s.Recorder.NewSession()
+		solver.Proof = &sat.ProofLog{}
+	}
 	b := newBlaster(s.ctx, solver)
+	if sess != nil {
+		b.varHook = s.hookVars(sess)
+	}
 	root, err := b.blastBool(g)
 	if err != nil {
 		return ResultUnknown, nil, err
@@ -214,21 +246,40 @@ func (s *Solver) checkSatSolve(f *Term) (Result, *Assign, error) {
 	s.Stats.CNFClauses += int64(solver.NumClauses())
 	switch st {
 	case sat.Unsat:
+		if sess != nil {
+			// No assumptions here, so Unsat is a global refutation: the
+			// obligation is the empty clause.
+			s.recordUnsat(solver.Proof, 0, sess, nil, keyHex)
+		}
 		return ResultUnsat, nil, nil
 	case sat.Unknown:
 		return ResultUnknown, nil, ErrBudget
 	}
-	return ResultSat, s.extractModel(f, red, b, solver), nil
+	m := s.extractModel(f, red, b, solver)
+	s.recordModel(f, m, keyHex)
+	return ResultSat, m, nil
 }
 
 // checkSatIncremental solves against the persistent SAT instance under an
 // activation assumption.
-func (s *Solver) checkSatIncremental(f *Term) (Result, *Assign, error) {
+func (s *Solver) checkSatIncremental(f *Term, keyHex string) (Result, *Assign, error) {
 	if s.incSAT == nil {
 		s.incSAT = sat.New()
 		s.incSAT.LBD = !s.DisableClauseDB
+		if s.Recorder != nil {
+			// One session for the whole solver lifetime: the trace grows
+			// monotonically and each Unsat certificate points at its own
+			// position, so the CNF shared across queries is logged once.
+			// Attach the proof log before the blaster exists: its
+			// constructor already asserts the constant-true unit clause.
+			s.incSession = s.Recorder.NewSession()
+			s.incSAT.Proof = &sat.ProofLog{}
+		}
 		s.incBlaster = newBlaster(s.ctx, s.incSAT)
 		s.incReducer = newArrayReducer(s.ctx)
+		if s.incSession != nil {
+			s.incBlaster.varHook = s.hookVars(s.incSession)
+		}
 	}
 	// The persistent instance accumulates counters across queries; charge
 	// this query with the deltas only, on every return path (fast-path
@@ -255,10 +306,12 @@ func (s *Solver) checkSatIncremental(f *Term) (Result, *Assign, error) {
 	}
 	if g.IsTrue() {
 		s.Stats.FastQueries++
+		s.recordSimplified(f, proof.ResSat, keyHex)
 		return ResultSat, NewAssign(), nil
 	}
 	if g.IsFalse() {
 		s.Stats.FastQueries++
+		s.recordSimplified(f, proof.ResUnsat, keyHex)
 		return ResultUnsat, nil, nil
 	}
 	root, err := s.incBlaster.blastBool(g)
@@ -270,11 +323,24 @@ func (s *Solver) checkSatIncremental(f *Term) (Result, *Assign, error) {
 	st := s.incSAT.Solve(root)
 	switch st {
 	case sat.Unsat:
+		if s.incSession != nil {
+			// Under an activation assumption, Unsat means the negated
+			// assumption follows by unit propagation — unless the instance
+			// was refuted outright, in which case the obligation is the
+			// empty clause.
+			var final []int
+			if s.incSAT.Okay() {
+				final = []int{-litDimacs(root)}
+			}
+			s.incFlushed = s.recordUnsat(s.incSAT.Proof, s.incFlushed, s.incSession, final, keyHex)
+		}
 		return ResultUnsat, nil, nil
 	case sat.Unknown:
 		return ResultUnknown, nil, ErrBudget
 	}
-	return ResultSat, s.extractModel(f, s.incReducer, s.incBlaster, s.incSAT), nil
+	m := s.extractModel(f, s.incReducer, s.incBlaster, s.incSAT)
+	s.recordModel(f, m, keyHex)
+	return ResultSat, m, nil
 }
 
 // Prove decides validity of the Bool term f (true in all models). On

@@ -1,8 +1,9 @@
-package smt
+package term
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 )
 
 // CanonKey is the alpha-invariant canonical hash of a term: two terms have
@@ -11,6 +12,10 @@ import (
 // deterministic in term structure, the key is stable across Contexts, so it
 // can index a cache shared by solvers that never exchanged a term.
 type CanonKey [sha256.Size]byte
+
+// Hex returns the key as a lowercase hex string — the content address
+// proof certificates use to resolve cache references.
+func (k CanonKey) Hex() string { return hex.EncodeToString(k[:]) }
 
 // CanonicalHash computes the CanonKey of t plus the number of serialized
 // bytes fed to the hash (the cache-accounting metric in Stats.CacheBytes).

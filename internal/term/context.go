@@ -1,4 +1,4 @@
-package smt
+package term
 
 import (
 	"fmt"
@@ -118,6 +118,15 @@ func (c *Context) VarMem(name string) *Term {
 
 func (c *Context) mk(kind Kind, width uint8, args ...*Term) *Term {
 	return c.intern(&Term{Kind: kind, Width: width, Args: args})
+}
+
+// Raw interns a term node verbatim, bypassing the simplifying
+// constructors. It is used by the proof checker to rebuild a serialized
+// term DAG exactly as certified (re-simplifying during decode would let a
+// constructor bug mask itself), and by tests that need a specific node
+// shape. The caller is responsible for sort/width discipline.
+func (c *Context) Raw(kind Kind, width uint8, val uint64, name string, hi, lo uint8, args ...*Term) *Term {
+	return c.intern(&Term{Kind: kind, Width: width, Val: val, Name: name, Hi: hi, Lo: lo, Args: args})
 }
 
 func checkBV2(op string, a, b *Term) {

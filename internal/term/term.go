@@ -1,14 +1,15 @@
-// Package smt implements a small SMT solver for the quantifier-free theory
-// of fixed-width bitvectors with a byte-addressed memory array (QF_ABV
-// restricted to store-chains over named base arrays).
+// Package term implements the term layer of the SMT stand-in: hash-consed
+// QF_ABV terms (fixed-width bitvectors plus a byte-addressed memory array
+// restricted to store-chains over named base arrays), simplifying smart
+// constructors, a direct evaluator, and alpha-invariant canonical hashing.
 //
-// It is the stand-in for Z3 in this reproduction: the verification
-// conditions generated by the KEQ equivalence checker (internal/core) fall
-// in exactly this fragment. Terms are hash-consed in a Context;
-// construction applies local simplification; satisfiability is decided by
-// array reduction, Ackermann expansion and bit-blasting onto the CDCL SAT
-// solver in internal/sat.
-package smt
+// The package deliberately contains no solver: it is shared between
+// internal/smt (which decides satisfiability by array reduction,
+// Ackermann expansion and bit-blasting onto the CDCL solver in
+// internal/sat) and the independent proof checker internal/proof +
+// cmd/proofcheck, which must be able to evaluate models against the
+// original term DAG without linking any solver code.
+package term
 
 import (
 	"fmt"
@@ -63,6 +64,26 @@ const (
 	KSelect // mem, addr -> BV8
 	KStore  // mem, addr, val -> Mem
 )
+
+// KindName returns the concrete-syntax mnemonic of k ("bvadd", "select",
+// ...), as used in diagnostics and in serialized proof certificates.
+func KindName(k Kind) string { return kindNames[k] }
+
+// KindByName is the inverse of KindName; ok is false for unknown
+// mnemonics. Serialized certificates name kinds by mnemonic rather than
+// ordinal so the format survives renumbering.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindsByName[name]
+	return k, ok
+}
+
+var kindsByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
 
 var kindNames = map[Kind]string{
 	KConstBV: "const", KConstBool: "bconst", KVarBV: "var", KVarBool: "bvar",
