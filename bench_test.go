@@ -27,6 +27,7 @@ import (
 	"repro/internal/regalloc"
 	"repro/internal/smt"
 	"repro/internal/stack"
+	"repro/internal/telemetry"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
 	"repro/internal/vx86"
@@ -98,7 +99,9 @@ var (
 )
 
 // fig6BaselineCounts runs the bench corpus serially once and returns the
-// Figure 6 class counts every parallel run must reproduce exactly.
+// Figure 6 class counts every parallel run must reproduce exactly. The
+// comparison form is fmt.Sprint of Summary.ClassCounts() — string-keyed,
+// so the rendering is ordered lexically and matches the JSON artifacts.
 func fig6BaselineCounts() string {
 	fig6BaseOnce.Do(func() {
 		sum := harness.Run(harness.Config{
@@ -107,7 +110,7 @@ func fig6BaselineCounts() string {
 			InadequateEvery: 40,
 			Workers:         1,
 		})
-		fig6BaseCounts = fmt.Sprint(sum.Counts())
+		fig6BaseCounts = fmt.Sprint(sum.ClassCounts())
 	})
 	return fig6BaseCounts
 }
@@ -127,7 +130,7 @@ func BenchmarkFig6ParallelWorkers(b *testing.B) {
 					InadequateEvery: 40,
 					Workers:         j,
 				})
-				if got := fmt.Sprint(sum.Counts()); got != base {
+				if got := fmt.Sprint(sum.ClassCounts()); got != base {
 					b.Fatalf("j=%d class counts diverged from serial run:\n got %s\nwant %s", j, got, base)
 				}
 				b.ReportMetric(sum.Speedup(), "cpu/wall")
@@ -396,12 +399,13 @@ func figure6Config(workers int, cache bool) harness.Config {
 }
 
 // BenchmarkFigure6 compares the Figure 6 corpus run across the solver
-// configurations: with and without the shared VC result cache, and with
-// proof-certificate emission on top of the cached configuration. Class
-// counts must match the serial baseline in every configuration — neither
-// the cache nor proof logging may change verdicts, only time. The
-// cache=on runs report hit-rate metrics, the proofs=on runs certificate
-// counts, next to ns/op.
+// configurations: with and without the shared VC result cache, with
+// proof-certificate emission on top of the cached configuration, and with
+// span tracing on top of that. Class counts must match the serial
+// baseline in every configuration — neither the cache, proof logging, nor
+// tracing may change verdicts, only time. The cache=on runs report
+// hit-rate metrics, the proofs=on runs certificate counts, the trace=on
+// runs span counts, next to ns/op.
 func BenchmarkFigure6(b *testing.B) {
 	base := fig6BaselineCounts()
 	const workers = 4
@@ -409,10 +413,12 @@ func BenchmarkFigure6(b *testing.B) {
 		name   string
 		cache  bool
 		proofs bool
+		trace  bool
 	}{
-		{"cache=off", false, false},
-		{"cache=on", true, false},
-		{"proofs=on", true, true},
+		{"cache=off", false, false, false},
+		{"cache=on", true, false, false},
+		{"proofs=on", true, true, false},
+		{"trace=on", true, false, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -420,15 +426,22 @@ func BenchmarkFigure6(b *testing.B) {
 				if mode.proofs {
 					cfg.ProofDir = b.TempDir()
 				}
+				var tracer *telemetry.Tracer
+				if mode.trace {
+					tracer = telemetry.NewTracer()
+					cfg.Tracer = tracer
+				}
 				sum := harness.Run(cfg)
 				if sum.ProofErr != nil {
 					b.Fatal(sum.ProofErr)
 				}
-				if got := fmt.Sprint(sum.Counts()); got != base {
+				if got := fmt.Sprint(sum.ClassCounts()); got != base {
 					b.Fatalf("%s class counts diverged from serial baseline:\n got %s\nwant %s",
 						mode.name, got, base)
 				}
-				if mode.proofs {
+				if mode.trace {
+					b.ReportMetric(float64(tracer.Len()), "spans")
+				} else if mode.proofs {
 					b.ReportMetric(float64(sum.SMTStats.Certificates), "certs")
 					b.ReportMetric(float64(sum.Certified), "certified")
 				} else if mode.cache {
@@ -456,7 +469,9 @@ func TestBenchPR2JSON(t *testing.T) {
 		CPUSeconds  float64 `json:"cpu_seconds"`
 		CacheHits   int64   `json:"cache_hits"`
 		CacheMisses int64   `json:"cache_misses"`
-		Counts      string  `json:"class_counts"`
+		// Counts is a real JSON object ({"Succeeded": 119, ...}), not a
+		// stringified Go map.
+		Counts map[string]int `json:"class_counts"`
 	}
 	measure := func(cache bool) configResult {
 		start := time.Now()
@@ -466,7 +481,7 @@ func TestBenchPR2JSON(t *testing.T) {
 			CPUSeconds:  sum.CPUTime.Seconds(),
 			CacheHits:   sum.SMTStats.CacheHits,
 			CacheMisses: sum.SMTStats.CacheMisses,
-			Counts:      fmt.Sprint(sum.Counts()),
+			Counts:      sum.ClassCounts(),
 		}
 	}
 	// Warm the process (page cache, JIT-free but first-run allocator noise)
@@ -474,8 +489,8 @@ func TestBenchPR2JSON(t *testing.T) {
 	base := fig6BaselineCounts()
 	off := measure(false)
 	on := measure(true)
-	if off.Counts != base || on.Counts != base {
-		t.Fatalf("class counts diverged: baseline %s, cache-off %s, cache-on %s",
+	if fmt.Sprint(off.Counts) != base || fmt.Sprint(on.Counts) != base {
+		t.Fatalf("class counts diverged: baseline %s, cache-off %v, cache-on %v",
 			base, off.Counts, on.Counts)
 	}
 	artifact := struct {
@@ -518,12 +533,12 @@ func TestBenchPR3JSON(t *testing.T) {
 	}
 	const workers = 4
 	type configResult struct {
-		WallSeconds  float64 `json:"wall_seconds"`
-		CPUSeconds   float64 `json:"cpu_seconds"`
-		Certificates int64   `json:"certificates"`
-		ProofBytes   int64   `json:"proof_bytes"`
-		Certified    int     `json:"functions_certified"`
-		Counts       string  `json:"class_counts"`
+		WallSeconds  float64        `json:"wall_seconds"`
+		CPUSeconds   float64        `json:"cpu_seconds"`
+		Certificates int64          `json:"certificates"`
+		ProofBytes   int64          `json:"proof_bytes"`
+		Certified    int            `json:"functions_certified"`
+		Counts       map[string]int `json:"class_counts"`
 	}
 	measure := func(proofDir string) configResult {
 		cfg := figure6Config(workers, true)
@@ -539,15 +554,15 @@ func TestBenchPR3JSON(t *testing.T) {
 			Certificates: sum.SMTStats.Certificates,
 			ProofBytes:   sum.SMTStats.ProofBytes,
 			Certified:    sum.Certified,
-			Counts:       fmt.Sprint(sum.Counts()),
+			Counts:       sum.ClassCounts(),
 		}
 	}
 	base := fig6BaselineCounts()
 	off := measure("")
 	proofDir := t.TempDir()
 	on := measure(proofDir)
-	if off.Counts != base || on.Counts != base {
-		t.Fatalf("class counts diverged: baseline %s, proofs-off %s, proofs-on %s",
+	if fmt.Sprint(off.Counts) != base || fmt.Sprint(on.Counts) != base {
+		t.Fatalf("class counts diverged: baseline %s, proofs-off %v, proofs-on %v",
 			base, off.Counts, on.Counts)
 	}
 	report, err := proof.CheckDir(proofDir)
@@ -608,7 +623,7 @@ func BenchmarkAblationNoVCCache(b *testing.B) {
 	base := fig6BaselineCounts()
 	for i := 0; i < b.N; i++ {
 		sum := harness.Run(figure6Config(4, false))
-		if got := fmt.Sprint(sum.Counts()); got != base {
+		if got := fmt.Sprint(sum.ClassCounts()); got != base {
 			b.Fatalf("counts diverged: got %s want %s", got, base)
 		}
 	}
@@ -616,4 +631,84 @@ func BenchmarkAblationNoVCCache(b *testing.B) {
 
 func BenchmarkAblationNoClauseReduce(b *testing.B) {
 	runAblation(b, core.Options{DisableClauseDBReduction: true})
+}
+
+// TestBenchPR5JSON writes the telemetry overhead artifact BENCH_PR5.json
+// (the `make bench` target): the Figure 6 corpus run untraced and traced,
+// same workers and cache in both. Class counts must be byte-identical —
+// tracing may never change verdicts — the trace must lint clean, and the
+// wall-clock ratio is recorded against a <=1.10x overhead target. Gated
+// behind WRITE_BENCH_JSON like the other artifact writers.
+func TestBenchPR5JSON(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_JSON") == "" {
+		t.Skip("set WRITE_BENCH_JSON=1 to write BENCH_PR5.json")
+	}
+	const workers = 4
+	type configResult struct {
+		WallSeconds float64        `json:"wall_seconds"`
+		CPUSeconds  float64        `json:"cpu_seconds"`
+		Spans       int            `json:"spans"`
+		Counts      map[string]int `json:"class_counts"`
+	}
+	measure := func(tracer *telemetry.Tracer) configResult {
+		cfg := figure6Config(workers, true)
+		cfg.Tracer = tracer
+		start := time.Now()
+		sum := harness.Run(cfg)
+		return configResult{
+			WallSeconds: time.Since(start).Seconds(),
+			CPUSeconds:  sum.CPUTime.Seconds(),
+			Spans:       tracer.Len(),
+			Counts:      sum.ClassCounts(),
+		}
+	}
+	base := fig6BaselineCounts()
+	off := measure(nil)
+	tracer := telemetry.NewTracer()
+	on := measure(tracer)
+	if fmt.Sprint(off.Counts) != base || fmt.Sprint(on.Counts) != base {
+		t.Fatalf("class counts diverged: baseline %s, untraced %v, traced %v",
+			base, off.Counts, on.Counts)
+	}
+	if err := telemetry.Lint(tracer.Records()); err != nil {
+		t.Fatalf("trace lint: %v", err)
+	}
+	smtQueries := int64(0)
+	for _, r := range tracer.Records() {
+		if r.Name == "smt.query" {
+			smtQueries++
+		}
+	}
+	ratio := on.WallSeconds / off.WallSeconds
+	artifact := struct {
+		Benchmark     string       `json:"benchmark"`
+		Corpus        int          `json:"corpus_functions"`
+		Workers       int          `json:"workers"`
+		Untraced      configResult `json:"untraced"`
+		Traced        configResult `json:"traced"`
+		WallRatio     float64      `json:"wall_ratio_traced"`
+		RatioTarget   float64      `json:"wall_ratio_target"`
+		SMTQuerySpans int64        `json:"smt_query_spans"`
+	}{
+		Benchmark:     "Figure6-telemetry",
+		Corpus:        figure6Corpus,
+		Workers:       workers,
+		Untraced:      off,
+		Traced:        on,
+		WallRatio:     ratio,
+		RatioTarget:   1.10,
+		SMTQuerySpans: smtQueries,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR5.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_PR5.json: untraced %.2fs, traced %.2fs (%.2fx, target <=1.10x), %d spans (%d smt.query)",
+		off.WallSeconds, on.WallSeconds, ratio, on.Spans, smtQueries)
+	if ratio > 1.10 {
+		t.Errorf("tracing overhead %.2fx exceeds 1.10x wall-clock target", ratio)
+	}
 }

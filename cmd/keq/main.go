@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/llvmir"
 	"repro/internal/proof"
+	"repro/internal/telemetry"
 	"repro/internal/tv"
 	"repro/internal/vx86"
 )
@@ -31,6 +32,7 @@ func main() {
 	timeout := flag.Duration("timeout", 10*time.Minute, "per-run wall-clock budget")
 	verbose := flag.Bool("v", false, "print per-point statistics")
 	emitProof := flag.String("emit-proof", "", "write proof certificates and the bisimulation witness to this directory")
+	traceFile := flag.String("trace", "", "write a JSONL span trace of the check to this file (lint with tracelint)")
 	flag.Parse()
 	if flag.NArg() != 3 {
 		fmt.Fprintln(os.Stderr, "usage: keq [flags] input.ll output.vx86 points.sync")
@@ -88,8 +90,19 @@ func main() {
 		rec = proof.NewRecorder(fn.Name)
 		opts.Proof = rec
 	}
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer()
+		opts.Trace = tracer
+	}
 
 	out := tv.ValidateTranslation(mod, fn, xfn, points, opts, tv.Budget{Timeout: *timeout})
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		check(err)
+		check(tracer.WriteJSONL(f))
+		check(f.Close())
+	}
 	if rec != nil {
 		_, err := proof.WriteCerts(*emitProof, rec)
 		check(err)

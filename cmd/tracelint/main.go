@@ -1,0 +1,65 @@
+// Command tracelint validates a JSONL span trace written by tv -trace or
+// keq -trace: every line must parse as a span record, span IDs must be
+// unique, every parent must exist, and every child must nest within its
+// parent's interval. On success it prints a per-span-name summary; any
+// violation is reported and the exit status is 1.
+//
+// Usage:
+//
+//	tracelint trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint trace.jsonl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	check(err)
+	records, err := telemetry.ReadJSONL(f)
+	f.Close()
+	check(err)
+	if err := telemetry.Lint(records); err != nil {
+		fmt.Fprintf(os.Stderr, "tracelint: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	byName := make(map[string]int)
+	var roots, children int
+	for _, r := range records {
+		byName[r.Name]++
+		if r.Parent == 0 {
+			roots++
+		} else {
+			children++
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: %d spans (%d roots, %d children), all nested correctly\n",
+		path, len(records), roots, children)
+	for _, n := range names {
+		fmt.Printf("  %-22s %6d\n", n, byName[n])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracelint:", err)
+		os.Exit(2)
+	}
+}

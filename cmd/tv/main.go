@@ -37,6 +37,7 @@ import (
 	"repro/internal/llvmir"
 	"repro/internal/paperprogs"
 	"repro/internal/proof"
+	"repro/internal/telemetry"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
 )
@@ -61,9 +62,16 @@ func run() int {
 	jobs := flag.Int("j", 0, "parallel validation workers for fig6/fig7 (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print run-wide solver and worker-pool statistics")
 	emitProofs := flag.String("emit-proofs", "", "write proof certificates and bisimulation witnesses to this directory (verify with proofcheck)")
+	traceFile := flag.String("trace", "", "write a JSONL span trace of every pipeline phase and SMT query to this file (lint with tracelint)")
+	phaseReport := flag.Bool("phase-report", false, "print the per-phase time breakdown (and the timeout/OOM tail's)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	var tracer *telemetry.Tracer
+	if *traceFile != "" {
+		tracer = telemetry.NewTracer()
+	}
 
 	if *emitProofs != "" {
 		check(os.MkdirAll(*emitProofs, 0o755))
@@ -102,7 +110,7 @@ func run() int {
 			code = 2
 			break
 		}
-		code = validateFile(flag.Arg(0), copts, budget, *emitProofs)
+		code = validateFile(flag.Arg(0), copts, budget, *emitProofs, tracer, *phaseReport)
 	case "fig6", "fig7", "eval":
 		cfg := harness.Config{
 			Profile:         corpus.GCCLike(*n),
@@ -112,6 +120,7 @@ func run() int {
 			Workers:         *jobs,
 			DisableVCCache:  *noVCCache,
 			ProofDir:        *emitProofs,
+			Tracer:          tracer,
 		}
 		if *progress {
 			cfg.Progress = os.Stderr
@@ -129,21 +138,38 @@ func run() int {
 			fmt.Println()
 			sum.RenderStats(os.Stdout)
 		}
+		if *phaseReport {
+			fmt.Println()
+			sum.PhaseReport(os.Stdout)
+		}
 	case "bugs":
 		code = runBugs(budget)
 	default:
 		fmt.Fprintf(os.Stderr, "tv: unknown experiment %q\n", *experiment)
 		code = 2
 	}
+	if tracer != nil {
+		f, err := os.Create(*traceFile)
+		check(err)
+		check(tracer.WriteJSONL(f))
+		check(f.Close())
+	}
 	return code
 }
 
-func validateFile(path string, copts core.Options, budget tv.Budget, proofDir string) int {
+func validateFile(path string, copts core.Options, budget tv.Budget, proofDir string,
+	tracer *telemetry.Tracer, phaseReport bool) int {
+	m := telemetry.NewMetrics()
+	copts.Trace = tracer
+	copts.Metrics = m
+
+	parseStart := time.Now()
 	src, err := os.ReadFile(path)
 	check(err)
 	mod, err := llvmir.Parse(string(src))
 	check(err)
 	check(llvmir.Verify(mod))
+	m.Observe("phase.parse", time.Since(parseStart))
 
 	failed := false
 	var manifest proof.Manifest
@@ -157,6 +183,7 @@ func validateFile(path string, copts core.Options, budget tv.Budget, proofDir st
 			copts.Proof = rec
 		}
 		out := tv.Validate(mod, fn.Name, isel.Options{}, vcgen.Options{}, copts, budget)
+		harness.RecordOutcome(m, 0, out)
 		certified := false
 		if rec != nil {
 			_, err := proof.WriteCerts(proofDir, rec)
@@ -186,6 +213,10 @@ func validateFile(path string, copts core.Options, budget tv.Budget, proofDir st
 	}
 	if proofDir != "" {
 		check(proof.WriteManifest(proofDir, &manifest))
+	}
+	if phaseReport {
+		fmt.Println()
+		harness.RenderPhases(os.Stdout, m)
 	}
 	if failed {
 		return 1

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/proof"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 )
 
 // CheckStats counts the work done by a validation run.
@@ -57,6 +58,14 @@ type Options struct {
 	// their feasibility queries, and every pairing decision with the
 	// query certificates discharging its obligations (see internal/proof).
 	Proof *proof.Recorder
+	// Trace, when non-nil, receives a span per sync point checked, per
+	// cut-successor search, per pairing attempt, and (via the solver) per
+	// SMT query. TraceParent is the span the point spans nest under.
+	Trace       *telemetry.Tracer
+	TraceParent telemetry.SpanID
+	// Metrics, when non-nil, receives per-phase latency observations and
+	// query-outcome counters. It is also handed to the solver.
+	Metrics *telemetry.Metrics
 }
 
 // Checker runs the symbolic variant of Algorithm 1 over two language
@@ -82,6 +91,9 @@ func NewChecker(solver *smt.Solver, left, right Semantics, opts Options) *Checke
 	solver.Cache = opts.VCCache
 	solver.DisableClauseDB = opts.DisableClauseDBReduction
 	solver.Recorder = opts.Proof
+	solver.Tracer = opts.Trace
+	solver.TraceParent = opts.TraceParent
+	solver.Metrics = opts.Metrics
 	return &Checker{
 		ctx:    solver.Context(),
 		solver: solver,
@@ -131,7 +143,20 @@ func (ck *Checker) Run(points []*SyncPoint) (*Report, error) {
 		if p.Exiting {
 			continue
 		}
+		start := time.Now()
+		sp := ck.opts.Trace.Start(ck.opts.TraceParent, "core.point",
+			telemetry.String("point", p.ID))
+		saved := ck.solver.TraceParent
+		if sp != nil {
+			ck.solver.TraceParent = sp.ID()
+		}
 		fails, err := ck.checkPoint(rel, p)
+		ck.solver.TraceParent = saved
+		if sp != nil {
+			sp.SetAttr("failures", len(fails))
+			sp.End()
+		}
+		ck.opts.Metrics.Observe("core.point", time.Since(start))
 		if err != nil {
 			return nil, fmt.Errorf("core: checking point %s: %w", p.ID, err)
 		}
@@ -191,11 +216,11 @@ func (ck *Checker) checkPoint(rel *Relation, p *SyncPoint) ([]Failure, error) {
 	if err != nil {
 		return nil, err
 	}
-	n1, feas1, pruned1, err := ck.cutSuccessors(ck.left, sL, rel.LeftLocs())
+	n1, feas1, pruned1, err := ck.tracedCutSuccessors("left", ck.left, sL, rel.LeftLocs())
 	if err != nil {
 		return nil, fmt.Errorf("left side: %w", err)
 	}
-	n2, feas2, pruned2, err := ck.cutSuccessors(ck.right, sR, rel.RightLocs())
+	n2, feas2, pruned2, err := ck.tracedCutSuccessors("right", ck.right, sR, rel.RightLocs())
 	if err != nil {
 		return nil, fmt.Errorf("right side: %w", err)
 	}
@@ -361,6 +386,27 @@ func addPreset(m map[string]*smt.Term, name string, t *smt.Term, pid string) err
 	return nil
 }
 
+// tracedCutSuccessors brackets one cut-successor search with a span (the
+// solver's per-query spans nest under it) and a latency observation.
+func (ck *Checker) tracedCutSuccessors(side string, sem Semantics, s State, cuts map[Location]bool) ([]State, []string, []proof.Pruned, error) {
+	start := time.Now()
+	sp := ck.opts.Trace.Start(ck.solver.TraceParent, "core.cutsuccessors",
+		telemetry.String("side", side))
+	saved := ck.solver.TraceParent
+	if sp != nil {
+		ck.solver.TraceParent = sp.ID()
+	}
+	states, feasQ, pruned, err := ck.cutSuccessors(sem, s, cuts)
+	ck.solver.TraceParent = saved
+	if sp != nil {
+		sp.SetAttr("succs", len(states))
+		sp.SetAttr("pruned", len(pruned))
+		sp.End()
+	}
+	ck.opts.Metrics.Observe("core.cutsuccessors", time.Since(start))
+	return states, feasQ, pruned, err
+}
+
 // cutSuccessors is function next_i of Algorithm 1: symbolic execution from
 // s until every path reaches a cut state (a location in cuts, a final
 // state, or an error state). Successors with unsatisfiable path conditions
@@ -444,7 +490,17 @@ func (ck *Checker) pathFeasible(s State) (bool, error) {
 // undefined-behavior acceptability policy, or by finding a sync point in P
 // whose constraints are provable once the two path conditions are shown to
 // pair up.
-func (ck *Checker) tryPair(rel *Relation, n1, n2 []State, i, j int, excuse *smt.Term) (bool, proof.PairWitness, error) {
+func (ck *Checker) tryPair(rel *Relation, n1, n2 []State, i, j int, excuse *smt.Term) (matched bool, _ proof.PairWitness, _ error) {
+	if sp := ck.opts.Trace.Start(ck.solver.TraceParent, "core.pair",
+		telemetry.Int("l", int64(i)), telemetry.Int("r", int64(j))); sp != nil {
+		saved := ck.solver.TraceParent
+		ck.solver.TraceParent = sp.ID()
+		defer func() {
+			ck.solver.TraceParent = saved
+			sp.SetAttr("matched", matched)
+			sp.End()
+		}()
+	}
 	a, b := n1[i], n2[j]
 	ctx := ck.ctx
 	pw := proof.PairWitness{L: i, R: j}

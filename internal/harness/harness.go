@@ -21,6 +21,7 @@ import (
 	"repro/internal/llvmir"
 	"repro/internal/proof"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
 )
@@ -65,6 +66,11 @@ type Config struct {
 	// dangle), a bisimulation witness for each Succeeded function, and a
 	// MANIFEST.json for the run. Verify with cmd/proofcheck.
 	ProofDir string
+	// Tracer, when non-nil, receives one span tree per validated function
+	// — harness.fn > harness.parse + tv.validate > per-phase and per-SMT-
+	// query spans. The tracer is shared by all workers (it is
+	// goroutine-safe); flush it with telemetry.WriteJSONL after Run.
+	Tracer *telemetry.Tracer
 }
 
 // ResultRow is one function's outcome.
@@ -79,6 +85,11 @@ type ResultRow struct {
 	// Certified reports that proof emission was on and the function's
 	// certificates and bisimulation witness were written successfully.
 	Certified bool
+	// ProofErr records why certificate or witness emission failed for this
+	// row (nil when proof emission was off or succeeded). Unlike Err it is
+	// set even when validation itself also failed, so a proof-write
+	// failure is never silently folded into Certified=false.
+	ProofErr error
 }
 
 // Summary aggregates an experiment.
@@ -97,8 +108,14 @@ type Summary struct {
 	// Certified counts rows whose certificates and witness were written
 	// (0 when proof emission was off).
 	Certified int
+	// CertFailed counts rows whose proof emission failed (ProofErr set).
+	CertFailed int
 	// ProofErr records a failure writing the run manifest, if any.
 	ProofErr error
+	// Metrics holds the run's per-phase latency histograms and outcome
+	// counters, merged across workers. Always non-nil after Run; Figure7,
+	// RenderStats, and PhaseReport render from it.
+	Metrics *telemetry.Metrics
 }
 
 // Run validates the whole corpus across Config.Workers goroutines and
@@ -120,7 +137,8 @@ func Run(cfg Config) *Summary {
 	if workers > len(fns) && len(fns) > 0 {
 		workers = len(fns)
 	}
-	sum := &Summary{Total: len(fns), Workers: workers, Rows: make([]ResultRow, len(fns))}
+	sum := &Summary{Total: len(fns), Workers: workers, Rows: make([]ResultRow, len(fns)),
+		Metrics: telemetry.NewMetrics()}
 	start := time.Now()
 
 	var (
@@ -134,10 +152,11 @@ func Run(cfg Config) *Summary {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				row, stats := validateOne(cfg, fns[i], i)
+				row, stats, m := validateOne(cfg, fns[i], i)
 				sum.Rows[i] = row // index-disjoint writes: no lock needed
 				mu.Lock()
 				sum.SMTStats.Add(stats)
+				sum.Metrics.Merge(m)
 				sum.CPUTime += row.Duration
 				done++
 				if cfg.Progress != nil {
@@ -160,6 +179,9 @@ func Run(cfg Config) *Summary {
 			if r.Certified {
 				sum.Certified++
 			}
+			if r.ProofErr != nil {
+				sum.CertFailed++
+			}
 			m.Functions = append(m.Functions, proof.ManifestRow{
 				Name: r.Fn, Class: r.Class.String(), Certified: r.Certified,
 			})
@@ -176,9 +198,37 @@ var validateHook func(i int, f corpus.Function)
 // validateOne runs the full pipeline for one corpus function. Parse
 // failures and panics are contained here: both become a ClassOther row
 // with the cause in Err, so one bad function cannot abort the corpus run.
-func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt.Stats) {
+// The returned Metrics registry is private to this call — the caller
+// merges it into the run-wide one — so recording it needs no cross-worker
+// synchronization.
+func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt.Stats, m *telemetry.Metrics) {
+	m = telemetry.NewMetrics()
 	start := time.Now()
 	var rec *proof.Recorder
+	var parseDur time.Duration
+	var out *tv.Outcome
+	fnSpan := cfg.Tracer.Start(0, "harness.fn", telemetry.String("fn", f.Name))
+	if fnSpan != nil {
+		cfg.Checker.Trace = cfg.Tracer
+		cfg.Checker.TraceParent = fnSpan.ID()
+	}
+	// The solver observes per-query latency into the private registry
+	// whether or not tracing is on; Figure 7 and -stats render from it.
+	cfg.Checker.Metrics = m
+	// Declared before the recover handler so it runs after it: on a panic
+	// the row is already rewritten by the time the metrics are recorded.
+	defer func() {
+		if out != nil {
+			RecordOutcome(m, parseDur, out)
+		} else {
+			m.Observe("fn.duration", row.Duration)
+			m.Add("class."+row.Class.String(), 1)
+		}
+		if fnSpan != nil {
+			fnSpan.SetAttr("class", row.Class.String())
+			fnSpan.End()
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
 			row = ResultRow{
@@ -187,24 +237,30 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 				Duration: time.Since(start),
 				Err:      fmt.Errorf("harness: panic validating %s: %v", f.Name, p),
 			}
+			out = nil
 			if rec != nil {
 				// Certificates recorded before the panic may already back
 				// cache entries other functions reference; keep them.
-				proof.WriteCerts(cfg.ProofDir, rec)
+				if _, perr := proof.WriteCerts(cfg.ProofDir, rec); perr != nil {
+					row.ProofErr = perr
+				}
 			}
 		}
 	}()
 	if validateHook != nil {
 		validateHook(i, f)
 	}
+	parseSpan := cfg.Tracer.Start(cfg.Checker.TraceParent, "harness.parse")
 	mod, err := llvmir.Parse(f.Src)
+	parseSpan.End()
+	parseDur = time.Since(start)
 	if err != nil {
 		return ResultRow{
 			Fn:       f.Name,
 			Class:    tv.ClassOther,
 			Duration: time.Since(start),
 			Err:      fmt.Errorf("harness: corpus function %s does not parse: %w", f.Name, err),
-		}, stats
+		}, stats, m
 	}
 	if cfg.ProofDir != "" {
 		rec = proof.NewRecorder(f.Name)
@@ -214,7 +270,8 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 	if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
 		vopts.CoarseLiveness = true
 	}
-	out := tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
+	out = tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
+	out.Phases.Parse = parseDur
 	row = ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration,
 		CodeSize: out.CodeSize, Err: out.Err}
 	if rec != nil {
@@ -229,11 +286,47 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 				perr = werr
 			}
 		}
-		if perr != nil && row.Err == nil {
-			row.Err = fmt.Errorf("harness: writing proofs for %s: %w", f.Name, perr)
+		if perr != nil {
+			row.ProofErr = perr
+			if row.Err == nil {
+				row.Err = fmt.Errorf("harness: writing proofs for %s: %w", f.Name, perr)
+			}
 		}
 	}
-	return row, out.SMTStats
+	return row, out.SMTStats, m
+}
+
+// RecordOutcome folds one validation outcome into m: the per-phase
+// latency histograms (phase.*), the whole-run histogram (fn.duration),
+// the outcome counter (class.*), and — for Timeout and OOM rows — the
+// tail.* phase histograms that explain where the budget went (the
+// Figure 6 failure tail). Shared by the harness worker and cmd/tv's
+// single-file mode.
+func RecordOutcome(m *telemetry.Metrics, parse time.Duration, out *tv.Outcome) {
+	if m == nil || out == nil {
+		return
+	}
+	m.Observe("fn.duration", out.Duration)
+	m.Add("class."+out.Class.String(), 1)
+	obs := func(name string, d time.Duration) {
+		if d > 0 {
+			m.Observe(name, d)
+		}
+	}
+	obs("phase.parse", parse)
+	obs("phase.isel", out.Phases.ISel)
+	obs("phase.vcgen", out.Phases.VCGen)
+	obs("phase.check", out.Phases.Check)
+	obs("phase.smt", out.Phases.SMT)
+	obs("phase.step", out.Phases.Check-out.Phases.SMT)
+	if out.Class == tv.ClassTimeout || out.Class == tv.ClassOOM {
+		obs("tail.parse", parse)
+		obs("tail.isel", out.Phases.ISel)
+		obs("tail.vcgen", out.Phases.VCGen)
+		obs("tail.check", out.Phases.Check)
+		obs("tail.smt", out.Phases.SMT)
+		obs("tail.step", out.Phases.Check-out.Phases.SMT)
+	}
 }
 
 // Speedup is the ratio of aggregate validation CPU time to wall-clock
@@ -258,10 +351,30 @@ func (s *Summary) RenderStats(w io.Writer) {
 			s.SMTStats.CacheHits, looked,
 			100*float64(s.SMTStats.CacheHits)/float64(looked), s.SMTStats.CacheBytes)
 	}
-	if s.SMTStats.Certificates > 0 {
+	if h := s.Metrics.Hist("smt.query"); h.Count > 0 {
+		fmt.Fprintf(w, "SMT latency: p50 %s, p90 %s, p99 %s, max %s over %d observed queries\n",
+			fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.9)), fmtDur(h.Quantile(0.99)),
+			fmtDur(time.Duration(h.Max)), h.Count)
+	}
+	if s.SMTStats.Certificates > 0 || s.CertFailed > 0 {
 		fmt.Fprintf(w, "Proofs: %d query certificates, %d DRAT trace bytes, %d/%d functions certified\n",
 			s.SMTStats.Certificates, s.SMTStats.ProofBytes, s.Certified, s.Total)
 	}
+	if s.CertFailed > 0 {
+		fmt.Fprintf(w, "Proof emission FAILED for %d functions (first: %v)\n",
+			s.CertFailed, s.firstProofErr())
+	}
+}
+
+// firstProofErr returns the first per-row proof-emission error, in corpus
+// order (nil when none failed).
+func (s *Summary) firstProofErr() error {
+	for _, r := range s.Rows {
+		if r.ProofErr != nil {
+			return r.ProofErr
+		}
+	}
+	return nil
 }
 
 // Counts returns the per-class totals.
@@ -269,6 +382,18 @@ func (s *Summary) Counts() map[tv.Class]int {
 	out := make(map[tv.Class]int)
 	for _, r := range s.Rows {
 		out[r.Class]++
+	}
+	return out
+}
+
+// ClassCounts returns the per-class totals keyed by class name. This is
+// the JSON-marshalable form the BENCH_*.json writers and cross-run
+// comparisons use (a map[tv.Class]int marshals its int8 keys uselessly,
+// and fmt.Sprint orders it numerically rather than lexically).
+func (s *Summary) ClassCounts() map[string]int {
+	out := make(map[string]int)
+	for _, r := range s.Rows {
+		out[r.Class.String()]++
 	}
 	return out
 }
@@ -309,20 +434,29 @@ func (s *Summary) Figure6(w io.Writer) {
 }
 
 // Figure7 renders the two distributions of the paper's Figure 7 as text
-// histograms: validation time (log-scale buckets) and code size.
+// histograms: validation time (from the run's fn.duration latency
+// histogram when metrics were recorded, per-row otherwise) and code size.
 func (s *Summary) Figure7(w io.Writer) {
 	fmt.Fprintln(w, "Figure 7: Distributions of validation time and code size")
-	var times []float64
+	if h := s.Metrics.Hist("fn.duration"); h.Count > 0 {
+		fmt.Fprintf(w, "\nValidation time: mean %.2fs, median %.2fs (log2 buckets)\n",
+			h.Mean().Seconds(), h.Quantile(0.5).Seconds())
+		renderHistBuckets(w, &h)
+	} else {
+		var times []float64
+		for _, r := range s.Rows {
+			times = append(times, r.Duration.Seconds())
+		}
+		fmt.Fprintf(w, "\nValidation time: mean %.2fs, median %.2fs\n",
+			mean(times), median(times))
+		histogram(w, "time", times, []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100},
+			func(v float64) string { return fmt.Sprintf("%6.2fs", v) })
+	}
+
 	var sizes []int
 	for _, r := range s.Rows {
-		times = append(times, r.Duration.Seconds())
 		sizes = append(sizes, r.CodeSize)
 	}
-	fmt.Fprintf(w, "\nValidation time: mean %.2fs, median %.2fs\n",
-		mean(times), median(times))
-	histogram(w, "time", times, []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100},
-		func(v float64) string { return fmt.Sprintf("%6.2fs", v) })
-
 	sizesF := make([]float64, len(sizes))
 	for i, v := range sizes {
 		sizesF[i] = float64(v)
@@ -331,6 +465,118 @@ func (s *Summary) Figure7(w io.Writer) {
 		mean(sizesF), median(sizesF))
 	histogram(w, "size", sizesF, []float64{4, 8, 16, 32, 64, 128, 256, 512},
 		func(v float64) string { return fmt.Sprintf("%6.0f", v) })
+}
+
+// fmtDur renders a duration with 3 significant digits — log2 bucket
+// edges stringify unreadably otherwise (1.048576ms).
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3gµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.3gms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3gs", d.Seconds())
+	}
+}
+
+// renderHistBuckets prints a telemetry histogram as ASCII bars.
+func renderHistBuckets(w io.Writer, h *telemetry.Histogram) {
+	bs := h.Buckets()
+	max := int64(1)
+	for _, b := range bs {
+		if b.Count > max {
+			max = b.Count
+		}
+	}
+	for _, b := range bs {
+		bar := strings.Repeat("#", int(math.Round(40*float64(b.Count)/float64(max))))
+		fmt.Fprintf(w, "  %8s – %-8s %5d %s\n", fmtDur(b.Lo), fmtDur(b.Hi), b.Count, bar)
+	}
+}
+
+// phaseRows is the rendering order of PhaseReport; step and smt are
+// sub-phases of check (indented) and excluded from the CPU total.
+var phaseRows = []struct {
+	label string
+	key   string
+	sub   bool
+}{
+	{"parse", "parse", false},
+	{"isel", "isel", false},
+	{"vcgen", "vcgen", false},
+	{"check", "check", false},
+	{"step", "step", true},
+	{"smt", "smt", true},
+}
+
+// PhaseReport prints the per-phase wall-clock breakdown of the run — the
+// instrument the paper's §5.1 timeout/OOM discussion calls for: it shows
+// where the budget of the failure tail went (symbolic stepping vs. SMT
+// solving vs. the pre-check phases).
+func (s *Summary) PhaseReport(w io.Writer) {
+	RenderPhases(w, s.Metrics)
+}
+
+// RenderPhases is the standalone form of PhaseReport, for callers that
+// recorded phase metrics without a Summary (cmd/tv's single-file mode).
+func RenderPhases(w io.Writer, m *telemetry.Metrics) {
+	renderPhaseTable(w, m, "phase", "Per-phase time breakdown (all functions)")
+	if tailCount(m) > 0 {
+		fmt.Fprintln(w)
+		renderPhaseTable(w, m, "tail", "Timeout/OOM tail: where the budget went")
+	}
+}
+
+func tailCount(m *telemetry.Metrics) int64 {
+	var n int64
+	for _, p := range phaseRows {
+		h := m.Hist("tail." + p.key)
+		if h.Count > n {
+			n = h.Count
+		}
+	}
+	return n
+}
+
+// renderPhaseTable prints one phase table from the prefix.* histograms of
+// m. The %cpu column is relative to the top-level phases' total (check's
+// sub-phases overlap it and are excluded from the denominator).
+func renderPhaseTable(w io.Writer, m *telemetry.Metrics, prefix, title string) {
+	var cpuTotal int64
+	for _, p := range phaseRows {
+		if !p.sub {
+			h := m.Hist(prefix + "." + p.key)
+			cpuTotal += h.Sum
+		}
+	}
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-8s %7s %10s %10s %10s %10s %10s %7s\n",
+		"phase", "count", "total", "mean", "p50", "p90", "max", "%cpu")
+	for _, p := range phaseRows {
+		h := m.Hist(prefix + "." + p.key)
+		if h.Count == 0 {
+			continue
+		}
+		label := p.label
+		if p.sub {
+			label = "  " + label
+		}
+		pct := 0.0
+		if cpuTotal > 0 {
+			pct = 100 * float64(h.Sum) / float64(cpuTotal)
+		}
+		fmt.Fprintf(w, "  %-8s %7d %10s %10s %10s %10s %10s %6.1f%%\n",
+			label, h.Count,
+			fmtDur(time.Duration(h.Sum)), fmtDur(h.Mean()),
+			fmtDur(h.Quantile(0.5)), fmtDur(h.Quantile(0.9)),
+			fmtDur(time.Duration(h.Max)), pct)
+	}
+	if cpuTotal == 0 {
+		fmt.Fprintln(w, "  (no phase metrics recorded)")
+	}
 }
 
 func mean(xs []float64) float64 {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/llvmir"
+	"repro/internal/telemetry"
 	"repro/internal/vx86"
 )
 
@@ -41,6 +42,10 @@ type Options struct {
 	// the paper's §4.7 calls out as hard for Z3 to re-prove (the
 	// bit-blasting solver here handles them directly).
 	StrengthReduce bool
+	// Trace, when non-nil, receives spans for the lowering and peephole
+	// sub-phases, nested under TraceParent.
+	Trace       *telemetry.Tracer
+	TraceParent telemetry.SpanID
 }
 
 // Hints is the compiler-emitted information consumed by the VC generator
@@ -162,24 +167,31 @@ func (c *compiler) compile() error {
 	}
 
 	c.skip = make(map[*llvmir.Instr]bool)
+	lowerSpan := c.opts.Trace.Start(c.opts.TraceParent, "isel.lower",
+		telemetry.Int("blocks", int64(len(c.fn.Blocks))))
 	for i, b := range c.fn.Blocks {
 		c.cur = &vx86.Block{Name: c.hints.BlockMap[b.Name]}
 		c.out.Blocks = append(c.out.Blocks, c.cur)
 		if i == 0 {
 			if err := c.lowerParams(); err != nil {
+				lowerSpan.End()
 				return err
 			}
 		}
 		if err := c.lowerBlock(b); err != nil {
+			lowerSpan.End()
 			return err
 		}
 	}
+	lowerSpan.End()
+	peepSpan := c.opts.Trace.Start(c.opts.TraceParent, "isel.peephole")
 	c.insertPhiConstMaterializations()
 	if c.opts.MergeStores || c.opts.BugWAWStoreMerge {
 		for _, b := range c.out.Blocks {
 			mergeStores(b, c.opts.BugWAWStoreMerge)
 		}
 	}
+	peepSpan.End()
 	return nil
 }
 

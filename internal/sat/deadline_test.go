@@ -1,0 +1,59 @@
+package sat
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeadlinePolledInsideSearch is the regression test for the
+// timeout-overrun bug: the deadline used to be polled only at restart
+// boundaries, so one long search segment (restart budgets grow with the
+// Luby sequence) could blow past the per-function budget without bound.
+// A hard query must now return Unknown close to its deadline — within
+// one ~256-conflict poll interval — not at the next restart, however far
+// away that is.
+func TestDeadlinePolledInsideSearch(t *testing.T) {
+	s := New()
+	// PHP(10, 9) takes far longer than the deadline below to refute; the
+	// verdict must therefore be Unknown, promptly.
+	pigeonholeSolver(s, 10, 9)
+	const budget = 100 * time.Millisecond
+	s.Deadline = time.Now().Add(budget)
+	start := time.Now()
+	st := s.Solve()
+	elapsed := time.Since(start)
+	if st != Unknown {
+		t.Fatalf("Solve() = %v, want Unknown (deadline exhausted)", st)
+	}
+	// 256 conflicts take well under a second even with the race detector
+	// on; a bound this loose only fails if the in-search poll is gone.
+	if elapsed > budget+time.Second {
+		t.Fatalf("Solve overran its deadline: ran %v against a %v budget", elapsed, budget)
+	}
+	t.Logf("returned after %v (budget %v, conflicts %d)", elapsed, budget, s.Conflicts)
+}
+
+// TestDeadlineAlreadyPast: a query whose deadline has already elapsed
+// must give up within one poll interval and must not report a verdict.
+func TestDeadlineAlreadyPast(t *testing.T) {
+	s := New()
+	pigeonholeSolver(s, 10, 9)
+	s.Deadline = time.Now().Add(-time.Second)
+	start := time.Now()
+	if st := s.Solve(); st != Unknown {
+		t.Fatalf("Solve() = %v, want Unknown", st)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("past-deadline query still ran %v", elapsed)
+	}
+}
+
+// TestDeadlineZeroStillSolves: the zero deadline means unbounded; the
+// poll must not misfire on it.
+func TestDeadlineZeroStillSolves(t *testing.T) {
+	s := New()
+	pigeonholeSolver(s, 6, 5)
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve() = %v, want Unsat", st)
+	}
+}

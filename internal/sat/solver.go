@@ -126,8 +126,11 @@ type Solver struct {
 	// Budgets: 0 means unlimited.
 	ConflictBudget int64
 	PropBudget     int64
-	// Deadline, when non-zero, makes Solve return Unknown once passed
-	// (checked at restart boundaries and every few thousand conflicts).
+	// Deadline, when non-zero, makes Solve return Unknown once passed.
+	// It is polled inside the search loop every 256 conflicts (and at
+	// restart boundaries), so a long search segment can overrun the
+	// deadline by at most one poll interval — not by a whole Luby
+	// restart budget.
 	Deadline time.Time
 
 	// LBD enables Glucose-style learned-clause database management: each
@@ -661,6 +664,14 @@ func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float6
 		if confl != nil {
 			s.Conflicts++
 			conflicts++
+			// Poll the deadline inside the search, not only at restart
+			// boundaries: restart budgets grow with the Luby sequence, so
+			// one long segment could otherwise overrun the per-function
+			// budget without bound. Solve re-checks the deadline when we
+			// return Unknown and converts it into the final verdict.
+			if s.Conflicts&255 == 0 && !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+				return Unknown
+			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat

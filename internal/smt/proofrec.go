@@ -63,6 +63,7 @@ func (s *Solver) recordTrivial(f *Term, result string) {
 		return
 	}
 	s.Recorder.RecordTrivial(f, result, "")
+	s.lastCert = "trivial"
 	s.Stats.Certificates++
 }
 
@@ -71,6 +72,7 @@ func (s *Solver) recordSimplified(f *Term, result string, key string) {
 		return
 	}
 	s.Recorder.RecordSimplified(f, result, key)
+	s.lastCert = "simplified"
 	s.Stats.Certificates++
 }
 
@@ -79,6 +81,7 @@ func (s *Solver) recordRef(key string, result string) {
 		return
 	}
 	s.Recorder.RecordRef(key, result)
+	s.lastCert = "ref"
 	s.Stats.Certificates++
 }
 
@@ -87,6 +90,7 @@ func (s *Solver) recordModel(f *Term, m *Assign, key string) {
 		return
 	}
 	s.Recorder.RecordModel(f, proof.ModelFromAssign(m), key)
+	s.lastCert = "model"
 	s.Stats.Certificates++
 }
 
@@ -100,6 +104,7 @@ func (s *Solver) recordUnsat(log *sat.ProofLog, from int, sess *proof.Session, f
 	}
 	from = s.flushProof(log, from, sess)
 	s.Recorder.RecordUnsat(sess, sess.Len(), final, key)
+	s.lastCert = "drat"
 	s.Stats.Certificates++
 	return from
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/proof"
 	"repro/internal/sat"
+	"repro/internal/telemetry"
 )
 
 // Result is the outcome of a satisfiability or validity query.
@@ -96,6 +97,16 @@ type Solver struct {
 	// original term, and cache hits record a reference to the canonical
 	// key they resolved to. Off by default; see internal/proof.
 	Recorder *proof.Recorder
+	// Tracer, when non-nil, records one span per CheckSat query with its
+	// result, conflict delta, cache-hit flag, and certificate kind. Nil
+	// (the default) costs one nil check per query.
+	Tracer *telemetry.Tracer
+	// TraceParent is the span query spans nest under; the checker points
+	// it at the sync-point or pair span currently being discharged.
+	TraceParent telemetry.SpanID
+	// Metrics, when non-nil, receives a query-latency observation
+	// ("smt.query") and per-result counters for every CheckSat call.
+	Metrics *telemetry.Metrics
 
 	Stats Stats
 
@@ -105,6 +116,9 @@ type Solver struct {
 	incSession *proof.Session
 	incFlushed int
 	canonMemo  map[*Term]CanonKey
+	// lastCert is the kind of the most recently recorded certificate
+	// (trivial/simplified/ref/model/drat), surfaced as a span attribute.
+	lastCert string
 }
 
 // ErrDeadline is returned when the Solver's deadline has passed.
@@ -136,6 +150,11 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 	start := time.Now()
 	defer func() { s.Stats.SolveDuration += time.Since(start) }()
 	s.Stats.Queries++
+	if s.Tracer != nil || s.Metrics != nil {
+		before := s.Stats
+		sp := s.Tracer.Start(s.TraceParent, "smt.query")
+		defer func() { s.finishQuery(sp, start, before, res) }()
+	}
 
 	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
 		return ResultUnknown, nil, ErrDeadline

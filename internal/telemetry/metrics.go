@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of log2 buckets: bucket i holds durations
+// whose nanosecond count has bit length i, i.e. [2^(i-1), 2^i). 64
+// buckets cover everything a time.Duration can express.
+const histBuckets = 64
+
+// Histogram is a log-scale latency histogram. It is mergeable (Merge)
+// and exact in Count/Sum/Min/Max; quantiles are bucket-resolution
+// approximations (within 2x). Histogram itself is not goroutine-safe;
+// Metrics serializes access.
+type Histogram struct {
+	Count   int64
+	Sum     int64 // total nanoseconds
+	Min     int64 // ns; valid when Count > 0
+	Max     int64 // ns
+	buckets [histBuckets]int64
+}
+
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if h.Count == 0 || ns < h.Min {
+		h.Min = ns
+	}
+	if ns > h.Max {
+		h.Max = ns
+	}
+	h.Count++
+	h.Sum += ns
+	h.buckets[bucketOf(ns)]++
+}
+
+// Merge folds o into h. Merging shards recorded independently yields
+// exactly the histogram a single-shard run would have produced.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.Count == 0 {
+		return
+	}
+	if h.Count == 0 || o.Min < h.Min {
+		h.Min = o.Min
+	}
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	for i := range h.buckets {
+		h.buckets[i] += o.buckets[i]
+	}
+}
+
+// Mean returns the exact mean observation.
+func (h *Histogram) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.Sum / h.Count)
+}
+
+// Quantile returns an upper bound for the p-quantile (0 < p <= 1) at
+// bucket resolution: the upper edge of the bucket containing it, clamped
+// to Max.
+func (h *Histogram) Quantile(p float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p * float64(h.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			hi := int64(1) << i // upper edge of bucket i
+			if hi > h.Max || i == 0 {
+				hi = h.Max
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(h.Max)
+}
+
+// HistBucket is one rendered histogram bucket.
+type HistBucket struct {
+	Lo, Hi time.Duration // [Lo, Hi)
+	Count  int64
+}
+
+// Buckets returns the contiguous bucket range between the first and last
+// non-empty bucket (nil when the histogram is empty).
+func (h *Histogram) Buckets() []HistBucket {
+	if h.Count == 0 {
+		return nil
+	}
+	lo, hi := -1, -1
+	for i, c := range h.buckets {
+		if c != 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
+	}
+	out := make([]HistBucket, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		var b HistBucket
+		if i > 0 {
+			b.Lo = time.Duration(int64(1) << (i - 1))
+		}
+		b.Hi = time.Duration(int64(1) << i)
+		b.Count = h.buckets[i]
+		out = append(out, b)
+	}
+	return out
+}
+
+// Metrics is a registry of named counters and histograms. A nil *Metrics
+// drops everything, so instrumented code can carry one unconditionally.
+// All methods are goroutine-safe, but the intended pattern is one private
+// registry per worker, merged by the aggregator.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Add increments counter name by n. No-op on nil.
+func (m *Metrics) Add(name string, n int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += n
+	m.mu.Unlock()
+}
+
+// Observe records d into histogram name. No-op on nil.
+func (m *Metrics) Observe(name string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		m.hists[name] = h
+	}
+	h.Observe(d)
+	m.mu.Unlock()
+}
+
+// Counter returns the value of counter name (0 when absent or m is nil).
+func (m *Metrics) Counter(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// Hist returns a copy of histogram name (zero histogram when absent or m
+// is nil), safe to read without further locking.
+func (m *Metrics) Hist(name string) Histogram {
+	if m == nil {
+		return Histogram{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.hists[name]; h != nil {
+		return *h
+	}
+	return Histogram{}
+}
+
+// snapshot returns copies of the registry contents.
+func (m *Metrics) snapshot() (map[string]int64, map[string]Histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	counters := make(map[string]int64, len(m.counters))
+	for k, v := range m.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]Histogram, len(m.hists))
+	for k, h := range m.hists {
+		hists[k] = *h
+	}
+	return counters, hists
+}
+
+// Merge folds o into m. Either side may be nil. o must not be receiving
+// observations concurrently with the merge.
+func (m *Metrics) Merge(o *Metrics) {
+	if m == nil || o == nil {
+		return
+	}
+	counters, hists := o.snapshot()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range counters {
+		m.counters[k] += v
+	}
+	for k, oh := range hists {
+		h := m.hists[k]
+		if h == nil {
+			h = &Histogram{}
+			m.hists[k] = h
+		}
+		h.Merge(&oh)
+	}
+}

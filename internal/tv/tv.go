@@ -14,6 +14,7 @@ import (
 	"repro/internal/isel"
 	"repro/internal/llvmir"
 	"repro/internal/smt"
+	"repro/internal/telemetry"
 	"repro/internal/vcgen"
 	"repro/internal/vx86"
 )
@@ -78,6 +79,18 @@ func (c Class) String() string {
 	return "?"
 }
 
+// PhaseTimes is the wall-clock breakdown of one validation run. Parse is
+// zero unless the caller (the harness) parsed the module as part of the
+// per-function work. SMT is the portion of Check spent inside solver
+// calls, so Check-SMT is the symbolic-stepping overhead.
+type PhaseTimes struct {
+	Parse time.Duration
+	ISel  time.Duration
+	VCGen time.Duration
+	Check time.Duration
+	SMT   time.Duration
+}
+
 // Outcome is the result of validating one function.
 type Outcome struct {
 	Fn       string
@@ -85,6 +98,7 @@ type Outcome struct {
 	Report   *core.Report
 	Err      error
 	Duration time.Duration
+	Phases   PhaseTimes
 	CodeSize int // LLVM instruction count (the Figure 7 size metric)
 	Points   int
 	Compiled *isel.Result
@@ -97,7 +111,18 @@ func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen
 	start := time.Now()
 	deadline := budget.deadlineFrom(start)
 	out := &Outcome{Fn: fnName}
-	defer func() { out.Duration = time.Since(start) }()
+	root := copts.Trace.Start(copts.TraceParent, "tv.validate",
+		telemetry.String("fn", fnName))
+	if root != nil {
+		copts.TraceParent = root.ID()
+	}
+	defer func() {
+		out.Duration = time.Since(start)
+		if root != nil {
+			root.SetAttr("class", out.Class.String())
+			root.End()
+		}
+	}()
 
 	fn := mod.Func(fnName)
 	if fn == nil || !fn.Defined() {
@@ -107,7 +132,15 @@ func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen
 	}
 	out.CodeSize = fn.NumInstrs()
 
+	iselStart := time.Now()
+	iselSpan := copts.Trace.Start(copts.TraceParent, "tv.isel")
+	if iselSpan != nil {
+		iopts.Trace = copts.Trace
+		iopts.TraceParent = iselSpan.ID()
+	}
 	res, err := isel.Compile(mod, fn, iopts)
+	iselSpan.End()
+	out.Phases.ISel = time.Since(iselStart)
 	if err != nil {
 		var uns *isel.ErrUnsupported
 		if errors.As(err, &uns) {
@@ -134,14 +167,33 @@ func ValidateTranslation(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Func
 	start := time.Now()
 	deadline := budget.deadlineFrom(start)
 	out := &Outcome{Fn: fn.Name, CodeSize: fn.NumInstrs(), Points: len(points)}
-	defer func() { out.Duration = time.Since(start) }()
+	root := copts.Trace.Start(copts.TraceParent, "tv.validate",
+		telemetry.String("fn", fn.Name))
+	if root != nil {
+		copts.TraceParent = root.ID()
+	}
+	defer func() {
+		out.Duration = time.Since(start)
+		if root != nil {
+			root.SetAttr("class", out.Class.String())
+			root.End()
+		}
+	}()
 	runCheck(mod, fn, xfn, points, copts, budget, deadline, out)
 	return out
 }
 
 func validateCompiled(mod *llvmir.Module, fn *llvmir.Function, res *isel.Result,
 	vopts vcgen.Options, copts core.Options, budget Budget, deadline time.Time, out *Outcome) *Outcome {
+	vcStart := time.Now()
+	vcSpan := copts.Trace.Start(copts.TraceParent, "tv.vcgen")
+	if vcSpan != nil {
+		vopts.Trace = copts.Trace
+		vopts.TraceParent = vcSpan.ID()
+	}
 	points, err := vcgen.Generate(fn, res.Fn, res.Hints, vopts)
+	vcSpan.End()
+	out.Phases.VCGen = time.Since(vcStart)
 	if err != nil {
 		out.Class = ClassOther
 		out.Err = err
@@ -159,6 +211,7 @@ func validateCompiled(mod *llvmir.Module, fn *llvmir.Function, res *isel.Result,
 
 func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 	points []*core.SyncPoint, copts core.Options, budget Budget, deadline time.Time, out *Outcome) {
+	checkStart := time.Now()
 	// Term construction during symbolic execution may trip the node budget
 	// outside a solver call; treat it as the same out-of-memory outcome.
 	defer func() {
@@ -171,6 +224,11 @@ func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 			panic(p)
 		}
 	}()
+	checkSpan := copts.Trace.Start(copts.TraceParent, "tv.check",
+		telemetry.Int("points", int64(len(points))))
+	if checkSpan != nil {
+		copts.TraceParent = checkSpan.ID()
+	}
 	ctx := smt.NewContext()
 	ctx.MaxNodes = budget.MaxTermNodes
 	solver := smt.NewSolver(ctx)
@@ -179,6 +237,15 @@ func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 	// phase only gets whatever the earlier phases left of the budget. The
 	// checker's symbolic-stepping loop polls the same deadline.
 	solver.Deadline = deadline
+	// Runs during panic unwinding too (declared after the recover handler,
+	// so it fires first): the phase breakdown and span must survive an OOM
+	// abort mid-check.
+	defer func() {
+		out.Phases.Check = time.Since(checkStart)
+		out.Phases.SMT = solver.Stats.SolveDuration
+		out.SMTStats = solver.Stats
+		checkSpan.End()
+	}()
 
 	layout := llvmir.BuildLayout(mod, fn)
 	left := llvmir.NewSem(ctx, mod, fn, layout)
@@ -186,7 +253,6 @@ func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 
 	ck := core.NewChecker(solver, left, right, copts)
 	report, err := ck.Run(points)
-	out.SMTStats = solver.Stats
 	if err != nil {
 		out.Err = err
 		switch {

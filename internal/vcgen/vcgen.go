@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isel"
 	"repro/internal/llvmir"
+	"repro/internal/telemetry"
 	"repro/internal/vx86"
 )
 
@@ -38,6 +39,10 @@ type Options struct {
 	// inadequate-synchronization-point failure mode of the paper's
 	// evaluation ("Other" row of Figure 6).
 	CoarseLiveness bool
+	// Trace, when non-nil, receives spans for the liveness and
+	// point-construction sub-phases, nested under TraceParent.
+	Trace       *telemetry.Tracer
+	TraceParent telemetry.SpanID
 }
 
 // Generate builds the synchronization relation for one ISel translation
@@ -68,9 +73,13 @@ func (g *gen) run() ([]*core.SyncPoint, error) {
 	}
 	g.regTys = llvmir.RegTypes(g.fn)
 	g.xWidths = vx86.RegWidths(g.xfn)
+	liveSpan := g.opts.Trace.Start(g.opts.TraceParent, "vcgen.liveness")
 	g.llvmLive = cfg.Liveness(llvmir.FuncGraph{F: g.fn})
 	g.x86Live = cfg.Liveness(vx86.FuncGraph{F: g.xfn})
+	liveSpan.End()
 
+	ptSpan := g.opts.Trace.Start(g.opts.TraceParent, "vcgen.points")
+	defer ptSpan.End()
 	var points []*core.SyncPoint
 	entry, err := g.entryPoint()
 	if err != nil {
