@@ -20,14 +20,15 @@ fmtcheck:
 		echo "$$out" >&2; exit 1; fi
 
 race:
-	go test -race ./internal/harness ./internal/tv ./internal/telemetry
+	go test -race ./internal/harness ./internal/tv ./internal/telemetry ./internal/smt
 
 # bench reproduces the Figure 6 comparisons — cache on/off, proof
-# emission on/off, tracing on/off — and writes the machine-readable
-# artifacts BENCH_PR2.json, BENCH_PR3.json, and BENCH_PR5.json.
+# emission on/off, tracing on/off, inprocessing/portfolio ablations —
+# and writes the machine-readable artifacts BENCH_PR2.json,
+# BENCH_PR3.json, BENCH_PR5.json, and BENCH_PR6.json.
 bench:
 	go test -run '^$$' -bench 'BenchmarkFigure6' -benchtime 1x .
-	WRITE_BENCH_JSON=1 go test -run 'TestBenchPR2JSON|TestBenchPR3JSON|TestBenchPR5JSON' -v .
+	WRITE_BENCH_JSON=1 go test -timeout 60m -run 'TestBenchPR2JSON|TestBenchPR3JSON|TestBenchPR5JSON|TestBenchPR6JSON' -v .
 
 benchall:
 	go test -bench=. -benchmem

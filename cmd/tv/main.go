@@ -37,6 +37,7 @@ import (
 	"repro/internal/llvmir"
 	"repro/internal/paperprogs"
 	"repro/internal/proof"
+	"repro/internal/smt"
 	"repro/internal/telemetry"
 	"repro/internal/tv"
 	"repro/internal/vcgen"
@@ -58,6 +59,8 @@ func run() int {
 	negForm := flag.Bool("negative-form", false, "ablation: disable the positive-form SMT optimization")
 	noVCCache := flag.Bool("no-vc-cache", false, "ablation: disable the run-wide VC result cache")
 	noClauseReduce := flag.Bool("no-clause-reduce", false, "ablation: disable LBD learned-clause database reduction")
+	noInprocess := flag.Bool("no-inprocess", false, "ablation: disable SatELite-style SAT inprocessing")
+	noPortfolio := flag.Bool("no-portfolio", false, "ablation: disable portfolio racing across idle workers")
 	progress := flag.Bool("progress", false, "print per-function progress")
 	jobs := flag.Int("j", 0, "parallel validation workers for fig6/fig7 (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print run-wide solver and worker-pool statistics")
@@ -100,6 +103,7 @@ func run() int {
 	copts := core.Options{
 		DisablePositiveForm:      *negForm,
 		DisableClauseDBReduction: *noClauseReduce,
+		DisableInprocess:         *noInprocess,
 	}
 
 	code := 0
@@ -110,17 +114,24 @@ func run() int {
 			code = 2
 			break
 		}
+		if !*noPortfolio {
+			// Single-file mode has no worker pool: every slot beyond the
+			// one running the pipeline is idle capacity racers may use.
+			copts.Portfolio = smt.NewPortfolio(runtime.GOMAXPROCS(0))
+			copts.Portfolio.Acquire() // the pipeline's own slot
+		}
 		code = validateFile(flag.Arg(0), copts, budget, *emitProofs, tracer, *phaseReport)
 	case "fig6", "fig7", "eval":
 		cfg := harness.Config{
-			Profile:         corpus.GCCLike(*n),
-			Budget:          budget,
-			InadequateEvery: *inadequate,
-			Checker:         copts,
-			Workers:         *jobs,
-			DisableVCCache:  *noVCCache,
-			ProofDir:        *emitProofs,
-			Tracer:          tracer,
+			Profile:          corpus.GCCLike(*n),
+			Budget:           budget,
+			InadequateEvery:  *inadequate,
+			Checker:          copts,
+			Workers:          *jobs,
+			DisableVCCache:   *noVCCache,
+			DisablePortfolio: *noPortfolio,
+			ProofDir:         *emitProofs,
+			Tracer:           tracer,
 		}
 		if *progress {
 			cfg.Progress = os.Stderr

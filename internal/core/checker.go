@@ -52,6 +52,14 @@ type Options struct {
 	// database reduction in the SAT backend, reverting to the legacy
 	// activity-threshold policy (ablation).
 	DisableClauseDBReduction bool
+	// DisableInprocess turns off SatELite-style inprocessing in the SAT
+	// backend (subsumption, vivification, bounded variable elimination;
+	// ablation — on by default, see smt.Solver.Inprocess).
+	DisableInprocess bool
+	// Portfolio, when non-nil, is the shared worker-slot pool that lets
+	// the solver race stuck queries across idle workers (see
+	// smt.Portfolio). The harness injects one pool per corpus run.
+	Portfolio *smt.Portfolio
 	// Proof, when non-nil, records a bisimulation witness for the run and
 	// is wired into the solver so every query emits a certificate: the
 	// sync points of P, each non-exiting point's cut successors with
@@ -90,6 +98,8 @@ func NewChecker(solver *smt.Solver, left, right Semantics, opts Options) *Checke
 	solver.Incremental = !opts.DisableIncrementalSMT
 	solver.Cache = opts.VCCache
 	solver.DisableClauseDB = opts.DisableClauseDBReduction
+	solver.Inprocess = !opts.DisableInprocess
+	solver.Portfolio = opts.Portfolio
 	solver.Recorder = opts.Proof
 	solver.Tracer = opts.Trace
 	solver.TraceParent = opts.TraceParent

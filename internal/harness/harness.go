@@ -60,6 +60,14 @@ type Config struct {
 	// discharged — by any worker, in any function — is answered without
 	// solving. Ignored when Checker.VCCache is already set by the caller.
 	DisableVCCache bool
+	// DisablePortfolio turns off portfolio racing (ablation). By default
+	// Run creates one smt.Portfolio with a token per worker and attaches
+	// it to every checker: a worker holds its token while validating, so
+	// the tokens up for grabs are exactly the idle workers' — racing only
+	// ever spends capacity the run was wasting (the end-of-corpus tail,
+	// where the last stragglers hold the wall clock while the other
+	// workers sit idle). Ignored when Checker.Portfolio is already set.
+	DisablePortfolio bool
 	// ProofDir, when non-empty, makes every validated function emit proof
 	// certificates into that directory: query certificates plus DRAT
 	// traces for all functions (so cache references across functions never
@@ -137,6 +145,11 @@ func Run(cfg Config) *Summary {
 	if workers > len(fns) && len(fns) > 0 {
 		workers = len(fns)
 	}
+	pf := cfg.Checker.Portfolio
+	if pf == nil && !cfg.DisablePortfolio {
+		pf = smt.NewPortfolio(workers)
+		cfg.Checker.Portfolio = pf
+	}
 	sum := &Summary{Total: len(fns), Workers: workers, Rows: make([]ResultRow, len(fns)),
 		Metrics: telemetry.NewMetrics()}
 	start := time.Now()
@@ -152,7 +165,15 @@ func Run(cfg Config) *Summary {
 		go func() {
 			defer wg.Done()
 			for i := range indices {
+				// Hold this worker's portfolio token for the duration of
+				// the validation: tokens in the pool are idle workers.
+				if pf != nil {
+					pf.Acquire()
+				}
 				row, stats, m := validateOne(cfg, fns[i], i)
+				if pf != nil {
+					pf.Release()
+				}
 				sum.Rows[i] = row // index-disjoint writes: no lock needed
 				mu.Lock()
 				sum.SMTStats.Add(stats)
@@ -350,6 +371,16 @@ func (s *Summary) RenderStats(w io.Writer) {
 		fmt.Fprintf(w, "VC cache: %d hits / %d lookups (%.1f%% hit rate), %d canonical bytes hashed\n",
 			s.SMTStats.CacheHits, looked,
 			100*float64(s.SMTStats.CacheHits)/float64(looked), s.SMTStats.CacheBytes)
+	}
+	if n := s.SMTStats.SubsumedClauses + s.SMTStats.StrengthenedClauses +
+		s.SMTStats.VivifiedClauses + s.SMTStats.EliminatedVars; n > 0 {
+		fmt.Fprintf(w, "Inprocessing: %d clauses subsumed, %d strengthened, %d vivified, %d vars eliminated\n",
+			s.SMTStats.SubsumedClauses, s.SMTStats.StrengthenedClauses,
+			s.SMTStats.VivifiedClauses, s.SMTStats.EliminatedVars)
+	}
+	if s.SMTStats.Races > 0 {
+		fmt.Fprintf(w, "Portfolio: %d races, %d racer wins, %d idle slots borrowed\n",
+			s.SMTStats.Races, s.SMTStats.RaceRacerWins, s.SMTStats.RaceTokens)
 	}
 	if h := s.Metrics.Hist("smt.query"); h.Count > 0 {
 		fmt.Fprintf(w, "SMT latency: p50 %s, p90 %s, p99 %s, max %s over %d observed queries\n",

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/proof"
+	"repro/internal/smt"
+	"repro/internal/tv"
+)
+
+// TestPortfolioRowsMatchAblation: lending idle worker slots to portfolio
+// racers is a pure accelerator — the outcome table must be byte-identical
+// to a run with racing and inprocessing disabled. After=1 races every
+// query that survives a single conflict, maximizing the chance a racer
+// (not the primary) supplies the verdict.
+func TestPortfolioRowsMatchAblation(t *testing.T) {
+	// Term-node budgets only: wall-clock budgets classify
+	// timing-dependently under the race detector's slowdown.
+	budget := tv.Budget{MaxTermNodes: 4_000_000}
+	baseline := Run(Config{
+		Profile: parallelProfile, Budget: budget, Workers: 4,
+		DisablePortfolio: true,
+		Checker:          core.Options{DisableInprocess: true},
+	})
+	pf := smt.NewPortfolio(4)
+	pf.After = 1
+	raced := Run(Config{
+		Profile: parallelProfile, Budget: budget, Workers: 4,
+		Checker: core.Options{Portfolio: pf},
+	})
+
+	if len(baseline.Rows) != len(raced.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(baseline.Rows), len(raced.Rows))
+	}
+	for i := range baseline.Rows {
+		b, r := baseline.Rows[i], raced.Rows[i]
+		if b.Fn != r.Fn || b.Class != r.Class || b.CodeSize != r.CodeSize {
+			t.Errorf("row %d differs: baseline {%s %v %d} vs portfolio {%s %v %d}",
+				i, b.Fn, b.Class, b.CodeSize, r.Fn, r.Class, r.CodeSize)
+		}
+	}
+	// The end-of-corpus tail structurally idles workers (fewer functions
+	// left than pool slots), so with After=1 some query must have raced.
+	if raced.SMTStats.Races == 0 {
+		t.Error("no query raced: idle-worker lending never engaged")
+	}
+	t.Logf("races=%d racer wins=%d tokens=%d",
+		raced.SMTStats.Races, raced.SMTStats.RaceRacerWins, raced.SMTStats.RaceTokens)
+}
+
+// TestPortfolioProofsVerify: a proof-emitting run with aggressive racing
+// must produce a certificate directory the independent checker accepts
+// wholesale — racer-won traces included.
+func TestPortfolioProofsVerify(t *testing.T) {
+	dir := t.TempDir()
+	pf := smt.NewPortfolio(4)
+	pf.After = 1
+	sum := Run(Config{
+		Profile: parallelProfile, Budget: tv.Budget{MaxTermNodes: 4_000_000},
+		Workers:  4,
+		Checker:  core.Options{Portfolio: pf},
+		ProofDir: dir,
+	})
+	if sum.ProofErr != nil {
+		t.Fatalf("proof emission failed: %v", sum.ProofErr)
+	}
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range report.Rejections {
+		t.Errorf("rejection: %s", r)
+	}
+	if report.ByKind[proof.KindDRAT] == 0 {
+		t.Error("no DRAT certificates emitted")
+	}
+	if report.Witnesses == 0 {
+		t.Error("no bisimulation witnesses verified")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,7 +68,26 @@ type clause struct {
 	act     float64
 	lbd     int32 // literal block distance at learning time (LBD mode only)
 	deleted bool
+	// logged records that lits matches a clause step in the proof trace
+	// verbatim (learnt and derived clauses always; input clauses only when
+	// AddClause normalization changed nothing). Deleting an unlogged
+	// clause must not emit a trace deletion — the checker's strict
+	// matching would reject it — so the checker just keeps it live, which
+	// is sound: deletions only ever shrink the live set.
+	logged bool
 }
+
+// Stop is a shared cancellation token. A portfolio race sets it once some
+// solver wins; every other solver sharing it observes the flag at its next
+// search-loop poll (every 256 conflicts and at restart boundaries) and
+// returns Unknown. A nil *Stop is never stopped.
+type Stop struct{ flag atomic.Bool }
+
+// Stop requests cancellation.
+func (t *Stop) Stop() { t.flag.Store(true) }
+
+// Stopped reports whether cancellation was requested.
+func (t *Stop) Stopped() bool { return t != nil && t.flag.Load() }
 
 // Status is the result of a Solve call.
 type Status int8
@@ -132,6 +152,54 @@ type Solver struct {
 	// deadline by at most one poll interval — not by a whole Luby
 	// restart budget.
 	Deadline time.Time
+	// Cancel, when non-nil, is a shared cancellation token polled at the
+	// same points as Deadline: once stopped, Solve returns Unknown. A
+	// portfolio race hands the same token to every competing solver so
+	// the first winner cancels the rest.
+	Cancel *Stop
+
+	// PhasePositive makes fresh variables start with a positive saved
+	// phase (the MiniSat default is negative). Portfolio diversification
+	// knob; must be set before variables are allocated.
+	PhasePositive bool
+	// SeedShuffle, when non-zero, perturbs variable activities and saved
+	// phases with a deterministic xorshift stream seeded by it before the
+	// first search, diversifying the branching order across portfolio
+	// racers. Zero (the default) leaves the ordering untouched.
+	SeedShuffle uint64
+	// RestartBase scales the Luby restart sequence (0 = default 100
+	// conflicts per unit).
+	RestartBase int64
+
+	// Inprocess enables SatELite-style inprocessing — clause subsumption,
+	// self-subsuming resolution, and vivification — before search and at
+	// restart boundaries (see preprocess.go). Every rewrite it performs
+	// is logged as a RUP-checkable trace step, so it is proof-safe, and
+	// it only adds/deletes implied clauses, so it is sound on incremental
+	// instances too.
+	Inprocess bool
+	// InprocessElim additionally enables bounded variable elimination in
+	// the initial inprocessing pass. Elimination preserves satisfiability
+	// but not equivalence — models are repaired by reconstruction, and
+	// clauses added later may not mention eliminated variables — so it
+	// must only be enabled on one-shot instances. Assumption variables
+	// must be frozen with Freeze. Requires Inprocess.
+	InprocessElim bool
+	// ElimUnchecked permits the elimination rewrite that is not
+	// RUP-checkable (pure-literal elimination: its unit is justified by
+	// satisfiability preservation, not implication, so no trace step can
+	// certify it). Off by default: with Proof != nil only resolution-
+	// based elimination — whose added resolvents are RUP — runs.
+	ElimUnchecked bool
+	// InprocessMin is the minimum problem-clause count before any
+	// inprocessing pass runs (0 = a built-in default, see
+	// defaultInprocessMin). A subsume/vivify scan over a tiny instance
+	// costs more than it can possibly save, and most corpus queries are
+	// tiny — the threshold keeps them on the plain search path while the
+	// pathological instances that motivate inprocessing (thousands of
+	// clauses) still get the full treatment. Tests lower it to exercise
+	// the passes on small formulas.
+	InprocessMin int
 
 	// LBD enables Glucose-style learned-clause database management: each
 	// learnt clause is tagged with its literal block distance (number of
@@ -160,10 +228,23 @@ type Solver struct {
 	Restarts     int64
 	Reduces      int64 // LBD database reductions performed
 	Removed      int64 // learnt clauses deleted by LBD reductions
+	Subsumed     int64 // clauses deleted as subsumed or root-satisfied
+	Strengthened int64 // clauses shortened by self-subsuming resolution
+	Vivified     int64 // clauses shortened by vivification
+	Eliminated   int64 // variables removed by bounded variable elimination
 
 	lbdSeen    []int64 // per-level stamp array for computeLBD
 	lbdStamp   int64
 	nextReduce int64
+
+	// inprocessing state (see preprocess.go)
+	frozen        []bool
+	eliminated    []bool
+	elimStack     []elimEntry
+	shuffled      bool
+	inprocRuns    int64
+	inprocClauses int
+	nextInproc    int64
 
 	model []lbool
 	ok    bool
@@ -198,7 +279,8 @@ func (s *Solver) NewVar() int {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
 	s.activity = append(s.activity, 0)
-	s.polarity = append(s.polarity, true) // default phase: false (negated)
+	// Default phase: false (negated); positive under PhasePositive.
+	s.polarity = append(s.polarity, !s.PhasePositive)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
 	s.order.push(v)
@@ -222,6 +304,13 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	if s.decisionLevel() != 0 {
 		panic("sat: AddClause above decision level 0")
+	}
+	if len(s.elimStack) > 0 {
+		for _, l := range lits {
+			if s.isEliminated(l.Var()) {
+				panic("sat: clause mentions eliminated variable (Freeze it before Solve)")
+			}
+		}
 	}
 	// Log the clause as given: the proof checker replays the original
 	// formula, so normalization below must not be reflected in the trace.
@@ -261,7 +350,10 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 		s.ok = s.propagate() == nil
 		return s.ok
 	}
-	c := &clause{lits: out}
+	// The stored clause matches the logged input step exactly when
+	// normalization dropped nothing (sorted-multiset delete matching makes
+	// literal order irrelevant).
+	c := &clause{lits: out, logged: len(out) == len(lits)}
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return true
@@ -298,13 +390,17 @@ func (s *Solver) propagate() *clause {
 	nextWatcher:
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
+			c := w.c
+			// Deleted clauses must be dropped before the blocker shortcut:
+			// a deleted clause whose blocker happens to be true would
+			// otherwise keep its watcher forever, defeating lazy
+			// detachment and bloating hot watch lists.
+			if c.deleted {
+				continue
+			}
 			if s.valueLit(w.blocker) == lTrue {
 				ws[j] = w
 				j++
-				continue
-			}
-			c := w.c
-			if c.deleted {
 				continue
 			}
 			// Make sure the false literal is lits[1].
@@ -491,7 +587,7 @@ func (s *Solver) pickBranchLit() Lit {
 		if !ok {
 			return -1
 		}
-		if s.assigns[v] == lUndef {
+		if s.assigns[v] == lUndef && !s.isEliminated(v) {
 			s.Decisions++
 			return MkLit(v, s.polarity[v])
 		}
@@ -620,18 +716,47 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	}
 	s.model = nil
 	defer s.cancelUntil(0)
+	for _, a := range assumptions {
+		if s.isEliminated(a.Var()) {
+			panic("sat: assumption on eliminated variable (Freeze it before Solve)")
+		}
+	}
+
+	if s.SeedShuffle != 0 && !s.shuffled {
+		s.shuffle()
+	}
+	if s.Inprocess && s.inprocessDue() {
+		if !s.inprocess(true) {
+			return Unsat
+		}
+	}
+	if s.nextInproc == 0 {
+		// No pass has run yet (instance below the size threshold, or
+		// inprocessing just enabled): earn some conflicts before the
+		// first restart-boundary pass instead of firing immediately.
+		s.nextInproc = s.Conflicts + 4000
+	}
 
 	restartIdx := int64(1)
 	conflictsAtStart := s.Conflicts
+	// Like ConflictBudget, PropBudget bounds one Solve call, not the
+	// instance lifetime: a long-lived incremental instance issuing many
+	// cheap queries must not exhaust it cumulatively.
+	propsAtStart := s.Propagations
 	maxLearnts := float64(len(s.clauses))/3 + 100
+	restartBase := s.RestartBase
+	if restartBase <= 0 {
+		restartBase = 100
+	}
 
 	for {
-		budget := luby(restartIdx) * 100
+		budget := luby(restartIdx) * restartBase
 		restartIdx++
 		st := s.search(budget, assumptions, &maxLearnts)
 		if st == Sat {
 			s.model = make([]lbool, len(s.assigns))
 			copy(s.model, s.assigns)
+			s.reconstructModel()
 			return Sat
 		}
 		if st == Unsat {
@@ -641,16 +766,24 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		if s.ConflictBudget > 0 && s.Conflicts-conflictsAtStart >= s.ConflictBudget {
 			return Unknown
 		}
-		if s.PropBudget > 0 && s.Propagations >= s.PropBudget {
+		if s.PropBudget > 0 && s.Propagations-propsAtStart >= s.PropBudget {
 			return Unknown
 		}
 		if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+			return Unknown
+		}
+		if s.Cancel.Stopped() {
 			return Unknown
 		}
 		s.Restarts++
 		s.cancelUntil(0)
 		if s.LBD {
 			s.maybeReduceLBD()
+		}
+		if s.Inprocess && s.Conflicts >= s.nextInproc && len(s.clauses) >= s.inprocMin() {
+			if !s.inprocess(false) {
+				return Unsat
+			}
 		}
 	}
 }
@@ -664,13 +797,19 @@ func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float6
 		if confl != nil {
 			s.Conflicts++
 			conflicts++
-			// Poll the deadline inside the search, not only at restart
-			// boundaries: restart budgets grow with the Luby sequence, so
-			// one long segment could otherwise overrun the per-function
-			// budget without bound. Solve re-checks the deadline when we
-			// return Unknown and converts it into the final verdict.
-			if s.Conflicts&255 == 0 && !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
-				return Unknown
+			// Poll the deadline and the cancellation token inside the
+			// search, not only at restart boundaries: restart budgets grow
+			// with the Luby sequence, so one long segment could otherwise
+			// overrun the per-function budget without bound. Solve
+			// re-checks both when we return Unknown and converts them into
+			// the final verdict.
+			if s.Conflicts&255 == 0 {
+				if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+					return Unknown
+				}
+				if s.Cancel.Stopped() {
+					return Unknown
+				}
 			}
 			if s.decisionLevel() == 0 {
 				s.ok = false
@@ -687,7 +826,7 @@ func (s *Solver) search(conflBudget int64, assumptions []Lit, maxLearnts *float6
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: lbd}
+				c := &clause{lits: learnt, learnt: true, lbd: lbd, logged: true}
 				s.learnts = append(s.learnts, c)
 				s.attach(c)
 				s.bumpClause(c)

@@ -1,0 +1,205 @@
+package smt
+
+import (
+	"repro/internal/sat"
+)
+
+// Portfolio racing: an SMT query whose SAT search survives a probe budget
+// of conflicts is raced across idle harness workers with diversified
+// solver configurations (LBD on/off, restart cadence, phase polarity,
+// activity seed); the first solver to decide cancels the rest through a
+// shared sat.Stop token polled in the search loop alongside the deadline.
+// The pool holds one token per harness worker: a worker lends its slot
+// while it blocks in pipeline phases (parsing, ISel, symbolic stepping)
+// and takes it back before solving, so racers only ever consume capacity
+// the run was wasting. The winner's solver — primary or racer — supplies
+// the model or the DRAT trace, so certification is unchanged.
+
+// Portfolio is a pool of solve slots shared by every solver of a run.
+// One Portfolio is created per harness run (or per single-file tv
+// invocation) and attached to each worker's Solver.
+type Portfolio struct {
+	tokens chan struct{}
+	// After is the probe conflict budget: a query races only after its
+	// primary search exceeds this many conflicts (0 = default 2000).
+	After int64
+	// MaxRacers bounds the slots one query may borrow (0 = default 3).
+	MaxRacers int
+}
+
+// NewPortfolio returns a pool with one token per worker slot.
+func NewPortfolio(slots int) *Portfolio {
+	if slots < 1 {
+		slots = 1
+	}
+	p := &Portfolio{tokens: make(chan struct{}, slots)}
+	for i := 0; i < slots; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// Acquire blocks until a slot is free. Workers call it before compute-
+// bound validation work; racers never block (TryAcquire).
+func (p *Portfolio) Acquire() { <-p.tokens }
+
+// Release returns a slot taken by Acquire or TryAcquire.
+func (p *Portfolio) Release() { p.tokens <- struct{}{} }
+
+// TryAcquire takes a slot only if one is idle right now.
+func (p *Portfolio) TryAcquire() bool {
+	select {
+	case <-p.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Portfolio) afterConflicts() int64 {
+	if p.After > 0 {
+		return p.After
+	}
+	return 2000
+}
+
+func (p *Portfolio) maxRacers() int {
+	if p.MaxRacers > 0 {
+		return p.MaxRacers
+	}
+	return 3
+}
+
+// raceConfig is one diversified solver configuration. The seeds are
+// arbitrary odd 64-bit constants (golden-ratio family); what matters is
+// that each racer explores a genuinely different search order than the
+// primary, which keeps its default configuration and its learnt clauses.
+type raceConfig struct {
+	lbd      bool
+	phasePos bool
+	seed     uint64
+	restart  int64
+}
+
+var raceConfigs = []raceConfig{
+	{lbd: true, phasePos: true, seed: 0x9e3779b97f4a7c15, restart: 100},
+	{lbd: true, phasePos: false, seed: 0xd1b54a32d192ed03, restart: 512},
+	{lbd: false, phasePos: false, seed: 0x94d049bb133111eb, restart: 100},
+}
+
+// solveRaced runs primary.Solve with portfolio racing. The primary first
+// searches alone under the probe budget; if it comes back Unknown with
+// budget and deadline to spare, the query is raced: up to maxRacers fresh
+// solvers are built from a level-0 snapshot of the primary's instance
+// (assumptions become input units) and run concurrently with the
+// continuing primary — which keeps its learnt clauses — until the first
+// decision stops the rest. Returns the verdict and the solver that
+// produced it; the caller extracts the model or flushes the proof from
+// the winner. All goroutines are joined before returning, so the primary
+// is never shared with a live racer.
+func (s *Solver) solveRaced(primary *sat.Solver, assumps ...sat.Lit) (sat.Status, *sat.Solver) {
+	pf := s.Portfolio
+	if pf == nil {
+		return primary.Solve(assumps...), primary
+	}
+	user := primary.ConflictBudget
+	probe := pf.afterConflicts()
+	if user > 0 && user <= probe {
+		// The whole budget fits in the probe: racing could never trigger.
+		return primary.Solve(assumps...), primary
+	}
+	primary.ConflictBudget = probe
+	st := primary.Solve(assumps...)
+	primary.ConflictBudget = user
+	if st != sat.Unknown || s.pastDeadline() {
+		return st, primary
+	}
+	var remaining int64
+	if user > 0 {
+		remaining = user - probe
+	}
+	lent := 0
+	for lent < pf.maxRacers() && pf.TryAcquire() {
+		lent++
+	}
+	if lent == 0 {
+		// Every worker is busy: no spare capacity, continue solo with the
+		// remaining budget.
+		s.Metrics.Add("portfolio.starved", 1)
+		primary.ConflictBudget = remaining
+		st = primary.Solve(assumps...)
+		primary.ConflictBudget = user
+		return st, primary
+	}
+	s.Stats.Races++
+	s.Stats.RaceTokens += int64(lent)
+	s.Metrics.Add("portfolio.race", 1)
+
+	cancel := &sat.Stop{}
+	// With a recorder attached the snapshot must exclude learnt clauses: a
+	// racer logs every snapshot clause as a DRAT input axiom, and inputs
+	// must be consequences the certificate consumer grants — problem
+	// clauses and root units are, arbitrary learnts are not re-derivable
+	// from the trace alone.
+	nv, cnf := primary.Snapshot(s.Recorder == nil)
+	type finished struct {
+		st     sat.Status
+		solver *sat.Solver
+	}
+	results := make(chan finished, lent+1)
+	for i := 0; i < lent; i++ {
+		cfg := raceConfigs[i%len(raceConfigs)]
+		racer := sat.New()
+		racer.LBD = cfg.lbd
+		racer.PhasePositive = cfg.phasePos
+		racer.SeedShuffle = cfg.seed
+		racer.RestartBase = cfg.restart
+		// Racers deliberately do NOT inprocess: the snapshot already
+		// carries the primary's simplification (derived clauses live,
+		// subsumed ones dropped), and a racer joins the query late — its
+		// edge is a diverse search trajectory, so it must spend its time
+		// searching, not re-scanning a large instance it just imported.
+		racer.ConflictBudget = remaining
+		racer.Deadline = primary.Deadline
+		racer.Cancel = cancel
+		if s.Recorder != nil {
+			racer.Proof = &sat.ProofLog{}
+		}
+		for v := 0; v < nv; v++ {
+			racer.NewVar()
+		}
+		for _, cl := range cnf {
+			racer.AddClause(cl...)
+		}
+		for _, a := range assumps {
+			racer.AddClause(a)
+		}
+		go func(r *sat.Solver) { results <- finished{r.Solve(), r} }(racer)
+	}
+	primary.Cancel = cancel
+	primary.ConflictBudget = remaining
+	go func() { results <- finished{primary.Solve(assumps...), primary} }()
+
+	winSt, winner := sat.Unknown, primary
+	for i := 0; i < lent+1; i++ {
+		r := <-results
+		if winSt == sat.Unknown && r.st != sat.Unknown {
+			winSt, winner = r.st, r.solver
+			cancel.Stop()
+		}
+	}
+	for i := 0; i < lent; i++ {
+		pf.Release()
+	}
+	primary.Cancel = nil
+	primary.ConflictBudget = user
+	if winSt != sat.Unknown {
+		if winner == primary {
+			s.Metrics.Add("portfolio.win.primary", 1)
+		} else {
+			s.Stats.RaceRacerWins++
+			s.Metrics.Add("portfolio.win.racer", 1)
+		}
+	}
+	return winSt, winner
+}

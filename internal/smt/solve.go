@@ -46,6 +46,19 @@ type Stats struct {
 	SolveDuration time.Duration
 	ProofBytes    int64 // serialized DRAT trace bytes recorded for certificates
 	Certificates  int64 // query certificates emitted
+
+	// Inprocessing counters (see internal/sat/preprocess.go). These count
+	// the work done by the primary per-query/per-worker instances; racer
+	// instances simplify their own snapshots and are not aggregated.
+	SubsumedClauses     int64 // clauses deleted as subsumed or root-satisfied
+	StrengthenedClauses int64 // clauses shortened by self-subsuming resolution
+	VivifiedClauses     int64 // clauses shortened by vivification probes
+	EliminatedVars      int64 // variables removed by bounded elimination
+
+	// Portfolio-racing counters.
+	Races         int64 // queries that outlived the probe budget and raced
+	RaceRacerWins int64 // races decided by a racer rather than the primary
+	RaceTokens    int64 // idle worker slots borrowed across all races
 }
 
 // Add accumulates o into s. Callers that run many solvers (one per
@@ -63,6 +76,13 @@ func (s *Stats) Add(o Stats) {
 	s.SolveDuration += o.SolveDuration
 	s.ProofBytes += o.ProofBytes
 	s.Certificates += o.Certificates
+	s.SubsumedClauses += o.SubsumedClauses
+	s.StrengthenedClauses += o.StrengthenedClauses
+	s.VivifiedClauses += o.VivifiedClauses
+	s.EliminatedVars += o.EliminatedVars
+	s.Races += o.Races
+	s.RaceRacerWins += o.RaceRacerWins
+	s.RaceTokens += o.RaceTokens
 }
 
 // Solver decides QF_ABV formulas built in a Context. The zero value is not
@@ -91,6 +111,16 @@ type Solver struct {
 	// reduction in the underlying SAT instances, reverting to the legacy
 	// activity-threshold policy (ablation; see sat.Solver.LBD).
 	DisableClauseDB bool
+	// Inprocess enables SatELite-style inprocessing in the SAT instances
+	// (subsumption, self-subsumption, vivification, and — for one-shot
+	// instances — bounded variable elimination). Certification is
+	// preserved: every rewrite is logged into the DRAT trace, and the one
+	// non-RUP rewrite is auto-disabled while a Recorder is attached.
+	Inprocess bool
+	// Portfolio, when non-nil, races queries that outlive the probe
+	// budget across idle worker slots with diversified configurations;
+	// the first decision cancels the rest. See portfolio.go.
+	Portfolio *Portfolio
 	// Recorder, when non-nil, makes every decided query emit a proof
 	// certificate: Unsat verdicts stream their SAT clause trace into a
 	// DRAT session, Sat verdicts record the extracted model against the
@@ -156,9 +186,6 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 		defer func() { s.finishQuery(sp, start, before, res) }()
 	}
 
-	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
-		return ResultUnknown, nil, ErrDeadline
-	}
 	if f.SortKind() != SortBool {
 		return ResultUnknown, nil, fmt.Errorf("smt: CheckSat of non-Bool term")
 	}
@@ -192,6 +219,13 @@ func (s *Solver) CheckSat(f *Term) (res Result, model *Assign, err error) {
 			return ResultSat, nil, nil
 		}
 		s.Stats.CacheMisses++
+	}
+	// The deadline gates solving only, and deliberately after the fast
+	// paths and the cache lookup above: a trivially-decided query or a
+	// shared-cache hit costs no solving, so an expired budget is no reason
+	// to withhold (and certify-by-reference) an answer already in hand.
+	if s.pastDeadline() {
+		return ResultUnknown, nil, ErrDeadline
 	}
 	res, model, err = s.checkSatSolve(f, keyHex)
 	if s.Cache != nil && err == nil {
@@ -243,6 +277,10 @@ func (s *Solver) checkSatSolve(f *Term, keyHex string) (Result, *Assign, error) 
 	solver.LBD = !s.DisableClauseDB
 	solver.ConflictBudget = s.ConflictBudget
 	solver.Deadline = s.Deadline
+	// One-shot instance: no assumptions and no later clauses, so full
+	// inprocessing including variable elimination is safe.
+	solver.Inprocess = s.Inprocess
+	solver.InprocessElim = s.Inprocess
 	// The proof log must be attached before the blaster exists: its
 	// constructor already asserts the constant-true unit clause.
 	var sess *proof.Session
@@ -259,24 +297,41 @@ func (s *Solver) checkSatSolve(f *Term, keyHex string) (Result, *Assign, error) 
 		return ResultUnknown, nil, err
 	}
 	solver.AddClause(root)
-	st := solver.Solve()
+	st, winner := s.solveRaced(solver)
 	s.Stats.SATConflicts += solver.Conflicts
 	s.Stats.SATDecisions += solver.Decisions
 	s.Stats.CNFClauses += int64(solver.NumClauses())
+	s.Stats.SubsumedClauses += solver.Subsumed
+	s.Stats.StrengthenedClauses += solver.Strengthened
+	s.Stats.VivifiedClauses += solver.Vivified
+	s.Stats.EliminatedVars += solver.Eliminated
 	switch st {
 	case sat.Unsat:
 		if sess != nil {
 			// No assumptions here, so Unsat is a global refutation: the
-			// obligation is the empty clause.
-			s.recordUnsat(solver.Proof, 0, sess, nil, keyHex)
+			// obligation is the empty clause. The winner's trace is the
+			// one recorded — a racer's is a complete one-shot refutation
+			// of the snapshot CNF over the same variable numbering.
+			s.recordUnsat(winner.Proof, 0, sess, nil, keyHex)
 		}
 		return ResultUnsat, nil, nil
 	case sat.Unknown:
+		// Unknown conflates budget exhaustion, deadline expiry, and a lost
+		// race; attribute the deadline truthfully so tail reports do not
+		// blame the conflict budget for wall-clock starvation.
+		if s.pastDeadline() {
+			return ResultUnknown, nil, ErrDeadline
+		}
 		return ResultUnknown, nil, ErrBudget
 	}
-	m := s.extractModel(f, red, b, solver)
+	m := s.extractModel(f, red, b, winner)
 	s.recordModel(f, m, keyHex)
 	return ResultSat, m, nil
+}
+
+// pastDeadline reports whether a non-zero deadline has elapsed.
+func (s *Solver) pastDeadline() bool {
+	return !s.Deadline.IsZero() && time.Now().After(s.Deadline)
 }
 
 // checkSatIncremental solves against the persistent SAT instance under an
@@ -285,6 +340,12 @@ func (s *Solver) checkSatIncremental(f *Term, keyHex string) (Result, *Assign, e
 	if s.incSAT == nil {
 		s.incSAT = sat.New()
 		s.incSAT.LBD = !s.DisableClauseDB
+		// The persistent instance sees new clauses and assumption
+		// variables on every query, so it gets the implication-only
+		// inprocessing rewrites; variable elimination stays off
+		// (InprocessElim false) — racers spawned from its snapshots are
+		// one-shot and run the full set.
+		s.incSAT.Inprocess = s.Inprocess
 		if s.Recorder != nil {
 			// One session for the whole solver lifetime: the trace grows
 			// monotonically and each Unsat certificate points at its own
@@ -306,10 +367,16 @@ func (s *Solver) checkSatIncremental(f *Term, keyHex string) (Result, *Assign, e
 	confBefore := s.incSAT.Conflicts
 	decBefore := s.incSAT.Decisions
 	clausesBefore := int64(s.incSAT.NumClauses())
+	subBefore, strBefore := s.incSAT.Subsumed, s.incSAT.Strengthened
+	vivBefore, elimBefore := s.incSAT.Vivified, s.incSAT.Eliminated
 	defer func() {
 		s.Stats.SATConflicts += s.incSAT.Conflicts - confBefore
 		s.Stats.SATDecisions += s.incSAT.Decisions - decBefore
 		s.Stats.CNFClauses += int64(s.incSAT.NumClauses()) - clausesBefore
+		s.Stats.SubsumedClauses += s.incSAT.Subsumed - subBefore
+		s.Stats.StrengthenedClauses += s.incSAT.Strengthened - strBefore
+		s.Stats.VivifiedClauses += s.incSAT.Vivified - vivBefore
+		s.Stats.EliminatedVars += s.incSAT.Eliminated - elimBefore
 	}()
 	g, cons, err := s.incReducer.reduce(f)
 	if err != nil {
@@ -339,25 +406,41 @@ func (s *Solver) checkSatIncremental(f *Term, keyHex string) (Result, *Assign, e
 	}
 	s.incSAT.ConflictBudget = s.ConflictBudget
 	s.incSAT.Deadline = s.Deadline
-	st := s.incSAT.Solve(root)
+	st, winner := s.solveRaced(s.incSAT, root)
 	switch st {
 	case sat.Unsat:
 		if s.incSession != nil {
-			// Under an activation assumption, Unsat means the negated
-			// assumption follows by unit propagation — unless the instance
-			// was refuted outright, in which case the obligation is the
-			// empty clause.
-			var final []int
-			if s.incSAT.Okay() {
-				final = []int{-litDimacs(root)}
+			if winner == s.incSAT {
+				// Under an activation assumption, Unsat means the negated
+				// assumption follows by unit propagation — unless the instance
+				// was refuted outright, in which case the obligation is the
+				// empty clause.
+				var final []int
+				if s.incSAT.Okay() {
+					final = []int{-litDimacs(root)}
+				}
+				s.incFlushed = s.recordUnsat(s.incSAT.Proof, s.incFlushed, s.incSession, final, keyHex)
+			} else {
+				// A racer won. Its trace is a self-contained one-shot
+				// refutation — snapshot clauses plus the activation unit as
+				// inputs, empty clause as the obligation — so it gets its
+				// own session; the shared incremental session and its flush
+				// watermark stay untouched for the next primary-won query.
+				sess := s.Recorder.NewSession()
+				s.mapBlasterVars(sess, s.incBlaster)
+				s.recordUnsat(winner.Proof, 0, sess, nil, keyHex)
 			}
-			s.incFlushed = s.recordUnsat(s.incSAT.Proof, s.incFlushed, s.incSession, final, keyHex)
 		}
 		return ResultUnsat, nil, nil
 	case sat.Unknown:
+		if s.pastDeadline() {
+			return ResultUnknown, nil, ErrDeadline
+		}
 		return ResultUnknown, nil, ErrBudget
 	}
-	m := s.extractModel(f, s.incReducer, s.incBlaster, s.incSAT)
+	// The snapshot preserves variable numbering, so the blaster memos
+	// decode a racer's model exactly like the primary's.
+	m := s.extractModel(f, s.incReducer, s.incBlaster, winner)
 	s.recordModel(f, m, keyHex)
 	return ResultSat, m, nil
 }

@@ -19,6 +19,20 @@ func (s *Solver) finishQuery(sp *telemetry.Span, start time.Time, before Stats, 
 	d := time.Since(start)
 	s.Metrics.Observe("smt.query", d)
 	s.Metrics.Add("smt.query."+res.String(), 1)
+	// Inprocessing work this query contributed (portfolio.* counters are
+	// emitted at race time in solveRaced, where the outcome is known).
+	if n := s.Stats.SubsumedClauses - before.SubsumedClauses; n > 0 {
+		s.Metrics.Add("inprocess.subsumed", n)
+	}
+	if n := s.Stats.StrengthenedClauses - before.StrengthenedClauses; n > 0 {
+		s.Metrics.Add("inprocess.strengthened", n)
+	}
+	if n := s.Stats.VivifiedClauses - before.VivifiedClauses; n > 0 {
+		s.Metrics.Add("inprocess.vivified", n)
+	}
+	if n := s.Stats.EliminatedVars - before.EliminatedVars; n > 0 {
+		s.Metrics.Add("inprocess.eliminated", n)
+	}
 	if sp == nil {
 		return
 	}
