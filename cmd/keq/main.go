@@ -84,10 +84,13 @@ func main() {
 		check(fmt.Errorf("unknown -mode %q", *mode))
 	}
 
+	var dw *proof.DirWriter
 	var rec *proof.Recorder
 	if *emitProof != "" {
-		check(os.MkdirAll(*emitProof, 0o755))
-		rec = proof.NewRecorder(fn.Name)
+		var err error
+		dw, err = proof.NewDirWriter(*emitProof)
+		check(err)
+		rec = dw.NewRecorder(fn.Name)
 		opts.Proof = rec
 	}
 	var tracer *telemetry.Tracer
@@ -104,12 +107,18 @@ func main() {
 		check(f.Close())
 	}
 	if rec != nil {
-		_, err := proof.WriteCerts(*emitProof, rec)
+		_, err := rec.Close(out.Class == tv.ClassSucceeded)
 		check(err)
-		if out.Class == tv.ClassSucceeded {
-			_, err := proof.WriteWitness(*emitProof, rec)
-			check(err)
+		check(dw.Close())
+		m := &proof.Manifest{
+			Schema: proof.SchemaStreaming, Terms: proof.TermsName,
+			TermCount: dw.Table().Len(),
+			Functions: []proof.ManifestRow{{
+				Name: fn.Name, Class: out.Class.String(),
+				Certified: out.Class == tv.ClassSucceeded,
+			}},
 		}
+		check(proof.WriteManifest(*emitProof, m))
 	}
 	if *verbose && out.Report != nil {
 		fmt.Printf("points checked: %d, states: %d, SMT queries: %d (%d fast)\n",

@@ -74,6 +74,10 @@ type Options struct {
 	// Metrics, when non-nil, receives per-phase latency observations and
 	// query-outcome counters. It is also handed to the solver.
 	Metrics *telemetry.Metrics
+	// Scratch, when non-nil, supplies the per-worker reusable slabs the
+	// solver's bit-blaster allocates literal vectors from. The harness
+	// resets it between functions (see smt.Scratch).
+	Scratch *smt.Scratch
 }
 
 // Checker runs the symbolic variant of Algorithm 1 over two language
@@ -86,6 +90,10 @@ type Checker struct {
 	right  Semantics
 	opts   Options
 	rec    *proof.Recorder
+
+	// workStack is the cut-successor search's DFS stack, reused across
+	// sync points so steady-state exploration allocates nothing for it.
+	workStack []State
 
 	Stats CheckStats
 }
@@ -104,6 +112,7 @@ func NewChecker(solver *smt.Solver, left, right Semantics, opts Options) *Checke
 	solver.Tracer = opts.Trace
 	solver.TraceParent = opts.TraceParent
 	solver.Metrics = opts.Metrics
+	solver.Scratch = opts.Scratch
 	return &Checker{
 		ctx:    solver.Context(),
 		solver: solver,
@@ -424,7 +433,8 @@ func (ck *Checker) tracedCutSuccessors(side string, sem Semantics, s State, cuts
 // holds, per returned state, the ID of the certificate of its feasibility
 // query; the third lists the pruned cut states with their Unsat query.
 func (ck *Checker) cutSuccessors(sem Semantics, s State, cuts map[Location]bool) ([]State, []string, []proof.Pruned, error) {
-	work := []State{s}
+	work := append(ck.workStack[:0], s)
+	defer func() { ck.workStack = work[:0] }()
 	first := true
 	var ret []State
 	var feasQ []string

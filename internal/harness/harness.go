@@ -73,7 +73,19 @@ type Config struct {
 	// traces for all functions (so cache references across functions never
 	// dangle), a bisimulation witness for each Succeeded function, and a
 	// MANIFEST.json for the run. Verify with cmd/proofcheck.
+	//
+	// By default emission streams (schema 2): one run-wide shared term
+	// table, binary DRAT traces, and certificates flushed per query, so
+	// peak memory is bounded by the largest single query rather than the
+	// run. Set ProofLegacy for the buffered schema-1 format.
 	ProofDir string
+	// ProofLegacy reverts proof emission to the buffered schema-1 format
+	// (per-function term tables, textual DRAT). Comparison/ablation only.
+	ProofLegacy bool
+	// DisableScratch turns off the per-worker arena scratch (reusable
+	// term-table storage and blaster literal slabs) and reverts to fresh
+	// heap allocations per function (ablation).
+	DisableScratch bool
 	// Tracer, when non-nil, receives one span tree per validated function
 	// — harness.fn > harness.parse + tv.validate > per-phase and per-SMT-
 	// query spans. The tracer is shared by all workers (it is
@@ -152,6 +164,19 @@ func Run(cfg Config) *Summary {
 	}
 	sum := &Summary{Total: len(fns), Workers: workers, Rows: make([]ResultRow, len(fns)),
 		Metrics: telemetry.NewMetrics()}
+	var dw *proof.DirWriter
+	if cfg.ProofDir != "" && !cfg.ProofLegacy {
+		var err error
+		dw, err = proof.NewDirWriter(cfg.ProofDir)
+		if err != nil {
+			// Record the run-level failure and leave ProofDir set: the
+			// workers fall back to the buffered per-row writers, whose
+			// attempts against the broken directory surface the failure on
+			// every row instead of silently running uncertified.
+			sum.ProofErr = err
+			dw = nil
+		}
+	}
 	start := time.Now()
 
 	var (
@@ -164,13 +189,19 @@ func Run(cfg Config) *Summary {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns its scratch: the term-table storage and
+			// literal slabs are reset between functions, never shared.
+			wcfg := cfg
+			if !cfg.DisableScratch {
+				wcfg.Checker.Scratch = smt.NewScratch()
+			}
 			for i := range indices {
 				// Hold this worker's portfolio token for the duration of
 				// the validation: tokens in the pool are idle workers.
 				if pf != nil {
 					pf.Acquire()
 				}
-				row, stats, m := validateOne(cfg, fns[i], i)
+				row, stats, m := validateOne(wcfg, dw, fns[i], i)
 				if pf != nil {
 					pf.Release()
 				}
@@ -194,8 +225,20 @@ func Run(cfg Config) *Summary {
 	close(indices)
 	wg.Wait()
 	sum.WallTime = time.Since(start)
+	if dw != nil {
+		if err := dw.Close(); err != nil && sum.ProofErr == nil {
+			sum.ProofErr = err
+		}
+		// The shared term segment belongs to the whole run, not any row.
+		sum.SMTStats.ProofBytes += dw.TermBytes()
+	}
 	if cfg.ProofDir != "" {
 		m := &proof.Manifest{}
+		if dw != nil {
+			m.Schema = proof.SchemaStreaming
+			m.Terms = proof.TermsName
+			m.TermCount = dw.Table().Len()
+		}
 		for _, r := range sum.Rows {
 			if r.Certified {
 				sum.Certified++
@@ -207,7 +250,9 @@ func Run(cfg Config) *Summary {
 				Name: r.Fn, Class: r.Class.String(), Certified: r.Certified,
 			})
 		}
-		sum.ProofErr = proof.WriteManifest(cfg.ProofDir, m)
+		if err := proof.WriteManifest(cfg.ProofDir, m); err != nil && sum.ProofErr == nil {
+			sum.ProofErr = err
+		}
 	}
 	return sum
 }
@@ -222,11 +267,12 @@ var validateHook func(i int, f corpus.Function)
 // The returned Metrics registry is private to this call — the caller
 // merges it into the run-wide one — so recording it needs no cross-worker
 // synchronization.
-func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt.Stats, m *telemetry.Metrics) {
+func validateOne(cfg Config, dw *proof.DirWriter, f corpus.Function, i int) (row ResultRow, stats smt.Stats, m *telemetry.Metrics) {
 	m = telemetry.NewMetrics()
 	start := time.Now()
 	var rec *proof.Recorder
 	var parseDur time.Duration
+	var parseAlloc int64
 	var out *tv.Outcome
 	fnSpan := cfg.Tracer.Start(0, "harness.fn", telemetry.String("fn", f.Name))
 	if fnSpan != nil {
@@ -262,7 +308,15 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 			if rec != nil {
 				// Certificates recorded before the panic may already back
 				// cache entries other functions reference; keep them.
-				if _, perr := proof.WriteCerts(cfg.ProofDir, rec); perr != nil {
+				var perr error
+				if dw != nil {
+					var n int64
+					n, perr = rec.Close(false)
+					stats.ProofBytes += n
+				} else {
+					_, perr = proof.WriteCerts(cfg.ProofDir, rec)
+				}
+				if perr != nil {
 					row.ProofErr = perr
 				}
 			}
@@ -272,9 +326,14 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 		validateHook(i, f)
 	}
 	parseSpan := cfg.Tracer.Start(cfg.Checker.TraceParent, "harness.parse")
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	mod, err := llvmir.Parse(f.Src)
 	parseSpan.End()
 	parseDur = time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	parseAlloc = int64(msAfter.TotalAlloc - msBefore.TotalAlloc)
 	if err != nil {
 		return ResultRow{
 			Fn:       f.Name,
@@ -284,7 +343,11 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 		}, stats, m
 	}
 	if cfg.ProofDir != "" {
-		rec = proof.NewRecorder(f.Name)
+		if dw != nil {
+			rec = dw.NewRecorder(f.Name)
+		} else {
+			rec = proof.NewRecorder(f.Name)
+		}
 		cfg.Checker.Proof = rec
 	}
 	vopts := vcgen.Options{}
@@ -293,20 +356,30 @@ func validateOne(cfg Config, f corpus.Function, i int) (row ResultRow, stats smt
 	}
 	out = tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
 	out.Phases.Parse = parseDur
+	out.Mem.Parse = parseAlloc
 	row = ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration,
 		CodeSize: out.CodeSize, Err: out.Err}
 	if rec != nil {
 		// Certificates are written for every row — including failures — so
 		// a "ref" certificate in another function can always resolve; the
-		// witness is written only when validation succeeded.
-		_, perr := proof.WriteCerts(cfg.ProofDir, rec)
-		if perr == nil && out.Class == tv.ClassSucceeded {
-			if _, werr := proof.WriteWitness(cfg.ProofDir, rec); werr == nil {
-				row.Certified = true
-			} else {
-				perr = werr
+		// witness is written only when validation succeeded. ProofBytes
+		// counts what actually landed on disk for this function.
+		var perr error
+		var bytes int64
+		if dw != nil {
+			bytes, perr = rec.Close(out.Class == tv.ClassSucceeded)
+			row.Certified = out.Class == tv.ClassSucceeded && perr == nil
+		} else {
+			bytes, perr = proof.WriteCerts(cfg.ProofDir, rec)
+			if perr == nil && out.Class == tv.ClassSucceeded {
+				var n int64
+				if n, perr = proof.WriteWitness(cfg.ProofDir, rec); perr == nil {
+					bytes += n
+					row.Certified = true
+				}
 			}
 		}
+		out.SMTStats.ProofBytes = bytes
 		if perr != nil {
 			row.ProofErr = perr
 			if row.Err == nil {
@@ -340,6 +413,16 @@ func RecordOutcome(m *telemetry.Metrics, parse time.Duration, out *tv.Outcome) {
 	obs("phase.check", out.Phases.Check)
 	obs("phase.smt", out.Phases.SMT)
 	obs("phase.step", out.Phases.Check-out.Phases.SMT)
+	obsV := func(name string, v int64) {
+		if v > 0 {
+			m.ObserveVal(name, v)
+		}
+	}
+	obsV("mem.parse", out.Mem.Parse)
+	obsV("mem.isel", out.Mem.ISel)
+	obsV("mem.vcgen", out.Mem.VCGen)
+	obsV("mem.check", out.Mem.Check)
+	obsV("mem.peak", out.Mem.Peak)
 	if out.Class == tv.ClassTimeout || out.Class == tv.ClassOOM {
 		obs("tail.parse", parse)
 		obs("tail.isel", out.Phases.ISel)
@@ -347,6 +430,11 @@ func RecordOutcome(m *telemetry.Metrics, parse time.Duration, out *tv.Outcome) {
 		obs("tail.check", out.Phases.Check)
 		obs("tail.smt", out.Phases.SMT)
 		obs("tail.step", out.Phases.Check-out.Phases.SMT)
+		obsV("tail.mem.parse", out.Mem.Parse)
+		obsV("tail.mem.isel", out.Mem.ISel)
+		obsV("tail.mem.vcgen", out.Mem.VCGen)
+		obsV("tail.mem.check", out.Mem.Check)
+		obsV("tail.mem.peak", out.Mem.Peak)
 	}
 }
 
@@ -555,9 +643,76 @@ func (s *Summary) PhaseReport(w io.Writer) {
 // recorded phase metrics without a Summary (cmd/tv's single-file mode).
 func RenderPhases(w io.Writer, m *telemetry.Metrics) {
 	renderPhaseTable(w, m, "phase", "Per-phase time breakdown (all functions)")
+	if m.Hist("mem.check").Count > 0 || m.Hist("mem.parse").Count > 0 {
+		fmt.Fprintln(w)
+		renderMemTable(w, m, "mem", "Per-phase allocation breakdown (all functions)")
+	}
 	if tailCount(m) > 0 {
 		fmt.Fprintln(w)
 		renderPhaseTable(w, m, "tail", "Timeout/OOM tail: where the budget went")
+		fmt.Fprintln(w)
+		renderMemTable(w, m, "tail.mem", "Timeout/OOM tail: where the memory went")
+	}
+}
+
+// memRows is the rendering order of the mem.* breakdown; peak is a
+// point-in-time heap sample, not an allocation total, so it is excluded
+// from the %alloc denominator.
+var memRows = []struct {
+	label string
+	key   string
+	peak  bool
+}{
+	{"parse", "parse", false},
+	{"isel", "isel", false},
+	{"vcgen", "vcgen", false},
+	{"check", "check", false},
+	{"peak", "peak", true},
+}
+
+// renderMemTable prints the allocation breakdown recorded in the
+// prefix.* histograms (byte observations, not durations).
+func renderMemTable(w io.Writer, m *telemetry.Metrics, prefix, title string) {
+	var allocTotal int64
+	for _, p := range memRows {
+		if !p.peak {
+			h := m.Hist(prefix + "." + p.key)
+			allocTotal += h.Sum
+		}
+	}
+	if allocTotal == 0 {
+		return
+	}
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "  %-8s %7s %10s %10s %10s %10s %7s"+"\n",
+		"phase", "count", "total", "mean", "p50", "max", "%alloc")
+	for _, p := range memRows {
+		h := m.Hist(prefix + "." + p.key)
+		if h.Count == 0 {
+			continue
+		}
+		pctS := "      -"
+		if !p.peak && allocTotal > 0 {
+			pctS = fmt.Sprintf("%6.1f%%", 100*float64(h.Sum)/float64(allocTotal))
+		}
+		fmt.Fprintf(w, "  %-8s %7d %10s %10s %10s %10s %s"+"\n",
+			p.label, h.Count,
+			fmtBytes(h.Sum), fmtBytes(int64(h.Mean())),
+			fmtBytes(int64(h.Quantile(0.5))), fmtBytes(h.Max), pctS)
+	}
+}
+
+// fmtBytes renders a byte count with 3 significant digits.
+func fmtBytes(n int64) string {
+	switch {
+	case n < 1<<10:
+		return fmt.Sprintf("%dB", n)
+	case n < 1<<20:
+		return fmt.Sprintf("%.3gKB", float64(n)/(1<<10))
+	case n < 1<<30:
+		return fmt.Sprintf("%.3gMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.3gGB", float64(n)/(1<<30))
 	}
 }
 

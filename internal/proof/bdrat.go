@@ -1,0 +1,331 @@
+package proof
+
+import (
+	"bufio"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Binary DRAT container (schema 2). The file starts with an uncompressed
+// four-byte magic "BDRT" plus one version byte; everything after the
+// header is one DEFLATE stream of records:
+//
+//	's' uvarint(index)          switch the current session. index equal to
+//	                            the number of sessions seen so far opens a
+//	                            new session; a smaller index resumes an
+//	                            existing one. Interleaving is required: a
+//	                            portfolio racer's session is created and
+//	                            written in the middle of the incremental
+//	                            session's trace.
+//	'i'/'l'/'d' uvarint(n) lits step of the current session (input, learnt,
+//	                            deleted clause), n delta-coded literals.
+//
+// Literals are sorted by variable (positive polarity first on ties) and
+// encoded as uvarint((var - prevVar) << 1 | signBit). Sorting is sound —
+// clauses are sets: RUP is insensitive to literal order and the checker's
+// deletion matching keys on sorted literals — and it makes the deltas
+// small, which together with DEFLATE is what buys the ~8-9x size
+// reduction over the textual format.
+const (
+	binDratMagic = "BDRT"
+	// BinDratVersion is the on-disk version byte; readers reject files
+	// whose version they do not understand rather than misparse them.
+	BinDratVersion = 2
+)
+
+const maxClauseLen = 1 << 24 // decoder sanity bound on uvarint clause lengths
+
+// BinWriter incrementally encodes a binary-DRAT stream. It is used by a
+// single goroutine (the recorder of one function) and keeps a sticky
+// error: after the first write failure every call is a no-op returning
+// that error.
+type BinWriter struct {
+	fw      *flate.Writer
+	rec     []byte  // record scratch
+	scratch []int32 // sorted-literal scratch (callers keep their slices)
+	cur     int     // current session, -1 before the first record
+	seen    int     // sessions opened so far
+	err     error
+}
+
+// NewBinWriter writes the header to w and returns a writer for the body.
+func NewBinWriter(w io.Writer) *BinWriter {
+	bw := &BinWriter{cur: -1}
+	if _, err := io.WriteString(w, binDratMagic); err != nil {
+		bw.err = err
+		return bw
+	}
+	if _, err := w.Write([]byte{BinDratVersion}); err != nil {
+		bw.err = err
+		return bw
+	}
+	fw, err := flate.NewWriter(w, flate.DefaultCompression)
+	if err != nil {
+		bw.err = err
+		return bw
+	}
+	bw.fw = fw
+	return bw
+}
+
+// Err returns the sticky error, if any.
+func (bw *BinWriter) Err() error { return bw.err }
+
+// Step appends one trace step of session sess, switching sessions if
+// needed. lits is not modified and not retained.
+func (bw *BinWriter) Step(sess int, op byte, lits []int32) error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if op != OpInput && op != OpLearn && op != OpDelete {
+		bw.err = fmt.Errorf("proof: binary drat: bad opcode %q", op)
+		return bw.err
+	}
+	if sess != bw.cur {
+		if sess < 0 || sess > bw.seen {
+			bw.err = fmt.Errorf("proof: binary drat: session %d out of order (%d seen)", sess, bw.seen)
+			return bw.err
+		}
+		if sess == bw.seen {
+			bw.seen++
+		}
+		bw.rec = appendUvarint(append(bw.rec[:0], 's'), uint64(sess))
+		if _, err := bw.fw.Write(bw.rec); err != nil {
+			bw.err = err
+			return err
+		}
+		bw.cur = sess
+	}
+	bw.scratch = append(bw.scratch[:0], lits...)
+	sortClauseLits(bw.scratch)
+	bw.rec = appendUvarint(append(bw.rec[:0], op), uint64(len(bw.scratch)))
+	prev := int32(0)
+	for _, l := range bw.scratch {
+		v, sign := l, uint64(0)
+		if v < 0 {
+			v, sign = -v, 1
+		}
+		bw.rec = appendUvarint(bw.rec, uint64(v-prev)<<1|sign)
+		prev = v
+	}
+	if _, err := bw.fw.Write(bw.rec); err != nil {
+		bw.err = err
+		return err
+	}
+	return nil
+}
+
+// Flush forces buffered records through the compressor to the underlying
+// writer, at a small compression-ratio cost at the flush boundary.
+func (bw *BinWriter) Flush() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if err := bw.fw.Flush(); err != nil {
+		bw.err = err
+	}
+	return bw.err
+}
+
+// Close terminates the DEFLATE stream. The underlying writer is not
+// closed.
+func (bw *BinWriter) Close() error {
+	if bw.err != nil {
+		return bw.err
+	}
+	if bw.fw != nil {
+		if err := bw.fw.Close(); err != nil {
+			bw.err = err
+		}
+	}
+	return bw.err
+}
+
+// sortClauseLits orders a clause canonically: by variable, positive
+// polarity first on ties.
+func sortClauseLits(lits []int32) {
+	sort.Slice(lits, func(i, j int) bool {
+		vi, vj := abs32(lits[i]), abs32(lits[j])
+		if vi != vj {
+			return vi < vj
+		}
+		return lits[i] > lits[j]
+	})
+}
+
+func abs32(v int32) int32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+// WalkDrat streams the steps of a .drat file in either format — the
+// binary container above, or the line-oriented text format of schema 1 —
+// dispatching on the magic bytes. The literal slice passed to fn is
+// reused between calls and must not be retained.
+func WalkDrat(r io.Reader, fn func(sess int, op byte, lits []int32) error) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(len(binDratMagic) + 1)
+	if err == nil && len(head) > len(binDratMagic) && string(head[:len(binDratMagic)]) == binDratMagic {
+		if head[len(binDratMagic)] != BinDratVersion {
+			return fmt.Errorf("proof: binary drat version %d, checker supports %d",
+				head[len(binDratMagic)], BinDratVersion)
+		}
+		if _, err := br.Discard(len(binDratMagic) + 1); err != nil {
+			return err
+		}
+		return walkBinaryDrat(br, fn)
+	}
+	return walkTextDrat(br, fn)
+}
+
+func walkBinaryDrat(r io.Reader, fn func(sess int, op byte, lits []int32) error) error {
+	fr := flate.NewReader(r)
+	defer fr.Close()
+	rd := bufio.NewReaderSize(fr, 1<<15)
+	cur, seen := -1, 0
+	var lits []int32
+	for {
+		b, err := rd.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("proof: binary drat: %v", err)
+		}
+		switch b {
+		case 's':
+			u, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return fmt.Errorf("proof: binary drat: truncated session record")
+			}
+			if u > uint64(seen) {
+				return fmt.Errorf("proof: binary drat: session %d out of order (%d seen)", u, seen)
+			}
+			if u == uint64(seen) {
+				seen++
+			}
+			cur = int(u)
+		case OpInput, OpLearn, OpDelete:
+			if cur < 0 {
+				return fmt.Errorf("proof: binary drat: step before session record")
+			}
+			n, err := binary.ReadUvarint(rd)
+			if err != nil {
+				return fmt.Errorf("proof: binary drat: truncated step header")
+			}
+			if n > maxClauseLen {
+				return fmt.Errorf("proof: binary drat: implausible clause length %d", n)
+			}
+			lits = lits[:0]
+			prev := int32(0)
+			for i := uint64(0); i < n; i++ {
+				u, err := binary.ReadUvarint(rd)
+				if err != nil {
+					return fmt.Errorf("proof: binary drat: truncated clause")
+				}
+				d := u >> 1
+				if d > uint64(math.MaxInt32)-uint64(prev) {
+					return fmt.Errorf("proof: binary drat: literal overflow")
+				}
+				v := prev + int32(d)
+				if v == 0 {
+					return fmt.Errorf("proof: binary drat: zero literal")
+				}
+				l := v
+				if u&1 == 1 {
+					l = -v
+				}
+				lits = append(lits, l)
+				prev = v
+			}
+			if err := fn(cur, b, lits); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("proof: binary drat: unknown record 0x%02x", b)
+		}
+	}
+}
+
+// walkTextDrat streams the schema-1 text format. Unlike ParseSessions it
+// tolerates revisiting an earlier session, making it a superset of the
+// strict append-only files the buffered writer produces.
+func walkTextDrat(br *bufio.Reader, fn func(sess int, op byte, lits []int32) error) error {
+	cur, seen := -1, 0
+	lineNo := 0
+	for {
+		line, err := br.ReadString('\n')
+		if line == "" && err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		lineNo++
+		for len(line) > 0 && (line[len(line)-1] == '\n' || line[len(line)-1] == '\r') {
+			line = line[:len(line)-1]
+		}
+		if line == "" {
+			if err == io.EOF {
+				return nil
+			}
+			continue
+		}
+		op := line[0]
+		rest := line[1:]
+		switch op {
+		case 's':
+			idx, perr := parseSessionIndex(rest)
+			if perr != nil || idx < 0 || idx > seen {
+				return fmt.Errorf("proof: line %d: bad session header %q", lineNo, line)
+			}
+			if idx == seen {
+				seen++
+			}
+			cur = idx
+		case OpInput, OpLearn, OpDelete:
+			if cur < 0 {
+				return fmt.Errorf("proof: line %d: step before session header", lineNo)
+			}
+			lits, perr := parseLits(rest)
+			if perr != nil {
+				return fmt.Errorf("proof: line %d: %v", lineNo, perr)
+			}
+			if err := fn(cur, op, lits); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("proof: line %d: unknown step %q", lineNo, line)
+		}
+		if err == io.EOF {
+			return nil
+		}
+	}
+}
+
+func parseSessionIndex(s string) (int, error) {
+	s = trimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("empty session index")
+	}
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' || n > (1<<30) {
+			return 0, fmt.Errorf("bad session index %q", s)
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, nil
+}

@@ -1,0 +1,169 @@
+package proof_test
+
+// Round-trip and rejection tests of the binary DRAT container: seeded
+// random streams — arbitrary session interleavings, clause shapes, and
+// opcodes — must decode back to exactly the steps written (modulo the
+// canonical literal order the encoder imposes), and malformed headers or
+// truncated bodies must be rejected rather than misparsed.
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/proof"
+)
+
+// canonLits is the canonical clause order the binary encoder imposes:
+// by variable, positive polarity first on ties.
+func canonLits(lits []int32) []int32 {
+	out := append([]int32(nil), lits...)
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i], out[j]
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai < aj
+		}
+		return out[i] > out[j]
+	})
+	return out
+}
+
+func TestBinDratRoundTripFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xB07A7))
+	ops := []byte{proof.OpInput, proof.OpLearn, proof.OpDelete}
+	for iter := 0; iter < 300; iter++ {
+		nsess := 1 + rng.Intn(4)
+		nsteps := rng.Intn(80)
+		var want []dratStep
+		seen := 0
+		for i := 0; i < nsteps; i++ {
+			// Pick a session the writer accepts: any already-open index, or
+			// the next unopened one while sessions remain — this exercises
+			// both interleaved resumption and mid-stream session creation.
+			sess := rng.Intn(seen + 1)
+			if sess == seen {
+				if seen == nsess {
+					sess = rng.Intn(seen)
+				} else {
+					seen++
+				}
+			}
+			width := rng.Intn(9) // empty clauses allowed (global refutation)
+			lits := make([]int32, width)
+			for j := range lits {
+				v := int32(1 + rng.Intn(5000))
+				if rng.Intn(2) == 1 {
+					v = -v
+				}
+				lits[j] = v
+			}
+			want = append(want, dratStep{sess, ops[rng.Intn(len(ops))], lits})
+		}
+
+		var buf bytes.Buffer
+		bw := proof.NewBinWriter(&buf)
+		for _, s := range want {
+			if err := bw.Step(s.sess, s.op, s.lits); err != nil {
+				t.Fatalf("iter %d: Step: %v", iter, err)
+			}
+		}
+		if err := bw.Close(); err != nil {
+			t.Fatalf("iter %d: Close: %v", iter, err)
+		}
+
+		var got []dratStep
+		err := proof.WalkDrat(bytes.NewReader(buf.Bytes()), func(sess int, op byte, lits []int32) error {
+			got = append(got, dratStep{sess, op, append([]int32(nil), lits...)})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("iter %d: WalkDrat: %v", iter, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: decoded %d steps, wrote %d", iter, len(got), len(want))
+		}
+		for i := range want {
+			w, g := want[i], got[i]
+			if g.sess != w.sess || g.op != w.op {
+				t.Fatalf("iter %d step %d: got session %d op %q, want %d %q",
+					iter, i, g.sess, g.op, w.sess, w.op)
+			}
+			cw := canonLits(w.lits)
+			if len(g.lits) != len(cw) {
+				t.Fatalf("iter %d step %d: got %d literals, want %d", iter, i, len(g.lits), len(cw))
+			}
+			for j := range cw {
+				if g.lits[j] != cw[j] {
+					t.Fatalf("iter %d step %d: literals %v, want %v", iter, i, g.lits, cw)
+				}
+			}
+		}
+	}
+}
+
+func TestBinDratUnknownVersionRejected(t *testing.T) {
+	data := append([]byte("BDRT"), 99, 1, 2, 3)
+	err := proof.WalkDrat(bytes.NewReader(data), func(int, byte, []int32) error { return nil })
+	if err == nil {
+		t.Fatal("unknown version byte accepted")
+	}
+}
+
+func TestBinDratTruncatedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	bw := proof.NewBinWriter(&buf)
+	for i := 0; i < 50; i++ {
+		if err := bw.Step(0, proof.OpInput, []int32{int32(i + 1), -int32(i + 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()/2]
+	err := proof.WalkDrat(bytes.NewReader(data), func(int, byte, []int32) error { return nil })
+	if err == nil {
+		t.Fatal("truncated body accepted")
+	}
+}
+
+// TestBinDratTextFallback pins the format dispatch: a schema-1 text
+// trace walks through the same entry point.
+func TestBinDratTextFallback(t *testing.T) {
+	text := "s 0\ni 1 -2 0\nl -1 0\ns 1\ni 3 0\ns 0\nd 1 -2 0\n"
+	var got []dratStep
+	err := proof.WalkDrat(bytes.NewReader([]byte(text)), func(sess int, op byte, lits []int32) error {
+		got = append(got, dratStep{sess, op, append([]int32(nil), lits...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []dratStep{
+		{0, proof.OpInput, []int32{1, -2}},
+		{0, proof.OpLearn, []int32{-1}},
+		{1, proof.OpInput, []int32{3}},
+		{0, proof.OpDelete, []int32{1, -2}},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d steps, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].sess != want[i].sess || got[i].op != want[i].op ||
+			len(got[i].lits) != len(want[i].lits) {
+			t.Fatalf("step %d: got %+v, want %+v", i, got[i], want[i])
+		}
+		for j := range want[i].lits {
+			if got[i].lits[j] != want[i].lits[j] {
+				t.Fatalf("step %d: got %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+}

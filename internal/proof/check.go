@@ -1,8 +1,11 @@
 package proof
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +42,12 @@ type fnCerts struct {
 	refs []*certStatus
 }
 
+// dratCheckpoint is one RUP obligation against a session trace.
+type dratCheckpoint struct {
+	pos int
+	cs  *certStatus
+}
+
 // CheckDir verifies every certificate artifact in dir: DRAT traces by
 // reverse unit propagation, Sat models by direct term evaluation,
 // cache references against the verified certificate with the same
@@ -46,6 +55,13 @@ type fnCerts struct {
 // well-formedness with every cited query verified. The returned report
 // lists every rejection; an error is returned only for directory-level
 // I/O failures.
+//
+// Both on-disk formats are checked: schema-1 files (per-function term
+// tables, textual DRAT) are loaded whole as before; schema-2 files
+// (global term ids into the shared TERMS.jsonl segment, binary DRAT)
+// are replayed streamingly — certificates decode value by value and the
+// trace in a single forward pass — so peak memory is bounded by the
+// shared table plus the largest single session, not the directory.
 func CheckDir(dir string) (*CheckReport, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -65,9 +81,10 @@ func CheckDir(dir string) (*CheckReport, error) {
 	sort.Strings(certBases)
 
 	report := &CheckReport{ByKind: make(map[string]int)}
+	loader := loadTermSegment(dir, report)
 	byFunction := map[string]*fnCerts{}
 	for _, base := range certBases {
-		fc := checkFunctionCerts(dir, base, report)
+		fc := checkFunctionCerts(dir, base, loader, report)
 		if fc != nil {
 			byFunction[fc.name] = fc
 		}
@@ -144,8 +161,33 @@ func CheckDir(dir string) (*CheckReport, error) {
 			report.reject("%s: witness for %q has no certificate file", base+WitnessSuffix, wf.Function)
 			continue
 		}
+		var termAt func(int) (*term.Term, error)
+		switch wf.Schema {
+		case Schema:
+			ctx := term.NewContext()
+			terms, err := DecodeTerms(ctx, wf.Terms)
+			if err != nil {
+				report.reject("%s: witness terms: %v", wf.Function, err)
+				continue
+			}
+			termAt = func(i int) (*term.Term, error) {
+				if i < 0 || i >= len(terms) {
+					return nil, fmt.Errorf("pc index out of range")
+				}
+				return terms[i], nil
+			}
+		case SchemaStreaming:
+			if loader == nil {
+				report.reject("%s: schema-2 witness but no %s segment", wf.Function, TermsName)
+				continue
+			}
+			termAt = loader.Term
+		default:
+			report.reject("%s: witness has unsupported schema %d", wf.Function, wf.Schema)
+			continue
+		}
 		before := len(report.Rejections)
-		verifyWitness(&wf, fc, report)
+		verifyWitness(&wf, fc, termAt, report)
 		if len(report.Rejections) == before {
 			report.Witnesses++
 			report.Certified = append(report.Certified, wf.Function)
@@ -177,9 +219,19 @@ func CheckDir(dir string) (*CheckReport, error) {
 }
 
 func loadJSON(dir, name string, v interface{}, report *CheckReport) bool {
-	data, err := os.ReadFile(filepath.Join(dir, name))
+	raw, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		report.reject("%s: %v", name, err)
+		return false
+	}
+	zr, err := maybeInflate(bytes.NewReader(raw))
+	if err != nil {
+		report.reject("%s: %v", name, err)
+		return false
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		report.reject("%s: bad compressed data: %v", name, err)
 		return false
 	}
 	if err := json.Unmarshal(data, v); err != nil {
@@ -189,17 +241,174 @@ func loadJSON(dir, name string, v interface{}, report *CheckReport) bool {
 	return true
 }
 
+// loadTermSegment reads the shared TERMS.jsonl segment of a schema-2
+// directory, if present. Absence is not an error: schema-1 directories
+// have no segment.
+func loadTermSegment(dir string, report *CheckReport) *termLoader {
+	f, err := os.Open(filepath.Join(dir, TermsName))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			report.reject("%s: %v", TermsName, err)
+		}
+		return nil
+	}
+	defer f.Close()
+	zr, err := maybeInflate(f)
+	if err != nil {
+		report.reject("%s: %v", TermsName, err)
+		return nil
+	}
+	sc := bufio.NewScanner(zr)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26)
+	var nodes []TNode
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var n TNode
+		if err := json.Unmarshal(line, &n); err != nil {
+			report.reject("%s line %d: %v", TermsName, ln, err)
+			return nil
+		}
+		nodes = append(nodes, n)
+	}
+	if err := sc.Err(); err != nil {
+		report.reject("%s: %v", TermsName, err)
+		return nil
+	}
+	return newTermLoader(nodes)
+}
+
 // checkFunctionCerts verifies one function's certificate file plus its
 // DRAT companion and returns the per-query status map (nil when the
-// file itself is unreadable).
-func checkFunctionCerts(dir, base string, report *CheckReport) *fnCerts {
-	var cf CertsFile
-	if !loadJSON(dir, base+CertsSuffix, &cf, report) {
+// file itself is unreadable). The first JSON value carries the schema;
+// it selects the buffered (v1) or streaming (v2) decoder.
+func checkFunctionCerts(dir, base string, loader *termLoader, report *CheckReport) *fnCerts {
+	f, err := os.Open(filepath.Join(dir, base+CertsSuffix))
+	if err != nil {
+		report.reject("%s: %v", base+CertsSuffix, err)
+		return nil
+	}
+	defer f.Close()
+	zr, err := maybeInflate(f)
+	if err != nil {
+		report.reject("%s: %v", base+CertsSuffix, err)
+		return nil
+	}
+	dec := json.NewDecoder(zr)
+	var head certsHeader
+	if err := dec.Decode(&head); err != nil {
+		report.reject("%s: bad JSON: %v", base+CertsSuffix, err)
 		return nil
 	}
 	report.Functions++
-	if cf.Schema != Schema {
-		report.reject("%s: unsupported schema %d", base+CertsSuffix, cf.Schema)
+	switch head.Schema {
+	case Schema:
+		return checkFunctionCertsV1(dir, base, report)
+	case SchemaStreaming:
+		return checkFunctionCertsV2(dir, base, head.Function, dec, loader, report)
+	default:
+		report.reject("%s: unsupported schema %d", base+CertsSuffix, head.Schema)
+		return nil
+	}
+}
+
+// verifyQueryKind performs the trace-independent verification of one
+// query certificate: trivial and simplified certificates re-read the
+// decoded term, model certificates re-evaluate the recorded assignment,
+// refs are queued for global resolution. It returns true when the
+// certificate is a DRAT obligation the caller must discharge against
+// the session trace.
+func verifyQueryKind(fc *fnCerts, cs *certStatus, termOf func(*certStatus) *term.Term, report *CheckReport) bool {
+	if cs.Result != ResSat && cs.Result != ResUnsat {
+		report.reject("%s/%s: bad result %q", fc.name, cs.ID, cs.Result)
+		return false
+	}
+	switch cs.Kind {
+	case KindTrivial:
+		t := termOf(cs)
+		if t == nil {
+			return false
+		}
+		want := cs.Result == ResSat
+		if t.Kind != term.KConstBool || (t.Val == 1) != want {
+			report.reject("%s/%s: trivial certificate term is not the constant %v", fc.name, cs.ID, want)
+			return false
+		}
+		cs.verified = true
+	case KindSimplified:
+		// The verdict came from the (trusted) simplification pipeline;
+		// the checker validates shape only and counts these separately.
+		t := termOf(cs)
+		if t == nil {
+			return false
+		}
+		if t.SortKind() != term.SortBool {
+			report.reject("%s/%s: simplified certificate term is not Bool-sorted", fc.name, cs.ID)
+			return false
+		}
+		cs.verified = true
+	case KindModel:
+		t := termOf(cs)
+		if t == nil {
+			return false
+		}
+		if cs.Result != ResSat {
+			report.reject("%s/%s: model certificate with result %s", fc.name, cs.ID, cs.Result)
+			return false
+		}
+		if cs.Model == nil {
+			report.reject("%s/%s: model certificate without model", fc.name, cs.ID)
+			return false
+		}
+		a, err := AssignFromModel(cs.Model)
+		if err != nil {
+			report.reject("%s/%s: %v", fc.name, cs.ID, err)
+			return false
+		}
+		v, err := a.EvalBool(t)
+		if err != nil {
+			report.reject("%s/%s: model evaluation failed: %v", fc.name, cs.ID, err)
+			return false
+		}
+		if !v {
+			report.reject("%s/%s: recorded model does not satisfy the term", fc.name, cs.ID)
+			return false
+		}
+		cs.verified = true
+	case KindDRAT:
+		if cs.Result != ResUnsat {
+			report.reject("%s/%s: drat certificate with result %s", fc.name, cs.ID, cs.Result)
+			return false
+		}
+		return true
+	case KindRef:
+		if cs.Key == "" {
+			report.reject("%s/%s: ref certificate without key", fc.name, cs.ID)
+			return false
+		}
+		fc.refs = append(fc.refs, cs)
+		return false // resolved globally after all functions verify
+	default:
+		report.reject("%s/%s: unknown certificate kind %q", fc.name, cs.ID, cs.Kind)
+		return false
+	}
+	if cs.verified {
+		report.Queries++
+		report.ByKind[cs.Kind]++
+	}
+	return false
+}
+
+// checkFunctionCertsV1 verifies a schema-1 certificate file: the whole
+// document is loaded, terms decode from its embedded table, and the
+// textual DRAT trace is parsed per session.
+func checkFunctionCertsV1(dir, base string, report *CheckReport) *fnCerts {
+	var cf CertsFile
+	if !loadJSON(dir, base+CertsSuffix, &cf, report) {
 		return nil
 	}
 	fc := &fnCerts{name: cf.Function, byID: make(map[string]*certStatus, len(cf.Queries))}
@@ -225,11 +434,7 @@ func checkFunctionCerts(dir, base string, report *CheckReport) *fnCerts {
 	}
 
 	// Group the DRAT obligations per session, ordered by trace position.
-	type checkpoint struct {
-		pos int
-		cs  *certStatus
-	}
-	bySess := map[int][]checkpoint{}
+	bySess := map[int][]dratCheckpoint{}
 
 	termOf := func(cs *certStatus) *term.Term {
 		if cs.Term < 0 || cs.Term >= len(terms) {
@@ -246,86 +451,12 @@ func checkFunctionCerts(dir, base string, report *CheckReport) *fnCerts {
 			continue
 		}
 		fc.byID[cs.ID] = cs
-		if cs.Result != ResSat && cs.Result != ResUnsat {
-			report.reject("%s/%s: bad result %q", fc.name, cs.ID, cs.Result)
-			continue
-		}
-		switch cs.Kind {
-		case KindTrivial:
-			t := termOf(cs)
-			if t == nil {
-				continue
-			}
-			want := cs.Result == ResSat
-			if t.Kind != term.KConstBool || (t.Val == 1) != want {
-				report.reject("%s/%s: trivial certificate term is not the constant %v", fc.name, cs.ID, want)
-				continue
-			}
-			cs.verified = true
-		case KindSimplified:
-			// The verdict came from the (trusted) simplification pipeline;
-			// the checker validates shape only and counts these separately.
-			t := termOf(cs)
-			if t == nil {
-				continue
-			}
-			if t.SortKind() != term.SortBool {
-				report.reject("%s/%s: simplified certificate term is not Bool-sorted", fc.name, cs.ID)
-				continue
-			}
-			cs.verified = true
-		case KindModel:
-			t := termOf(cs)
-			if t == nil {
-				continue
-			}
-			if cs.Result != ResSat {
-				report.reject("%s/%s: model certificate with result %s", fc.name, cs.ID, cs.Result)
-				continue
-			}
-			if cs.Model == nil {
-				report.reject("%s/%s: model certificate without model", fc.name, cs.ID)
-				continue
-			}
-			a, err := AssignFromModel(cs.Model)
-			if err != nil {
-				report.reject("%s/%s: %v", fc.name, cs.ID, err)
-				continue
-			}
-			v, err := a.EvalBool(t)
-			if err != nil {
-				report.reject("%s/%s: model evaluation failed: %v", fc.name, cs.ID, err)
-				continue
-			}
-			if !v {
-				report.reject("%s/%s: recorded model does not satisfy the term", fc.name, cs.ID)
-				continue
-			}
-			cs.verified = true
-		case KindDRAT:
-			if cs.Result != ResUnsat {
-				report.reject("%s/%s: drat certificate with result %s", fc.name, cs.ID, cs.Result)
-				continue
-			}
+		if verifyQueryKind(fc, cs, termOf, report) {
 			if cs.Sess < 0 || cs.Sess >= len(sessions) {
 				report.reject("%s/%s: session %d not in trace", fc.name, cs.ID, cs.Sess)
 				continue
 			}
-			bySess[cs.Sess] = append(bySess[cs.Sess], checkpoint{pos: cs.Pos, cs: cs})
-		case KindRef:
-			if cs.Key == "" {
-				report.reject("%s/%s: ref certificate without key", fc.name, cs.ID)
-				continue
-			}
-			fc.refs = append(fc.refs, cs)
-			continue // resolved globally after all functions verify
-		default:
-			report.reject("%s/%s: unknown certificate kind %q", fc.name, cs.ID, cs.Kind)
-			continue
-		}
-		if cs.verified {
-			report.Queries++
-			report.ByKind[cs.Kind]++
+			bySess[cs.Sess] = append(bySess[cs.Sess], dratCheckpoint{pos: cs.Pos, cs: cs})
 		}
 	}
 
@@ -383,6 +514,152 @@ func checkFunctionCerts(dir, base string, report *CheckReport) *fnCerts {
 	return fc
 }
 
+// v2CertValue is one JSON value of a schema-2 certs stream after the
+// header: either a query certificate or the session-metadata trailer.
+type v2CertValue struct {
+	QueryCert
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// checkFunctionCertsV2 verifies a schema-2 certificate stream: query
+// certificates decode one value at a time, terms resolve against the
+// shared segment, and the binary DRAT trace replays in one forward pass.
+func checkFunctionCertsV2(dir, base, fnName string, dec *json.Decoder, loader *termLoader, report *CheckReport) *fnCerts {
+	fc := &fnCerts{name: fnName, byID: make(map[string]*certStatus)}
+	termOf := func(cs *certStatus) *term.Term {
+		if loader == nil {
+			report.reject("%s/%s: schema-2 certificate but no %s segment", fc.name, cs.ID, TermsName)
+			return nil
+		}
+		t, err := loader.Term(cs.Term)
+		if err != nil {
+			report.reject("%s/%s: %v", fc.name, cs.ID, err)
+			return nil
+		}
+		return t
+	}
+	bySess := map[int][]dratCheckpoint{}
+	for {
+		var v v2CertValue
+		err := dec.Decode(&v)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			report.reject("%s: bad JSON value: %v", base+CertsSuffix, err)
+			break
+		}
+		if v.Sessions != nil {
+			continue // session variable maps; informational
+		}
+		cs := &certStatus{QueryCert: v.QueryCert}
+		if _, dup := fc.byID[cs.ID]; dup {
+			report.reject("%s: duplicate query id %s", fc.name, cs.ID)
+			continue
+		}
+		fc.byID[cs.ID] = cs
+		if verifyQueryKind(fc, cs, termOf, report) {
+			if cs.Sess < 0 {
+				report.reject("%s/%s: session %d not in trace", fc.name, cs.ID, cs.Sess)
+				continue
+			}
+			bySess[cs.Sess] = append(bySess[cs.Sess], dratCheckpoint{pos: cs.Pos, cs: cs})
+		}
+	}
+	replayDratStreaming(dir, base, fc, bySess, report)
+	return fc
+}
+
+// replayDratStreaming walks the (binary) trace once, maintaining one RUP
+// checker per session — sessions interleave in a streaming trace — and
+// discharging each obligation when its session reaches the recorded
+// position.
+func replayDratStreaming(dir, base string, fc *fnCerts, bySess map[int][]dratCheckpoint, report *CheckReport) {
+	type sessState struct {
+		ck     *SessionChecker
+		cps    []dratCheckpoint
+		next   int
+		pos    int
+		broken bool
+	}
+	states := map[int]*sessState{}
+	for si, cps := range bySess {
+		sort.SliceStable(cps, func(i, j int) bool { return cps[i].pos < cps[j].pos })
+		states[si] = &sessState{ck: NewSessionChecker(), cps: cps}
+	}
+	discharge := func(ss *sessState) {
+		for ss.next < len(ss.cps) && ss.cps[ss.next].pos == ss.pos {
+			cp := ss.cps[ss.next]
+			ss.next++
+			if err := ss.ck.CheckFinal(int32Slice(cp.cs.Final)); err != nil {
+				report.reject("%s/%s: %v", fc.name, cp.cs.ID, err)
+				continue
+			}
+			cp.cs.verified = true
+			report.Queries++
+			report.ByKind[KindDRAT]++
+		}
+	}
+	df, err := os.Open(filepath.Join(dir, base+DratSuffix))
+	if err != nil && !os.IsNotExist(err) {
+		report.reject("%s: %v", base+DratSuffix, err)
+	}
+	if err == nil {
+		werr := WalkDrat(df, func(si int, op byte, lits []int32) error {
+			ss := states[si]
+			if ss == nil {
+				ss = &sessState{ck: NewSessionChecker()}
+				states[si] = ss
+			}
+			if ss.broken {
+				return nil // obligations already rejected; skip the rest
+			}
+			discharge(ss)
+			report.Steps++
+			var serr error
+			switch op {
+			case OpInput:
+				serr = ss.ck.AddInput(lits)
+			case OpLearn:
+				serr = ss.ck.AddLearnt(lits)
+			case OpDelete:
+				serr = ss.ck.Delete(lits)
+			}
+			if serr != nil {
+				report.reject("%s: session %d step %d: %v", fc.name, si, ss.pos, serr)
+				ss.broken = true
+				for ; ss.next < len(ss.cps); ss.next++ {
+					report.reject("%s/%s: unverifiable, trace broken at step %d",
+						fc.name, ss.cps[ss.next].cs.ID, ss.pos)
+				}
+				return nil
+			}
+			ss.pos++
+			return nil
+		})
+		df.Close()
+		if werr != nil {
+			report.reject("%s: %v", base+DratSuffix, werr)
+		}
+	}
+	sis := make([]int, 0, len(states))
+	for si := range states {
+		sis = append(sis, si)
+	}
+	sort.Ints(sis)
+	for _, si := range sis {
+		ss := states[si]
+		if ss.broken {
+			continue
+		}
+		discharge(ss)
+		for ; ss.next < len(ss.cps); ss.next++ {
+			report.reject("%s/%s: position %d beyond end of session %d (%d steps)",
+				fc.name, ss.cps[ss.next].cs.ID, ss.cps[ss.next].pos, si, ss.pos)
+		}
+	}
+}
+
 func int32Slice(v []int) []int32 {
 	out := make([]int32, len(v))
 	for i, x := range v {
@@ -394,21 +671,13 @@ func int32Slice(v []int) []int32 {
 // verifyWitness checks the structural well-formedness of a bisimulation
 // witness: entry and exit points present, every non-exiting point
 // explored, every cut successor covered by a pair, and every pair's
-// obligations discharged by verified certificates.
-func verifyWitness(wf *WitnessFile, fc *fnCerts, report *CheckReport) {
+// obligations discharged by verified certificates. termAt resolves path
+// conditions — against the witness's own table (schema 1) or the shared
+// segment (schema 2).
+func verifyWitness(wf *WitnessFile, fc *fnCerts, termAt func(int) (*term.Term, error), report *CheckReport) {
 	name := wf.Function
-	if wf.Schema != Schema {
-		report.reject("%s: witness has unsupported schema %d", name, wf.Schema)
-		return
-	}
 	if wf.Mode != "equivalence" && wf.Mode != "refinement" {
 		report.reject("%s: witness has unknown mode %q", name, wf.Mode)
-		return
-	}
-	ctx := term.NewContext()
-	terms, err := DecodeTerms(ctx, wf.Terms)
-	if err != nil {
-		report.reject("%s: witness terms: %v", name, err)
 		return
 	}
 
@@ -483,12 +752,12 @@ func verifyWitness(wf *WitnessFile, fc *fnCerts, report *CheckReport) {
 		}
 		okSucc := func(side string, succs []SuccState) bool {
 			for i, s := range succs {
-				if s.PC < 0 || s.PC >= len(terms) {
-					report.reject("%s: %s: pc index out of range", name, role(side, i))
+				pc, err := termAt(s.PC)
+				if err != nil {
+					report.reject("%s: %s: %v", name, role(side, i), err)
 					return false
 				}
 				if s.FeasQ == "" {
-					pc := terms[s.PC]
 					if pc.Kind != term.KConstBool || pc.Val != 1 {
 						report.reject("%s: %s has no feasibility query and a non-trivial path condition",
 							name, role(side, i))

@@ -8,7 +8,10 @@ package proof_test
 // or SMT solver.
 
 import (
+	"bytes"
+	"compress/flate"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"os/exec"
@@ -29,10 +32,26 @@ var (
 	e2eDir  string
 	e2eSum  *harness.Summary
 	e2eErr  error
+
+	legacyOnce sync.Once
+	legacyDir  string
+	legacySum  *harness.Summary
+	legacyErr  error
 )
 
-// emitProofDir runs a small corpus once with proof emission on and caches
-// the directory for every test in this file.
+// e2eConfig is the shared corpus configuration of the cached runs, so the
+// streaming and legacy directories describe the same validation work.
+func e2eConfig(dir string) harness.Config {
+	return harness.Config{
+		Profile:  corpus.GCCLike(8),
+		Budget:   tv.Budget{MaxTermNodes: 3_000_000},
+		Workers:  2,
+		ProofDir: dir,
+	}
+}
+
+// emitProofDir runs a small corpus once with (streaming, schema 2) proof
+// emission on and caches the directory for every test in this file.
 func emitProofDir(t *testing.T) (string, *harness.Summary) {
 	t.Helper()
 	e2eOnce.Do(func() {
@@ -42,12 +61,7 @@ func emitProofDir(t *testing.T) (string, *harness.Summary) {
 			return
 		}
 		e2eDir = dir
-		e2eSum = harness.Run(harness.Config{
-			Profile:  corpus.GCCLike(8),
-			Budget:   tv.Budget{MaxTermNodes: 3_000_000},
-			Workers:  2,
-			ProofDir: dir,
-		})
+		e2eSum = harness.Run(e2eConfig(dir))
 		e2eErr = e2eSum.ProofErr
 	})
 	if e2eErr != nil {
@@ -56,10 +70,35 @@ func emitProofDir(t *testing.T) (string, *harness.Summary) {
 	return e2eDir, e2eSum
 }
 
+// emitLegacyProofDir is emitProofDir with the schema-1 buffered writers
+// (the -proof-legacy ablation) over the identical corpus.
+func emitLegacyProofDir(t *testing.T) (string, *harness.Summary) {
+	t.Helper()
+	legacyOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "proofdir-legacy")
+		if err != nil {
+			legacyErr = err
+			return
+		}
+		legacyDir = dir
+		cfg := e2eConfig(dir)
+		cfg.ProofLegacy = true
+		legacySum = harness.Run(cfg)
+		legacyErr = legacySum.ProofErr
+	})
+	if legacyErr != nil {
+		t.Fatal(legacyErr)
+	}
+	return legacyDir, legacySum
+}
+
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if e2eDir != "" {
 		os.RemoveAll(e2eDir)
+	}
+	if legacyDir != "" {
+		os.RemoveAll(legacyDir)
 	}
 	os.Exit(code)
 }
@@ -144,39 +183,98 @@ func findFile(t *testing.T, dir, suffix string, accept func([]byte) bool) (strin
 	return "", nil
 }
 
+// inflate undoes the schema-2 compressed-JSON container ("BJSN" magic,
+// version byte, DEFLATE body); plain schema-1 bytes pass through and a
+// broken body comes back nil (predicates treat that as a non-match).
+func inflate(data []byte) []byte {
+	if len(data) < 5 || string(data[:4]) != "BJSN" {
+		return data
+	}
+	out, err := io.ReadAll(flate.NewReader(bytes.NewReader(data[5:])))
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// deflate re-wraps tampered JSON in the container, so the checker takes
+// the same decode path it takes on untampered artifacts.
+func deflate(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("BJSN\x01")
+	fw, err := flate.NewWriter(&buf, flate.DefaultCompression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// dratStep is one decoded trace step, for tamper tests that re-encode.
+type dratStep struct {
+	sess int
+	op   byte
+	lits []int32
+}
+
+// decodeDrat decodes a .drat file (either format) into its step list,
+// returning nil on any decode error.
+func decodeDrat(data []byte) []dratStep {
+	var steps []dratStep
+	err := proof.WalkDrat(bytes.NewReader(data), func(sess int, op byte, lits []int32) error {
+		steps = append(steps, dratStep{sess, op, append([]int32(nil), lits...)})
+		return nil
+	})
+	if err != nil {
+		return nil
+	}
+	return steps
+}
+
 // TestTamperedDRATClauseRejected flips a literal inside a learnt clause
-// of a DRAT trace; the RUP replay must reject the session and the
-// certificates pointing into it.
+// of a binary DRAT trace and re-encodes it — a well-formed container
+// whose RUP obligation no longer holds; the replay must reject the
+// session and the certificates pointing into it.
 func TestTamperedDRATClauseRejected(t *testing.T) {
 	src, _ := emitProofDir(t)
 	dir := copyProofDir(t, src)
 	path, data := findFile(t, dir, proof.DratSuffix, func(b []byte) bool {
-		return strings.Contains(string(b), "\nl ")
+		for _, s := range decodeDrat(b) {
+			if s.op == proof.OpLearn && len(s.lits) > 0 {
+				return true
+			}
+		}
+		return false
 	})
-	lines := strings.Split(string(data), "\n")
+	steps := decodeDrat(data)
 	tampered := false
-	for i, line := range lines {
-		if !strings.HasPrefix(line, "l ") {
-			continue
+	for _, s := range steps {
+		if s.op == proof.OpLearn && len(s.lits) > 0 {
+			s.lits[0] = -s.lits[0]
+			tampered = true
+			break
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 3 { // "l <lit> 0" at minimum
-			continue
-		}
-		// Flip the sign of the first literal of the learnt clause.
-		if strings.HasPrefix(fields[1], "-") {
-			fields[1] = fields[1][1:]
-		} else {
-			fields[1] = "-" + fields[1]
-		}
-		lines[i] = strings.Join(fields, " ")
-		tampered = true
-		break
 	}
 	if !tampered {
 		t.Fatal("no learnt clause found to tamper with")
 	}
-	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")), 0o644); err != nil {
+	var buf bytes.Buffer
+	bw := proof.NewBinWriter(&buf)
+	for _, s := range steps {
+		if err := bw.Step(s.sess, s.op, s.lits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	report, err := proof.CheckDir(dir)
@@ -188,6 +286,28 @@ func TestTamperedDRATClauseRejected(t *testing.T) {
 	}
 }
 
+// TestTamperedDRATByteFlipRejected flips a raw byte inside the
+// compressed body of a binary DRAT trace; the checker must report the
+// broken file rather than silently verifying a truncated prefix.
+func TestTamperedDRATByteFlipRejected(t *testing.T) {
+	src, _ := emitProofDir(t)
+	dir := copyProofDir(t, src)
+	path, data := findFile(t, dir, proof.DratSuffix, func(b []byte) bool {
+		return len(b) > 64 && len(decodeDrat(b)) > 0
+	})
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) == 0 {
+		t.Fatalf("byte-flipped DRAT file %s was not rejected", filepath.Base(path))
+	}
+}
+
 // TestTamperedWitnessPairRejected drops one blackened pair from a
 // bisimulation witness; the coverage check must reject the witness.
 func TestTamperedWitnessPairRejected(t *testing.T) {
@@ -195,7 +315,7 @@ func TestTamperedWitnessPairRejected(t *testing.T) {
 	dir := copyProofDir(t, src)
 	path, data := findFile(t, dir, proof.WitnessSuffix, func(b []byte) bool {
 		var w proof.WitnessFile
-		if err := json.Unmarshal(b, &w); err != nil {
+		if err := json.Unmarshal(inflate(b), &w); err != nil {
 			return false
 		}
 		for _, cp := range w.Checked {
@@ -206,7 +326,7 @@ func TestTamperedWitnessPairRejected(t *testing.T) {
 		return false
 	})
 	var w proof.WitnessFile
-	if err := json.Unmarshal(data, &w); err != nil {
+	if err := json.Unmarshal(inflate(data), &w); err != nil {
 		t.Fatal(err)
 	}
 	for i := range w.Checked {
@@ -219,7 +339,7 @@ func TestTamperedWitnessPairRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := os.WriteFile(path, deflate(t, out), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	report, err := proof.CheckDir(dir)
@@ -231,30 +351,78 @@ func TestTamperedWitnessPairRejected(t *testing.T) {
 	}
 }
 
-// TestTamperedModelRejected corrupts a Sat model value in a certificate
-// file; re-evaluating the term DAG under the broken model must fail.
-func TestTamperedModelRejected(t *testing.T) {
+// TestUnknownContainerVersionRejected bumps the version byte of a
+// compressed certs container; the checker must report an unsupported
+// version, not attempt to parse the DEFLATE body as JSON.
+func TestUnknownContainerVersionRejected(t *testing.T) {
 	src, _ := emitProofDir(t)
 	dir := copyProofDir(t, src)
 	path, data := findFile(t, dir, proof.CertsSuffix, func(b []byte) bool {
-		var f proof.CertsFile
-		if err := json.Unmarshal(b, &f); err != nil {
-			return false
+		return len(b) > 5 && string(b[:4]) == "BJSN"
+	})
+	data[4] = 99
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range report.Rejections {
+		if strings.Contains(r, "unsupported compressed-JSON container version") {
+			found = true
 		}
-		for _, q := range f.Queries {
+	}
+	if !found {
+		t.Fatalf("future container version was not rejected as such; rejections: %v", report.Rejections)
+	}
+}
+
+// certValues splits a schema-2 certs file (a stream of concatenated
+// JSON values) into its raw values, or nil when the stream is malformed.
+func certValues(data []byte) []json.RawMessage {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	var vals []json.RawMessage
+	for {
+		var raw json.RawMessage
+		err := dec.Decode(&raw)
+		if err == io.EOF {
+			return vals
+		}
+		if err != nil {
+			return nil
+		}
+		vals = append(vals, raw)
+	}
+}
+
+// TestTamperedModelRejected corrupts a Sat model value in a streamed
+// certificate file; re-evaluating the term DAG under the broken model
+// must fail.
+func TestTamperedModelRejected(t *testing.T) {
+	src, _ := emitProofDir(t)
+	dir := copyProofDir(t, src)
+	hasModel := func(b []byte) bool {
+		for _, raw := range certValues(inflate(b)) {
+			var q proof.QueryCert
+			if json.Unmarshal(raw, &q) != nil {
+				continue
+			}
 			if q.Kind == proof.KindModel && q.Model != nil && len(q.Model.BV) > 0 {
 				return true
 			}
 		}
 		return false
-	})
-	var f proof.CertsFile
-	if err := json.Unmarshal(data, &f); err != nil {
-		t.Fatal(err)
 	}
-	rejections := 0
-	for i := range f.Queries {
-		q := &f.Queries[i]
+	path, data := findFile(t, dir, proof.CertsSuffix, hasModel)
+	vals := certValues(inflate(data))
+	tampered := 0
+	for i, raw := range vals {
+		var q proof.QueryCert
+		if json.Unmarshal(raw, &q) != nil {
+			continue
+		}
 		if q.Kind != proof.KindModel || q.Model == nil || len(q.Model.BV) == 0 {
 			continue
 		}
@@ -269,16 +437,24 @@ func TestTamperedModelRejected(t *testing.T) {
 			}
 			q.Model.BV[j].Val = strconv.FormatUint(v^1, 10)
 		}
-		rejections++
+		out, err := json.Marshal(&q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals[i] = out
+		tampered++
 	}
-	if rejections == 0 {
+	if tampered == 0 {
 		t.Fatal("no model certificate found to tamper with")
 	}
-	out, err := json.Marshal(&f)
-	if err != nil {
-		t.Fatal(err)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, raw := range vals {
+		if err := enc.Encode(raw); err != nil {
+			t.Fatal(err)
+		}
 	}
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := os.WriteFile(path, deflate(t, buf.Bytes()), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	report, err := proof.CheckDir(dir)
@@ -287,6 +463,180 @@ func TestTamperedModelRejected(t *testing.T) {
 	}
 	if len(report.Rejections) == 0 {
 		t.Fatalf("tampered models in %s were not rejected", filepath.Base(path))
+	}
+}
+
+// TestLegacyStreamingParity pins the refactor's behavioral neutrality:
+// the schema-1 buffered writers and the schema-2 streaming writers must
+// produce identical validation classes over the identical corpus, both
+// directories must verify with zero rejections, and the streaming
+// artifacts must be substantially smaller.
+func TestLegacyStreamingParity(t *testing.T) {
+	sdir, ssum := emitProofDir(t)
+	ldir, lsum := emitLegacyProofDir(t)
+
+	if len(ssum.Rows) != len(lsum.Rows) {
+		t.Fatalf("row counts differ: streaming %d, legacy %d", len(ssum.Rows), len(lsum.Rows))
+	}
+	for i := range ssum.Rows {
+		if ssum.Rows[i].Class != lsum.Rows[i].Class {
+			t.Errorf("row %d (%s): streaming %s, legacy %s",
+				i, ssum.Rows[i].Fn, ssum.Rows[i].Class, lsum.Rows[i].Class)
+		}
+	}
+
+	sreport, err := proof.CheckDir(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lreport, err := proof.CheckDir(ldir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*proof.CheckReport{"streaming": sreport, "legacy": lreport} {
+		if len(r.Rejections) != 0 {
+			t.Fatalf("%s: %d rejections, first: %s", name, len(r.Rejections), r.Rejections[0])
+		}
+	}
+	if sreport.Queries != lreport.Queries || sreport.Witnesses != lreport.Witnesses {
+		t.Errorf("verified work differs: streaming %d queries/%d witnesses, legacy %d/%d",
+			sreport.Queries, sreport.Witnesses, lreport.Queries, lreport.Witnesses)
+	}
+
+	sbytes, lbytes := ssum.SMTStats.ProofBytes, lsum.SMTStats.ProofBytes
+	if sbytes >= lbytes {
+		t.Errorf("streaming artifacts (%d B) not smaller than legacy (%d B)", sbytes, lbytes)
+	}
+}
+
+// proofDirSize sums the artifact files of a proof directory — everything
+// ProofBytes accounts for, i.e. all files except the manifest.
+func proofDirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, e := range entries {
+		if e.Name() == proof.ManifestName {
+			continue
+		}
+		fi, err := os.Stat(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestProofBytesMatchesDisk pins the ProofBytes fix: the stat must count
+// bytes actually written to disk, for both emission paths.
+func TestProofBytesMatchesDisk(t *testing.T) {
+	sdir, ssum := emitProofDir(t)
+	if got, want := ssum.SMTStats.ProofBytes, proofDirSize(t, sdir); got != want {
+		t.Errorf("streaming ProofBytes = %d, on-disk artifacts = %d", got, want)
+	}
+	ldir, lsum := emitLegacyProofDir(t)
+	if got, want := lsum.SMTStats.ProofBytes, proofDirSize(t, ldir); got != want {
+		t.Errorf("legacy ProofBytes = %d, on-disk artifacts = %d", got, want)
+	}
+}
+
+// TestCrossFormatDratIdentical transcodes every binary DRAT trace of the
+// streaming run into the schema-1 text format in place; RUP verification
+// must accept the directory identically — same verified queries, same
+// step counts, zero rejections — pinning that the two containers encode
+// the same proof.
+func TestCrossFormatDratIdentical(t *testing.T) {
+	src, _ := emitProofDir(t)
+	before, err := proof.CheckDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := copyProofDir(t, src)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transcoded := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), proof.DratSuffix) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		cur := -1
+		werr := proof.WalkDrat(bytes.NewReader(data), func(sess int, op byte, lits []int32) error {
+			if sess != cur {
+				fmt.Fprintf(&buf, "s %d\n", sess)
+				cur = sess
+			}
+			fmt.Fprintf(&buf, "%c", op)
+			for _, l := range lits {
+				fmt.Fprintf(&buf, " %d", l)
+			}
+			buf.WriteString(" 0\n")
+			return nil
+		})
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		transcoded++
+	}
+	if transcoded == 0 {
+		t.Fatal("no DRAT traces to transcode")
+	}
+	after, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rejections) != 0 {
+		t.Fatalf("transcoded text traces rejected: %s", after.Rejections[0])
+	}
+	if after.Queries != before.Queries || after.Steps != before.Steps ||
+		after.ByKind[proof.KindDRAT] != before.ByKind[proof.KindDRAT] {
+		t.Errorf("verification differs across formats: binary %d queries/%d steps/%d drat, text %d/%d/%d",
+			before.Queries, before.Steps, before.ByKind[proof.KindDRAT],
+			after.Queries, after.Steps, after.ByKind[proof.KindDRAT])
+	}
+}
+
+// TestScratchParity pins the arena refactor's behavioral neutrality:
+// validating the identical corpus with per-worker scratch reuse disabled
+// must produce the identical per-row classes.
+func TestScratchParity(t *testing.T) {
+	_, ssum := emitProofDir(t)
+	cfg := e2eConfig("")
+	cfg.DisableScratch = true
+	nsum := harness.Run(cfg)
+	if len(nsum.Rows) != len(ssum.Rows) {
+		t.Fatalf("row counts differ: scratch %d, no-scratch %d", len(ssum.Rows), len(nsum.Rows))
+	}
+	for i := range ssum.Rows {
+		if ssum.Rows[i].Class != nsum.Rows[i].Class {
+			t.Errorf("row %d (%s): scratch %s, no-scratch %s",
+				i, ssum.Rows[i].Fn, ssum.Rows[i].Class, nsum.Rows[i].Class)
+		}
+	}
+}
+
+// TestMemTelemetryRecorded pins the mem.* series: a corpus run must
+// record per-phase allocation histograms for every function.
+func TestMemTelemetryRecorded(t *testing.T) {
+	_, sum := emitProofDir(t)
+	for _, name := range []string{"mem.parse", "mem.isel", "mem.vcgen", "mem.check", "mem.peak"} {
+		if sum.Metrics.Hist(name).Count == 0 {
+			t.Errorf("no %s observations recorded", name)
+		}
 	}
 }
 

@@ -50,8 +50,17 @@ import (
 	"repro/internal/term"
 )
 
-// Schema is the certificate format version.
+// Schema is the buffered (legacy) certificate format version: one JSON
+// document per function carrying its own term table, plus a textual
+// .drat companion.
 const Schema = 1
+
+// SchemaStreaming is the streaming certificate format version written by
+// DirWriter: the certs file is a stream of concatenated JSON values
+// (header, one value per query certificate, session trailer), term ids
+// reference the run-wide shared TERMS.jsonl segment, and the .drat
+// companion uses the binary container (see bdrat.go).
+const SchemaStreaming = 2
 
 // Result strings used in certificates.
 const (
@@ -227,9 +236,12 @@ type ManifestRow struct {
 	Certified bool   `json:"certified"`
 }
 
-// Manifest is the on-disk MANIFEST.json document of a corpus run.
+// Manifest is the on-disk MANIFEST.json document of a corpus run. For
+// schema-2 runs, Terms names the shared term-table segment.
 type Manifest struct {
 	Schema    int           `json:"schema"`
+	Terms     string        `json:"terms,omitempty"`
+	TermCount int           `json:"term_count,omitempty"`
 	Functions []ManifestRow `json:"functions"`
 }
 
@@ -239,6 +251,8 @@ type Manifest struct {
 // allocate per step.
 type Session struct {
 	index int
+	rec   *Recorder // owner; streaming recorders write steps through
+	count int
 	ops   []byte
 	offs  []int32
 	pool  []int32
@@ -252,15 +266,22 @@ const (
 	OpDelete = byte('d')
 )
 
-// AddStep appends one trace step with DIMACS-encoded literals.
+// AddStep appends one trace step with DIMACS-encoded literals. Under a
+// streaming recorder the step goes straight to the binary trace writer;
+// otherwise it is buffered in the flat pools.
 func (s *Session) AddStep(op byte, lits []int32) {
+	s.count++
+	if s.rec != nil && s.rec.dw != nil {
+		s.rec.writeStep(s.index, op, lits)
+		return
+	}
 	s.ops = append(s.ops, op)
 	s.offs = append(s.offs, int32(len(s.pool)))
 	s.pool = append(s.pool, lits...)
 }
 
 // Len returns the number of steps recorded.
-func (s *Session) Len() int { return len(s.ops) }
+func (s *Session) Len() int { return s.count }
 
 // step returns opcode and literals of step i.
 func (s *Session) step(i int) (byte, []int32) {
@@ -278,21 +299,34 @@ func (s *Session) MapVar(name, sort string, bits []int) {
 
 // Recorder accumulates the certificates and the bisimulation witness of
 // one function under validation. It is used by a single goroutine (the
-// harness worker validating the function) and needs no locking.
+// harness worker validating the function) and needs no locking of its
+// own; a streaming recorder shares only the run-wide term table, which
+// locks internally.
+//
+// Buffered mode (NewRecorder, schema 1) holds everything in memory until
+// WriteCerts/WriteWitness. Streaming mode (DirWriter.NewRecorder, schema
+// 2) writes certificates, trace steps, and term rows as they are
+// recorded and is finalized by Close.
 type Recorder struct {
 	function string
-	table    *TermTable
-	queries  []QueryCert
+	table    *termEncoder // buffered mode
+	queries  []QueryCert  // buffered mode
+	nq       int
 	sessions []*Session
+
+	dw   *DirWriter // streaming mode
+	memo map[*term.Term]int32
+	st   *streamState
 
 	mode    string
 	points  []PointInfo
 	checked []CheckedPoint
 }
 
-// NewRecorder returns a Recorder for the named function.
+// NewRecorder returns a buffered (schema 1) Recorder for the named
+// function.
 func NewRecorder(function string) *Recorder {
-	return &Recorder{function: function, table: NewTermTable()}
+	return &Recorder{function: function, table: newTermEncoder()}
 }
 
 // Function returns the function name the recorder was created for.
@@ -301,45 +335,57 @@ func (r *Recorder) Function() string { return r.function }
 // NumQueries returns the number of query certificates recorded so far.
 // Callers use it as a watermark: record it before issuing solver queries,
 // then QueriesSince(w) names the certificates those queries produced.
-func (r *Recorder) NumQueries() int { return len(r.queries) }
+func (r *Recorder) NumQueries() int { return r.nq }
 
 // QueriesSince returns the IDs of certificates recorded at index w and
-// later.
+// later. IDs are assigned densely ("q0", "q1", ...) so they are derived
+// from the indices; a streaming recorder retains no certificate bodies.
 func (r *Recorder) QueriesSince(w int) []string {
-	ids := make([]string, 0, len(r.queries)-w)
-	for i := w; i < len(r.queries); i++ {
-		ids = append(ids, r.queries[i].ID)
+	ids := make([]string, 0, r.nq-w)
+	for i := w; i < r.nq; i++ {
+		ids = append(ids, fmt.Sprintf("q%d", i))
 	}
 	return ids
 }
 
 // NewSession starts a new SAT session trace and returns it.
 func (r *Recorder) NewSession() *Session {
-	s := &Session{index: len(r.sessions)}
+	s := &Session{index: len(r.sessions), rec: r}
 	r.sessions = append(r.sessions, s)
 	return s
 }
 
-// EncodeTerm interns t into the recorder's term table and returns its
-// node index.
-func (r *Recorder) EncodeTerm(t *term.Term) int { return r.table.Add(t) }
+// EncodeTerm interns t and returns its node id: into the run-wide shared
+// table (global id) for a streaming recorder, into the per-function
+// table otherwise.
+func (r *Recorder) EncodeTerm(t *term.Term) int {
+	if r.dw != nil {
+		return r.dw.table.Intern(t, r.memo)
+	}
+	return r.table.Add(t)
+}
 
 func (r *Recorder) addQuery(q QueryCert) string {
-	q.ID = fmt.Sprintf("q%d", len(r.queries))
-	r.queries = append(r.queries, q)
+	q.ID = fmt.Sprintf("q%d", r.nq)
+	r.nq++
+	if r.dw != nil {
+		r.writeQuery(q)
+	} else {
+		r.queries = append(r.queries, q)
+	}
 	return q.ID
 }
 
 // RecordTrivial records a verdict read off a constant-true/false query
 // term.
 func (r *Recorder) RecordTrivial(t *term.Term, result string, key string) string {
-	return r.addQuery(QueryCert{Kind: KindTrivial, Result: result, Key: key, Term: r.table.Add(t)})
+	return r.addQuery(QueryCert{Kind: KindTrivial, Result: result, Key: key, Term: r.EncodeTerm(t)})
 }
 
 // RecordSimplified records a verdict produced by the simplification
 // pipeline after array reduction, before any CNF existed.
 func (r *Recorder) RecordSimplified(t *term.Term, result string, key string) string {
-	return r.addQuery(QueryCert{Kind: KindSimplified, Result: result, Key: key, Term: r.table.Add(t)})
+	return r.addQuery(QueryCert{Kind: KindSimplified, Result: result, Key: key, Term: r.EncodeTerm(t)})
 }
 
 // RecordRef records a verdict answered by the shared VC cache,
@@ -350,7 +396,7 @@ func (r *Recorder) RecordRef(key string, result string) string {
 
 // RecordModel records a Sat verdict with its satisfying model.
 func (r *Recorder) RecordModel(t *term.Term, m *Model, key string) string {
-	return r.addQuery(QueryCert{Kind: KindModel, Result: ResSat, Key: key, Term: r.table.Add(t), Model: m})
+	return r.addQuery(QueryCert{Kind: KindModel, Result: ResSat, Key: key, Term: r.EncodeTerm(t), Model: m})
 }
 
 // RecordUnsat records an Unsat verdict backed by the DRAT trace of
@@ -384,16 +430,22 @@ func (r *Recorder) CertsFile() *CertsFile {
 	return f
 }
 
-// WitnessFile assembles the witness document.
+// WitnessFile assembles the witness document. A streaming recorder's
+// witness references global term ids and carries no table of its own.
 func (r *Recorder) WitnessFile() *WitnessFile {
-	return &WitnessFile{
+	w := &WitnessFile{
 		Schema:   Schema,
 		Function: r.function,
 		Mode:     r.mode,
 		Points:   r.points,
 		Checked:  r.checked,
-		Terms:    r.table.Nodes(),
 	}
+	if r.dw != nil {
+		w.Schema = SchemaStreaming
+	} else {
+		w.Terms = r.table.Nodes()
+	}
+	return w
 }
 
 // ModelFromAssign converts an evaluator assignment into its

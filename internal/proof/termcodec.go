@@ -20,28 +20,28 @@ type TNode struct {
 	A  []int  `json:"a,omitempty"`
 }
 
-// TermTable interns term DAGs into a shared node list. Hash-consing in
-// the source Context makes structurally equal terms pointer-equal, so
-// interning by pointer both deduplicates shared subterms and gives
-// syntactically identical terms identical node indices — the witness
-// checker verifies "fastpath" pairs (syntactic path-condition equality)
-// by comparing indices.
-type TermTable struct {
+// termEncoder interns term DAGs into a per-function node list (schema 1
+// certificates carry their own table). Hash-consing in the source
+// Context makes structurally equal terms pointer-equal, so interning by
+// pointer both deduplicates shared subterms and gives syntactically
+// identical terms identical node indices — the witness checker verifies
+// "fastpath" pairs (syntactic path-condition equality) by comparing
+// indices. Schema-2 runs use the run-wide shared TermTable instead.
+type termEncoder struct {
 	nodes []TNode
 	index map[*term.Term]int
 }
 
-// NewTermTable returns an empty table.
-func NewTermTable() *TermTable {
-	return &TermTable{index: make(map[*term.Term]int)}
+func newTermEncoder() *termEncoder {
+	return &termEncoder{index: make(map[*term.Term]int)}
 }
 
 // Nodes returns the serialized node list.
-func (tt *TermTable) Nodes() []TNode { return tt.nodes }
+func (tt *termEncoder) Nodes() []TNode { return tt.nodes }
 
 // Add interns t (and its subterms) and returns its node index. The DAG
 // is walked iteratively so deep terms cannot overflow the stack.
-func (tt *TermTable) Add(t *term.Term) int {
+func (tt *termEncoder) Add(t *term.Term) int {
 	if i, ok := tt.index[t]; ok {
 		return i
 	}
@@ -82,31 +82,72 @@ func (tt *TermTable) Add(t *term.Term) int {
 	return tt.index[t]
 }
 
+// decodeNode rebuilds node i of a serialized table; resolved holds the
+// terms of all earlier nodes.
+func decodeNode(ctx *term.Context, i int, n *TNode, resolved []*term.Term) (*term.Term, error) {
+	k, ok := term.KindByName(n.K)
+	if !ok {
+		return nil, fmt.Errorf("proof: node %d has unknown kind %q", i, n.K)
+	}
+	var val uint64
+	if n.V != "" {
+		if _, err := fmt.Sscanf(n.V, "%d", &val); err != nil {
+			return nil, fmt.Errorf("proof: node %d has bad value %q: %v", i, n.V, err)
+		}
+	}
+	args := make([]*term.Term, len(n.A))
+	for j, ai := range n.A {
+		if ai < 0 || ai >= i {
+			return nil, fmt.Errorf("proof: node %d references node %d (not topologically ordered)", i, ai)
+		}
+		args[j] = resolved[ai]
+	}
+	return ctx.Raw(k, n.W, val, n.N, n.Hi, n.Lo, args...), nil
+}
+
 // DecodeTerms rebuilds a serialized node table into terms of ctx using
 // the raw (non-simplifying) constructor, so the checker evaluates
 // exactly the DAG that was certified: re-simplifying during decode would
 // let a constructor bug mask itself. Returns one term per node.
 func DecodeTerms(ctx *term.Context, nodes []TNode) ([]*term.Term, error) {
 	out := make([]*term.Term, len(nodes))
-	for i, n := range nodes {
-		k, ok := term.KindByName(n.K)
-		if !ok {
-			return nil, fmt.Errorf("proof: node %d has unknown kind %q", i, n.K)
+	for i := range nodes {
+		t, err := decodeNode(ctx, i, &nodes[i], out)
+		if err != nil {
+			return nil, err
 		}
-		var val uint64
-		if n.V != "" {
-			if _, err := fmt.Sscanf(n.V, "%d", &val); err != nil {
-				return nil, fmt.Errorf("proof: node %d has bad value %q: %v", i, n.V, err)
-			}
-		}
-		args := make([]*term.Term, len(n.A))
-		for j, ai := range n.A {
-			if ai < 0 || ai >= i {
-				return nil, fmt.Errorf("proof: node %d references node %d (not topologically ordered)", i, ai)
-			}
-			args[j] = out[ai]
-		}
-		out[i] = ctx.Raw(k, n.W, val, n.N, n.Hi, n.Lo, args...)
+		out[i] = t
 	}
 	return out, nil
+}
+
+// termLoader lazily materializes the shared TERMS.jsonl segment of a
+// schema-2 directory into one term context. Nodes decode in a monotonic
+// prefix (ids are topological), memoized across every function the
+// checker replays, so the segment is read and decoded once per CheckDir.
+type termLoader struct {
+	nodes []TNode
+	ctx   *term.Context
+	terms []*term.Term
+	next  int
+}
+
+func newTermLoader(nodes []TNode) *termLoader {
+	return &termLoader{nodes: nodes, ctx: term.NewContext(), terms: make([]*term.Term, len(nodes))}
+}
+
+// Term returns the term with global id i, decoding the table prefix up
+// to i on first use.
+func (l *termLoader) Term(i int) (*term.Term, error) {
+	if i < 0 || i >= len(l.nodes) {
+		return nil, fmt.Errorf("term id %d out of range (table has %d nodes)", i, len(l.nodes))
+	}
+	for ; l.next <= i; l.next++ {
+		t, err := decodeNode(l.ctx, l.next, &l.nodes[l.next], l.terms)
+		if err != nil {
+			return nil, err
+		}
+		l.terms[l.next] = t
+	}
+	return l.terms[i], nil
 }

@@ -42,8 +42,12 @@ func writeJSON(path string, v interface{}) (int64, error) {
 }
 
 // WriteCerts writes <fn>.certs.json and, when any session recorded
-// steps, <fn>.drat. It returns the number of bytes written.
+// steps, <fn>.drat. It returns the number of bytes written. Buffered
+// (schema 1) recorders only; streaming recorders flush through Close.
 func WriteCerts(dir string, rec *Recorder) (int64, error) {
+	if rec.dw != nil {
+		return 0, fmt.Errorf("proof: WriteCerts on a streaming recorder (use Close)")
+	}
 	base := filepath.Join(dir, FileBase(rec.function))
 	n, err := writeJSON(base+CertsSuffix, rec.CertsFile())
 	if err != nil {
@@ -75,15 +79,35 @@ func WriteCerts(dir string, rec *Recorder) (int64, error) {
 
 // WriteWitness writes <fn>.witness.json. Call it only for functions
 // whose validation succeeded: the witness of a failed run is not a
-// bisimulation witness.
+// bisimulation witness. Streaming (schema 2) recorders write the
+// compressed container; buffered recorders keep the plain schema-1
+// bytes. The checker sniffs, so both verify.
 func WriteWitness(dir string, rec *Recorder) (int64, error) {
 	base := filepath.Join(dir, FileBase(rec.function))
-	return writeJSON(base+WitnessSuffix, rec.WitnessFile())
+	if rec.dw == nil {
+		return writeJSON(base+WitnessSuffix, rec.WitnessFile())
+	}
+	data, err := json.Marshal(rec.WitnessFile())
+	if err != nil {
+		return 0, err
+	}
+	zdata, err := deflateJSON(append(data, '\n'))
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(base+WitnessSuffix, zdata, 0o644); err != nil {
+		return 0, err
+	}
+	return int64(len(zdata)), nil
 }
 
-// WriteManifest writes MANIFEST.json for a corpus run.
+// WriteManifest writes MANIFEST.json for a corpus run. The caller sets
+// m.Schema for streaming runs; an unset schema defaults to the buffered
+// format version.
 func WriteManifest(dir string, m *Manifest) error {
-	m.Schema = Schema
+	if m.Schema == 0 {
+		m.Schema = Schema
+	}
 	_, err := writeJSON(filepath.Join(dir, ManifestName), m)
 	return err
 }

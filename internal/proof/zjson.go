@@ -1,0 +1,103 @@
+package proof
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Schema-2 JSON artifacts (certs streams, the TERMS.jsonl segment,
+// witnesses) are written through a small compressed container: the
+// 4-byte magic "BJSN", one version byte, then a single DEFLATE stream
+// holding the exact bytes the schema-1 format would have written.
+// Readers sniff the magic, so plain schema-1 artifacts keep decoding
+// through the same code paths. Models and term rows are where the
+// redundancy lives — the container takes the certificate side of a
+// proof directory down roughly 10x.
+const (
+	zjsonMagic   = "BJSN"
+	zjsonVersion = 1
+)
+
+// zWriter chains payload -> DEFLATE -> w. Everything below it sees
+// compressed bytes, so a countWriter underneath keeps counting what
+// actually lands on disk.
+type zWriter struct {
+	fw  *flate.Writer
+	err error
+}
+
+func newZWriter(w io.Writer) *zWriter {
+	z := &zWriter{}
+	if _, err := io.WriteString(w, zjsonMagic+string(rune(zjsonVersion))); err != nil {
+		z.err = err
+		return z
+	}
+	fw, err := flate.NewWriter(w, flate.DefaultCompression)
+	if err != nil {
+		z.err = err
+		return z
+	}
+	z.fw = fw
+	return z
+}
+
+func (z *zWriter) Write(p []byte) (int, error) {
+	if z.err != nil {
+		return 0, z.err
+	}
+	n, err := z.fw.Write(p)
+	if err != nil {
+		z.err = err
+	}
+	return n, err
+}
+
+// Close terminates the DEFLATE stream (without it the final block never
+// flushes and the artifact is truncated). It does not close the
+// underlying writer.
+func (z *zWriter) Close() error {
+	if z.err != nil {
+		return z.err
+	}
+	if err := z.fw.Close(); err != nil {
+		z.err = err
+	}
+	return z.err
+}
+
+// maybeInflate sniffs r: the container magic selects DEFLATE decoding,
+// anything else passes through unchanged (plain schema-1 JSON). An
+// unknown container version is an error, not a passthrough — decoding
+// a future format as JSON would produce a misleading rejection.
+func maybeInflate(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(len(zjsonMagic) + 1)
+	if len(head) >= len(zjsonMagic) && string(head[:len(zjsonMagic)]) == zjsonMagic {
+		if len(head) < len(zjsonMagic)+1 || head[len(zjsonMagic)] != zjsonVersion {
+			return nil, fmt.Errorf("proof: unsupported compressed-JSON container version")
+		}
+		br.Discard(len(zjsonMagic) + 1)
+		return flate.NewReader(br), nil
+	}
+	return br, nil
+}
+
+// deflateJSON wraps one whole marshalled document in the container
+// (used for witnesses, which are written in a single shot).
+func deflateJSON(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := newZWriter(&buf)
+	if zw.err != nil {
+		return nil, zw.err
+	}
+	if _, err := zw.Write(data); err != nil {
+		return nil, err
+	}
+	if err := zw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,109 @@
+package sat_test
+
+// Cross-format certificate check over the differential CNF suite: every
+// Unsat verdict's trace, serialized once in the schema-1 text format and
+// once in the schema-2 binary container, must RUP-verify identically —
+// the two encodings are alternative containers for the same proof, and a
+// divergence would mean one of them drops or distorts steps.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/proof"
+	"repro/internal/sat"
+)
+
+// encodeText serializes the proof log as a single-session schema-1 text
+// trace.
+func encodeText(log *sat.ProofLog) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("s 0\n")
+	for i := 0; i < log.Len(); i++ {
+		op, lits := log.Step(i)
+		fmt.Fprintf(&buf, "%c", op)
+		for _, l := range lits {
+			fmt.Fprintf(&buf, " %d", dimacs(l))
+		}
+		buf.WriteString(" 0\n")
+	}
+	return buf.Bytes()
+}
+
+// encodeBinary serializes the proof log as a single-session binary
+// container.
+func encodeBinary(t *testing.T, log *sat.ProofLog) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := proof.NewBinWriter(&buf)
+	for i := 0; i < log.Len(); i++ {
+		op, lits := log.Step(i)
+		d := make([]int32, len(lits))
+		for j, l := range lits {
+			d[j] = dimacs(l)
+		}
+		if err := bw.Step(0, op, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// replayEncoded walks an encoded trace through a fresh RUP checker and
+// returns the step count and the final empty-clause verdict.
+func replayEncoded(t *testing.T, data []byte) (steps int, err error) {
+	t.Helper()
+	ck := proof.NewSessionChecker()
+	werr := proof.WalkDrat(bytes.NewReader(data), func(sess int, op byte, lits []int32) error {
+		steps++
+		switch op {
+		case sat.OpInput:
+			return ck.AddInput(lits)
+		case sat.OpLearn:
+			return ck.AddLearnt(lits)
+		case sat.OpDelete:
+			return ck.Delete(lits)
+		}
+		return fmt.Errorf("unknown opcode %q", op)
+	})
+	if werr != nil {
+		return steps, werr
+	}
+	return steps, ck.CheckFinal(nil)
+}
+
+func TestDifferentialCrossFormatDrat(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD1FF))
+	unsat := 0
+	for iter := 0; iter < 300; iter++ {
+		nvars := 3 + rng.Intn(6)
+		clauses := randomCNF(rng, nvars)
+		s := newLoggedSolver(nvars, clauses)
+		if s.Solve() == sat.Sat {
+			continue
+		}
+		unsat++
+		text := encodeText(s.Proof)
+		bin := encodeBinary(t, s.Proof)
+		tSteps, tErr := replayEncoded(t, text)
+		bSteps, bErr := replayEncoded(t, bin)
+		if (tErr == nil) != (bErr == nil) {
+			t.Fatalf("iter %d: formats disagree: text err=%v, binary err=%v\ncnf: %v",
+				iter, tErr, bErr, clauses)
+		}
+		if tErr != nil {
+			t.Fatalf("iter %d: refutation did not verify: %v\ncnf: %v", iter, tErr, clauses)
+		}
+		if tSteps != bSteps {
+			t.Fatalf("iter %d: text replayed %d steps, binary %d", iter, tSteps, bSteps)
+		}
+	}
+	if unsat < 20 {
+		t.Fatalf("only %d unsat instances — suite too small to be meaningful", unsat)
+	}
+}

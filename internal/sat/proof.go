@@ -35,33 +35,70 @@ type proofStep struct {
 }
 
 // ProofLog is an append-only in-memory DRAT-style trace. The zero value
-// is an empty trace ready for use.
+// is an empty trace ready for use. A streaming consumer that has durably
+// flushed a prefix can reclaim its memory with Trim; step indices remain
+// stable across trims (they count from the start of the full trace), so
+// verdict position markers taken before a trim stay valid.
 type ProofLog struct {
 	steps []proofStep
 	lits  []Lit
+
+	base    int   // steps trimmed off the front
+	litBase int32 // literal-pool offset of steps[0]
 }
 
-// Len returns the number of steps recorded so far. A step index below the
-// current Len is a stable position marker: incremental users snapshot it
-// at each verdict so per-query certificates can point into the shared
-// session trace.
-func (p *ProofLog) Len() int { return len(p.steps) }
+// Len returns the number of steps recorded so far, including trimmed
+// ones. A step index below the current Len is a stable position marker:
+// incremental users snapshot it at each verdict so per-query
+// certificates can point into the shared session trace.
+func (p *ProofLog) Len() int { return p.base + len(p.steps) }
+
+// Base returns the index of the first step still held in memory; steps
+// below Base have been trimmed and can no longer be read.
+func (p *ProofLog) Base() int { return p.base }
 
 // Step returns the opcode and literal slice of step i. The returned slice
-// aliases the trace pool and must not be modified.
+// aliases the trace pool and must not be modified. Step panics for
+// indices below Base (trimmed) or at/above Len.
 func (p *ProofLog) Step(i int) (op byte, lits []Lit) {
-	st := p.steps[i]
-	return st.op, p.lits[st.off : st.off+int32(st.n)]
+	st := p.steps[i-p.base]
+	off := st.off - p.litBase
+	return st.op, p.lits[off : off+int32(st.n)]
 }
 
-// Bytes returns the approximate in-memory size of the trace, counting the
-// literal pool and the step headers.
+// Trim discards steps [Base, upTo) from memory after the consumer has
+// flushed them. Indices keep counting from the original start of the
+// trace. Trimming beyond Len is clamped; trimming below Base is a no-op.
+func (p *ProofLog) Trim(upTo int) {
+	if upTo > p.Len() {
+		upTo = p.Len()
+	}
+	if upTo <= p.base {
+		return
+	}
+	k := upTo - p.base
+	var newLitBase int32
+	if k < len(p.steps) {
+		newLitBase = p.steps[k].off
+	} else {
+		newLitBase = p.litBase + int32(len(p.lits))
+	}
+	nlits := copy(p.lits, p.lits[newLitBase-p.litBase:])
+	p.lits = p.lits[:nlits]
+	nsteps := copy(p.steps, p.steps[k:])
+	p.steps = p.steps[:nsteps]
+	p.base = upTo
+	p.litBase = newLitBase
+}
+
+// Bytes returns the approximate in-memory size of the live trace,
+// counting the literal pool and the step headers still held.
 func (p *ProofLog) Bytes() int64 {
 	return int64(len(p.lits))*4 + int64(len(p.steps))*9
 }
 
 func (p *ProofLog) append(op byte, lits []Lit) {
-	off := int32(len(p.lits))
+	off := p.litBase + int32(len(p.lits))
 	p.lits = append(p.lits, lits...)
 	p.steps = append(p.steps, proofStep{off: off, n: int32(len(lits)), op: op})
 }

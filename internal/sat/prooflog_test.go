@@ -1,0 +1,80 @@
+package sat
+
+import "testing"
+
+// TestProofLogTrim pins the index-stability contract of Trim: after
+// trimming a flushed prefix, Len still counts trimmed steps and Step(i)
+// returns the same data for every surviving absolute index, including
+// across further appends and repeated or out-of-range trims.
+func TestProofLogTrim(t *testing.T) {
+	p := &ProofLog{}
+	var want [][]Lit
+	var wantOp []byte
+	add := func(n int) {
+		for i := 0; i < n; i++ {
+			k := len(want)
+			lits := make([]Lit, 1+k%4)
+			for j := range lits {
+				lits[j] = Lit(10*k + j + 1)
+			}
+			op := byte('i')
+			if k%3 == 1 {
+				op = 'l'
+			} else if k%3 == 2 {
+				op = 'd'
+			}
+			p.append(op, lits)
+			want = append(want, lits)
+			wantOp = append(wantOp, op)
+		}
+	}
+	checkFrom := func(base int) {
+		t.Helper()
+		if p.Len() != len(want) {
+			t.Fatalf("Len = %d, want %d", p.Len(), len(want))
+		}
+		if p.Base() != base {
+			t.Fatalf("Base = %d, want %d", p.Base(), base)
+		}
+		for i := base; i < p.Len(); i++ {
+			op, lits := p.Step(i)
+			if op != wantOp[i] {
+				t.Fatalf("Step(%d) op = %q, want %q", i, op, wantOp[i])
+			}
+			if len(lits) != len(want[i]) {
+				t.Fatalf("Step(%d) has %d lits, want %d", i, len(lits), len(want[i]))
+			}
+			for j := range lits {
+				if lits[j] != want[i][j] {
+					t.Fatalf("Step(%d) lits = %v, want %v", i, lits, want[i])
+				}
+			}
+		}
+	}
+
+	add(10)
+	checkFrom(0)
+
+	p.Trim(4)
+	checkFrom(4)
+
+	p.Trim(4) // repeated trim is a no-op
+	checkFrom(4)
+	p.Trim(2) // below base is a no-op
+	checkFrom(4)
+
+	add(5) // appends after a trim keep absolute indexing
+	checkFrom(4)
+
+	p.Trim(12)
+	checkFrom(12)
+
+	p.Trim(p.Len() + 100) // clamped to Len: empties the live tail
+	checkFrom(p.Len())
+	if len(p.steps) != 0 || len(p.lits) != 0 {
+		t.Fatalf("full trim left %d steps, %d lits in memory", len(p.steps), len(p.lits))
+	}
+
+	add(3) // the log keeps working after being fully drained
+	checkFrom(15)
+}

@@ -1,0 +1,109 @@
+package smt
+
+import (
+	"repro/internal/sat"
+	"repro/internal/term"
+)
+
+// LitArena is a slab allocator for the bit-blaster's literal vectors.
+// The blaster allocates thousands of short []sat.Lit slices per
+// function (one per bit-vector node, plus temporaries inside adders,
+// shifters, and dividers); under a long corpus run those allocations
+// dominate the garbage the interpreter phase produces. An arena turns
+// them into pointer bumps inside reused slabs, with one Reset between
+// functions returning all of it at once.
+//
+// Safety: arena-allocated slices are valid until the next Reset. The
+// blaster's memos (bvMemo values, KExtract subslices) alias arena
+// memory, so Reset must only happen between functions — when the
+// blaster, solver, and all terms are discarded together. The SAT layer
+// never retains an arena slice: sat.AddClause copies its literals.
+// A LitArena is not safe for concurrent use; each worker owns one.
+type LitArena struct {
+	slabs [][]sat.Lit
+	slab  int
+	used  int
+}
+
+// litSlabSize is the literal count per slab. Vectors wider than a slab
+// bypass the arena entirely (a 64-bit multiplier's temporaries stay well
+// below this).
+const litSlabSize = 1 << 14
+
+// NewLitArena returns an empty literal arena.
+func NewLitArena() *LitArena {
+	return &LitArena{}
+}
+
+// alloc returns a zeroed literal slice of length n with no spare
+// capacity shared with later allocations. A nil arena, and any request
+// larger than a slab, falls back to the ordinary allocator.
+func (a *LitArena) alloc(n int) []sat.Lit {
+	if a == nil || n > litSlabSize {
+		return make([]sat.Lit, n)
+	}
+	if a.slab < len(a.slabs) && a.used+n > litSlabSize {
+		a.slab++
+		a.used = 0
+	}
+	if a.slab == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]sat.Lit, litSlabSize))
+	}
+	sl := a.slabs[a.slab]
+	out := sl[a.used : a.used+n : a.used+n]
+	a.used += n
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// Reset makes every slab available again. All slices handed out since
+// the previous Reset are invalidated; see the type comment for when
+// that is safe.
+func (a *LitArena) Reset() {
+	if a == nil {
+		return
+	}
+	a.slab, a.used = 0, 0
+}
+
+// Scratch bundles the per-worker reusable memory of the validation
+// pipeline: the blaster's literal arena and the term context's
+// hash-consing storage. One Scratch is created per worker and Reset
+// between functions; everything it backs (terms, literal vectors,
+// blaster memos) has per-function lifetime.
+type Scratch struct {
+	Lits  *LitArena
+	Terms *term.Storage
+}
+
+// NewScratch returns empty per-worker scratch memory.
+func NewScratch() *Scratch {
+	return &Scratch{Lits: NewLitArena(), Terms: term.NewStorage()}
+}
+
+// Reset rewinds both arenas. Call only between functions, after every
+// term and literal vector of the previous function is dead.
+func (s *Scratch) Reset() {
+	if s == nil {
+		return
+	}
+	s.Lits.Reset()
+	s.Terms.Reset()
+}
+
+// NewContextWith returns a term context backed by reusable storage; see
+// term.NewContextWith. The caller must Reset the scratch first.
+func NewContextWith(st *term.Storage) *Context {
+	return term.NewContextWith(st)
+}
+
+// litArena returns the solver's literal arena, or nil (heap fallback)
+// when no scratch is attached.
+func (s *Solver) litArena() *LitArena {
+	if s.Scratch == nil {
+		return nil
+	}
+	return s.Scratch.Lits
+}

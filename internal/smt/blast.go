@@ -17,6 +17,11 @@ type blaster struct {
 	bvMemo   map[*Term][]sat.Lit
 	gateMemo map[gateKey]sat.Lit
 
+	// arena, when non-nil, backs every literal vector the blaster
+	// allocates. The memos above alias arena memory, so the arena must
+	// outlive the blaster and only Reset once both are discarded.
+	arena *LitArena
+
 	// varHook, when non-nil, is invoked once per free variable as it is
 	// assigned SAT variables (bit literals, LSB first for BV). Proof
 	// emission uses it to record the CNF variable map in certificates.
@@ -34,13 +39,14 @@ const (
 	gXor
 )
 
-func newBlaster(ctx *Context, s *sat.Solver) *blaster {
+func newBlaster(ctx *Context, s *sat.Solver, arena *LitArena) *blaster {
 	b := &blaster{
 		ctx:      ctx,
 		s:        s,
 		boolMemo: make(map[*Term]sat.Lit),
 		bvMemo:   make(map[*Term][]sat.Lit),
 		gateMemo: make(map[gateKey]sat.Lit),
+		arena:    arena,
 	}
 	v := s.NewVar()
 	b.litTrue = sat.MkLit(v, false)
@@ -49,6 +55,10 @@ func newBlaster(ctx *Context, s *sat.Solver) *blaster {
 }
 
 func (b *blaster) litFalse() sat.Lit { return b.litTrue.Not() }
+
+// lits allocates a zeroed literal vector from the arena (or the heap
+// when no arena is attached).
+func (b *blaster) lits(n int) []sat.Lit { return b.arena.alloc(n) }
 
 func (b *blaster) constLit(v bool) sat.Lit {
 	if v {
@@ -155,7 +165,7 @@ func (b *blaster) fullAdder(x, y, cin sat.Lit) (sat.Lit, sat.Lit) {
 
 // addBits returns x + y + cin over equal-width bit slices (LSB first).
 func (b *blaster) addBits(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
-	out := make([]sat.Lit, len(x))
+	out := b.lits(len(x))
 	c := cin
 	for i := range x {
 		out[i], c = b.fullAdder(x[i], y[i], c)
@@ -164,11 +174,11 @@ func (b *blaster) addBits(x, y []sat.Lit, cin sat.Lit) []sat.Lit {
 }
 
 func (b *blaster) negBits(x []sat.Lit) []sat.Lit {
-	inv := make([]sat.Lit, len(x))
+	inv := b.lits(len(x))
 	for i, l := range x {
 		inv[i] = l.Not()
 	}
-	zero := make([]sat.Lit, len(x))
+	zero := b.lits(len(x))
 	for i := range zero {
 		zero[i] = b.litFalse()
 	}
@@ -203,7 +213,7 @@ func (b *blaster) isZero(x []sat.Lit) sat.Lit {
 }
 
 func (b *blaster) muxBits(c sat.Lit, t, e []sat.Lit) []sat.Lit {
-	out := make([]sat.Lit, len(t))
+	out := b.lits(len(t))
 	for i := range t {
 		out[i] = b.mkMux(c, t[i], e[i])
 	}
@@ -358,13 +368,13 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 	w := int(t.Width)
 	switch t.Kind {
 	case KConstBV:
-		out := make([]sat.Lit, w)
+		out := b.lits(w)
 		for i := 0; i < w; i++ {
 			out[i] = b.constLit(t.Val>>i&1 == 1)
 		}
 		return out, nil
 	case KVarBV:
-		out := make([]sat.Lit, w)
+		out := b.lits(w)
 		for i := range out {
 			out[i] = b.fresh()
 		}
@@ -380,7 +390,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		inv := make([]sat.Lit, len(y))
+		inv := b.lits(len(y))
 		for i, l := range y {
 			inv[i] = l.Not()
 		}
@@ -396,13 +406,13 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		acc := make([]sat.Lit, w)
+		acc := b.lits(w)
 		for i := range acc {
 			acc[i] = b.litFalse()
 		}
 		for i := 0; i < w; i++ {
 			// acc += (x << i) masked by y[i]
-			addend := make([]sat.Lit, w)
+			addend := b.lits(w)
 			for j := 0; j < w; j++ {
 				if j < i {
 					addend[j] = b.litFalse()
@@ -421,7 +431,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		q, r := b.divRem(x, y)
 		bz := b.isZero(y)
 		if t.Kind == KUDiv {
-			ones := make([]sat.Lit, w)
+			ones := b.lits(w)
 			for i := range ones {
 				ones[i] = b.litTrue
 			}
@@ -433,7 +443,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]sat.Lit, w)
+		out := b.lits(w)
 		for i := 0; i < w; i++ {
 			switch t.Kind {
 			case KAnd:
@@ -450,7 +460,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]sat.Lit, w)
+		out := b.lits(w)
 		for i := range out {
 			out[i] = x[i].Not()
 		}
@@ -470,7 +480,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]sat.Lit, 0, w)
+		out := b.lits(w)[:0]
 		out = append(out, lo...)
 		out = append(out, hi...)
 		return out, nil
@@ -485,7 +495,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]sat.Lit, w)
+		out := b.lits(w)
 		copy(out, x)
 		for i := len(x); i < w; i++ {
 			out[i] = b.litFalse()
@@ -496,7 +506,7 @@ func (b *blaster) blastBV1(t *Term) ([]sat.Lit, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]sat.Lit, w)
+		out := b.lits(w)
 		copy(out, x)
 		sign := x[len(x)-1]
 		for i := len(x); i < w; i++ {
@@ -529,7 +539,7 @@ func (b *blaster) shift(kind Kind, x, amt []sat.Lit) []sat.Lit {
 	if kind == KAShr {
 		fill = x[w-1]
 	}
-	acc := make([]sat.Lit, w)
+	acc := b.lits(w)
 	copy(acc, x)
 	big := b.litFalse() // any shift-amount bit representing ≥ w
 	for k := 0; k < len(amt); k++ {
@@ -538,7 +548,7 @@ func (b *blaster) shift(kind Kind, x, amt []sat.Lit) []sat.Lit {
 			continue
 		}
 		sh := 1 << k
-		shifted := make([]sat.Lit, w)
+		shifted := b.lits(w)
 		switch kind {
 		case KShl:
 			for i := 0; i < w; i++ {
@@ -560,7 +570,7 @@ func (b *blaster) shift(kind Kind, x, amt []sat.Lit) []sat.Lit {
 		acc = b.muxBits(amt[k], shifted, acc)
 	}
 	// Out-of-range amounts: shl/lshr yield 0, ashr yields all sign bits.
-	fillVec := make([]sat.Lit, w)
+	fillVec := b.lits(w)
 	for i := range fillVec {
 		fillVec[i] = fill
 	}
@@ -571,19 +581,19 @@ func (b *blaster) shift(kind Kind, x, amt []sat.Lit) []sat.Lit {
 // nonzero divisor (zero divisor handled by the caller).
 func (b *blaster) divRem(x, y []sat.Lit) (q, r []sat.Lit) {
 	w := len(x)
-	q = make([]sat.Lit, w)
-	r = make([]sat.Lit, w)
+	q = b.lits(w)
+	r = b.lits(w)
 	for i := range r {
 		r[i] = b.litFalse()
 	}
 	for i := w - 1; i >= 0; i-- {
 		// r = (r << 1) | x[i]
-		nr := make([]sat.Lit, w)
+		nr := b.lits(w)
 		nr[0] = x[i]
 		copy(nr[1:], r[:w-1])
 		// if nr >= y: nr -= y, q[i] = 1
 		ge := b.ultBits(nr, y).Not()
-		inv := make([]sat.Lit, w)
+		inv := b.lits(w)
 		for j, l := range y {
 			inv[j] = l.Not()
 		}

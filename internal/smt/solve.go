@@ -137,6 +137,10 @@ type Solver struct {
 	// Metrics, when non-nil, receives a query-latency observation
 	// ("smt.query") and per-result counters for every CheckSat call.
 	Metrics *telemetry.Metrics
+	// Scratch, when non-nil, supplies reusable per-worker slabs for the
+	// bit-blaster's literal vectors. The harness resets it between
+	// functions; see Scratch for the lifetime contract.
+	Scratch *Scratch
 
 	Stats Stats
 
@@ -288,7 +292,7 @@ func (s *Solver) checkSatSolve(f *Term, keyHex string) (Result, *Assign, error) 
 		sess = s.Recorder.NewSession()
 		solver.Proof = &sat.ProofLog{}
 	}
-	b := newBlaster(s.ctx, solver)
+	b := newBlaster(s.ctx, solver, s.litArena())
 	if sess != nil {
 		b.varHook = s.hookVars(sess)
 	}
@@ -355,7 +359,7 @@ func (s *Solver) checkSatIncremental(f *Term, keyHex string) (Result, *Assign, e
 			s.incSession = s.Recorder.NewSession()
 			s.incSAT.Proof = &sat.ProofLog{}
 		}
-		s.incBlaster = newBlaster(s.ctx, s.incSAT)
+		s.incBlaster = newBlaster(s.ctx, s.incSAT, s.litArena())
 		s.incReducer = newArrayReducer(s.ctx)
 		if s.incSession != nil {
 			s.incBlaster.varHook = s.hookVars(s.incSession)

@@ -161,6 +161,14 @@ func (m *Metrics) Add(name string, n int64) {
 
 // Observe records d into histogram name. No-op on nil.
 func (m *Metrics) Observe(name string, d time.Duration) {
+	m.ObserveVal(name, d.Nanoseconds())
+}
+
+// ObserveVal records a raw int64 observation into histogram name — the
+// unit-agnostic entry point behind Observe, used directly for byte
+// counts (the mem.* series record allocation deltas, not durations).
+// No-op on nil.
+func (m *Metrics) ObserveVal(name string, v int64) {
 	if m == nil {
 		return
 	}
@@ -170,7 +178,7 @@ func (m *Metrics) Observe(name string, d time.Duration) {
 		h = &Histogram{}
 		m.hists[name] = h
 	}
-	h.Observe(d)
+	h.Observe(time.Duration(v))
 	m.mu.Unlock()
 }
 

@@ -1,0 +1,54 @@
+package term
+
+// Storage is reusable backing memory for a Context: the hash-consing
+// table and slab-allocated term nodes. A worker that validates many
+// functions in sequence creates one Storage, and for each function
+// resets it and builds a fresh Context on top — the map keeps its
+// buckets and the slabs their memory, so steady-state validation stops
+// growing the heap between functions.
+//
+// Contract: Reset invalidates every *Term handed out by any Context
+// backed by this Storage. The caller must Reset before NewContextWith
+// and must not retain terms across the reset (the harness's per-function
+// lifecycle guarantees this: certificates encode terms to disk before
+// the next function starts). A Storage is not safe for concurrent use;
+// each worker owns one.
+type Storage struct {
+	table map[termKey]*Term
+	slabs [][]Term
+	slab  int // index of the slab currently being filled
+	used  int // nodes handed out from that slab
+}
+
+// slabTerms is the node count per slab: large enough to amortize the
+// slice append, small enough that a mostly-idle worker wastes little.
+const slabTerms = 1 << 10
+
+// NewStorage returns empty reusable context storage.
+func NewStorage() *Storage {
+	return &Storage{table: make(map[termKey]*Term, 1<<10)}
+}
+
+// Reset rewinds the storage for reuse: the table is emptied (keeping
+// its buckets) and every slab node becomes available again. All terms
+// previously allocated from this storage are invalidated.
+func (s *Storage) Reset() {
+	clear(s.table)
+	s.slab, s.used = 0, 0
+}
+
+// alloc returns the next free slab node. The node's previous contents
+// are irrelevant: intern overwrites the whole struct.
+func (s *Storage) alloc() *Term {
+	if s.slab == len(s.slabs) {
+		s.slabs = append(s.slabs, make([]Term, slabTerms))
+	}
+	sl := s.slabs[s.slab]
+	t := &sl[s.used]
+	s.used++
+	if s.used == len(sl) {
+		s.slab++
+		s.used = 0
+	}
+	return t
+}

@@ -10,6 +10,7 @@ import (
 // concurrent use.
 type Context struct {
 	table  map[termKey]*Term
+	store  *Storage // non-nil when backed by reusable storage
 	nextID uint64
 
 	// MaxNodes, when non-zero, bounds the number of live term nodes; hitting
@@ -43,6 +44,16 @@ func NewContext() *Context {
 	return c
 }
 
+// NewContextWith returns a fresh Context backed by st: the hash-consing
+// table and term nodes reuse st's memory. The caller must Reset st
+// first; terms from any earlier Context backed by st are invalidated.
+func NewContextWith(st *Storage) *Context {
+	c := &Context{table: st.table, store: st, nextID: 1}
+	c.trueT = c.intern(&Term{Kind: KConstBool, Val: 1})
+	c.falseT = c.intern(&Term{Kind: KConstBool, Val: 0})
+	return c
+}
+
 // NumNodes returns the number of distinct term nodes created so far.
 func (c *Context) NumNodes() uint64 { return c.nextID - 1 }
 
@@ -65,6 +76,14 @@ func (c *Context) intern(t *Term) *Term {
 	}
 	if c.MaxNodes != 0 && c.nextID > c.MaxNodes {
 		panic(ErrNodeBudget)
+	}
+	if c.store != nil {
+		// Copy the candidate into a slab node before publishing it, so
+		// the stack- or heap-allocated temporary never escapes into the
+		// table and slab memory is what every later pointer aliases.
+		n := c.store.alloc()
+		*n = *t
+		t = n
 	}
 	t.id = c.nextID
 	c.nextID++

@@ -8,6 +8,7 @@ package tv
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -91,6 +92,22 @@ type PhaseTimes struct {
 	SMT   time.Duration
 }
 
+// MemStats is the allocation breakdown of one validation run, sampled
+// from runtime.MemStats at phase boundaries: each phase field is the
+// TotalAlloc delta across that phase, and Peak is the largest HeapAlloc
+// seen at any boundary. The counters are process-global, so with
+// parallel workers a phase is charged with everything allocated while
+// it ran, including other workers' allocations — an approximation that
+// still localizes which phase an out-of-memory row died in. Parse is
+// filled by the harness when module parsing is part of per-function work.
+type MemStats struct {
+	Parse int64
+	ISel  int64
+	VCGen int64
+	Check int64
+	Peak  int64
+}
+
 // Outcome is the result of validating one function.
 type Outcome struct {
 	Fn       string
@@ -99,10 +116,31 @@ type Outcome struct {
 	Err      error
 	Duration time.Duration
 	Phases   PhaseTimes
+	Mem      MemStats
 	CodeSize int // LLVM instruction count (the Figure 7 size metric)
 	Points   int
 	Compiled *isel.Result
 	SMTStats smt.Stats
+
+	// memMark is the TotalAlloc reading at the previous phase boundary.
+	memMark int64
+}
+
+// MarkPhase samples the runtime allocation counters, charges the delta
+// since the previous boundary to *phase (nil: establish the baseline
+// only), and folds the current heap size into Mem.Peak. Exported so the
+// harness can charge its per-function parse phase with the same clock.
+func (o *Outcome) MarkPhase(phase *int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ta := int64(ms.TotalAlloc)
+	if phase != nil {
+		*phase = ta - o.memMark
+	}
+	o.memMark = ta
+	if ha := int64(ms.HeapAlloc); ha > o.Mem.Peak {
+		o.Mem.Peak = ha
+	}
 }
 
 // Validate runs the whole pipeline for one function of mod.
@@ -111,6 +149,7 @@ func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen
 	start := time.Now()
 	deadline := budget.deadlineFrom(start)
 	out := &Outcome{Fn: fnName}
+	out.MarkPhase(nil)
 	root := copts.Trace.Start(copts.TraceParent, "tv.validate",
 		telemetry.String("fn", fnName))
 	if root != nil {
@@ -141,6 +180,7 @@ func Validate(mod *llvmir.Module, fnName string, iopts isel.Options, vopts vcgen
 	res, err := isel.Compile(mod, fn, iopts)
 	iselSpan.End()
 	out.Phases.ISel = time.Since(iselStart)
+	out.MarkPhase(&out.Mem.ISel)
 	if err != nil {
 		var uns *isel.ErrUnsupported
 		if errors.As(err, &uns) {
@@ -167,6 +207,7 @@ func ValidateTranslation(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Func
 	start := time.Now()
 	deadline := budget.deadlineFrom(start)
 	out := &Outcome{Fn: fn.Name, CodeSize: fn.NumInstrs(), Points: len(points)}
+	out.MarkPhase(nil)
 	root := copts.Trace.Start(copts.TraceParent, "tv.validate",
 		telemetry.String("fn", fn.Name))
 	if root != nil {
@@ -194,6 +235,7 @@ func validateCompiled(mod *llvmir.Module, fn *llvmir.Function, res *isel.Result,
 	points, err := vcgen.Generate(fn, res.Fn, res.Hints, vopts)
 	vcSpan.End()
 	out.Phases.VCGen = time.Since(vcStart)
+	out.MarkPhase(&out.Mem.VCGen)
 	if err != nil {
 		out.Class = ClassOther
 		out.Err = err
@@ -229,7 +271,18 @@ func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 	if checkSpan != nil {
 		copts.TraceParent = checkSpan.ID()
 	}
-	ctx := smt.NewContext()
+	// With per-worker scratch attached, the term table and the blaster's
+	// literal arena reuse the previous function's memory. Resetting here
+	// is safe: every term of the previous function is dead by the time
+	// its worker starts the next one (certificates encode terms to disk
+	// as they are recorded, and reports retain only strings and values).
+	var ctx *smt.Context
+	if copts.Scratch != nil {
+		copts.Scratch.Reset()
+		ctx = smt.NewContextWith(copts.Scratch.Terms)
+	} else {
+		ctx = smt.NewContext()
+	}
 	ctx.MaxNodes = budget.MaxTermNodes
 	solver := smt.NewSolver(ctx)
 	solver.ConflictBudget = budget.ConflictBudget
@@ -244,6 +297,7 @@ func runCheck(mod *llvmir.Module, fn *llvmir.Function, xfn *vx86.Function,
 		out.Phases.Check = time.Since(checkStart)
 		out.Phases.SMT = solver.Stats.SolveDuration
 		out.SMTStats = solver.Stats
+		out.MarkPhase(&out.Mem.Check)
 		checkSpan.End()
 	}()
 

@@ -40,6 +40,27 @@ type Sem struct {
 
 	sites []CallSite
 	instN int
+
+	// State slab: the symbolic search clones states at every branch, and
+	// a long function allocates tens of thousands of them. Chunked slab
+	// allocation (stable pointers — chunks are never moved or reused
+	// while the Sem lives) cuts that to one allocation per chunk.
+	slabs    [][]state
+	slabUsed int
+}
+
+// stateChunk is the slab chunk size; see Sem.slabs.
+const stateChunk = 256
+
+// newState returns a pointer to a fresh zeroed state from the slab.
+func (sm *Sem) newState() *state {
+	if len(sm.slabs) == 0 || sm.slabUsed == stateChunk {
+		sm.slabs = append(sm.slabs, make([]state, stateChunk))
+		sm.slabUsed = 0
+	}
+	st := &sm.slabs[len(sm.slabs)-1][sm.slabUsed]
+	sm.slabUsed++
+	return st
 }
 
 // NewSem builds the symbolic semantics of f against the shared layout.
@@ -224,7 +245,8 @@ func (s *state) flag(which string) *smt.Term {
 }
 
 func (s *state) clone() *state {
-	n := *s
+	n := s.sem.newState()
+	*n = *s
 	n.virt = make(map[string]*smt.Term, len(s.virt))
 	for k, v := range s.virt {
 		n.virt[k] = v
@@ -237,7 +259,7 @@ func (s *state) clone() *state {
 	for k, v := range s.phys {
 		n.phys[k] = v
 	}
-	return &n
+	return n
 }
 
 func (s *state) operand(o Operand, width uint8) (*smt.Term, error) {
@@ -283,7 +305,8 @@ func (s *state) addrTerm(a *Addr) (*smt.Term, error) {
 // Instantiate implements core.Semantics.
 func (sm *Sem) Instantiate(loc core.Location, presets map[string]*smt.Term, memT *smt.Term) (core.State, error) {
 	sm.instN++
-	s := &state{
+	s := sm.newState()
+	*s = state{
 		sem:       sm,
 		instID:    sm.instN,
 		afterCall: -1,
