@@ -20,16 +20,17 @@ fmtcheck:
 		echo "$$out" >&2; exit 1; fi
 
 race:
-	go test -race ./internal/harness ./internal/tv ./internal/telemetry ./internal/smt
+	go test -race ./internal/harness ./internal/tv ./internal/telemetry ./internal/smt ./internal/store ./internal/tvd
 
 # bench reproduces the Figure 6 comparisons — cache on/off, proof
 # emission on/off, tracing on/off, inprocessing/portfolio ablations,
-# legacy vs streaming certificate formats — and writes the
-# machine-readable artifacts BENCH_PR2.json, BENCH_PR3.json,
-# BENCH_PR5.json, BENCH_PR6.json, and BENCH_PR7.json.
+# legacy vs streaming certificate formats, cold vs warm daemon runs
+# against the persistent result store — and writes the machine-readable
+# artifacts BENCH_PR2.json, BENCH_PR3.json, BENCH_PR5.json,
+# BENCH_PR6.json, BENCH_PR7.json, and BENCH_PR8.json.
 bench:
 	go test -run '^$$' -bench 'BenchmarkFigure6' -benchtime 1x .
-	WRITE_BENCH_JSON=1 go test -timeout 60m -run 'TestBenchPR2JSON|TestBenchPR3JSON|TestBenchPR5JSON|TestBenchPR6JSON|TestBenchPR7JSON' -v .
+	WRITE_BENCH_JSON=1 go test -timeout 60m -run 'TestBenchPR2JSON|TestBenchPR3JSON|TestBenchPR5JSON|TestBenchPR6JSON|TestBenchPR7JSON|TestBenchPR8JSON' -v .
 
 benchall:
 	go test -bench=. -benchmem

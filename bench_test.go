@@ -11,6 +11,7 @@ package repro
 import (
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/stack"
 	"repro/internal/telemetry"
 	"repro/internal/tv"
+	"repro/internal/tvd"
 	"repro/internal/vcgen"
 	"repro/internal/vx86"
 )
@@ -865,6 +867,135 @@ func TestBenchPR7JSON(t *testing.T) {
 		legacy.ProofBytes, legacy.BytesPerFunction, legacy.CheckPeakHeap,
 		streaming.ProofBytes, streaming.BytesPerFunction, streaming.CheckPeakHeap,
 		artifact.SizeRatio)
+}
+
+// TestBenchPR8JSON writes the validation-as-a-service artifact
+// BENCH_PR8.json (the `make bench` target): the Figure 6 corpus
+// validated through a tvd daemon twice against the same persistent
+// result store — a cold run that fills the store and a warm run served
+// from it. The warm run must hit the store for >=95% of the corpus with
+// class counts byte-identical to the cold run AND to a local in-process
+// run of the same corpus (the daemon changes where validation happens,
+// never what it concludes), and the store-served certificate artifacts
+// must pass the independent verifier with zero rejections. The recorded
+// headline is the cold/warm wall-clock ratio. Gated behind
+// WRITE_BENCH_JSON like the other artifact writers.
+func TestBenchPR8JSON(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_JSON") == "" {
+		t.Skip("set WRITE_BENCH_JSON=1 to write BENCH_PR8.json")
+	}
+	const workers = 4
+	fns := corpus.Generate(corpus.GCCLike(figure6Corpus))
+
+	srv, err := tvd.NewServer(tvd.ServerConfig{
+		Workers:  workers,
+		StoreDir: t.TempDir(),
+		WorkDir:  t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	client := tvd.NewClient(hs.URL)
+
+	req := &tvd.BatchRequest{MaxTermNodes: fig6ParallelBudget.MaxTermNodes}
+	for _, f := range fns {
+		req.Jobs = append(req.Jobs, tvd.JobRequest{Fn: f.Name, IR: f.Src})
+	}
+	type configResult struct {
+		WallSeconds float64        `json:"wall_seconds"`
+		CPUSeconds  float64        `json:"cpu_seconds"`
+		StoreHits   int            `json:"store_hits"`
+		StoreMisses int            `json:"store_misses"`
+		Counts      map[string]int `json:"class_counts"`
+	}
+	measure := func(proofs bool) (configResult, *tvd.BatchResult) {
+		req.Proofs = proofs
+		start := time.Now()
+		res, err := client.ValidateAll(req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return configResult{
+			WallSeconds: time.Since(start).Seconds(),
+			CPUSeconds:  res.Stats.CPUSeconds,
+			StoreHits:   res.StoreHits,
+			StoreMisses: res.StoreMisses,
+			Counts:      res.Stats.Classes,
+		}, res
+	}
+	cold, _ := measure(false)
+	warm, warmRes := measure(true)
+
+	hitRate := float64(warm.StoreHits) / float64(len(fns))
+	if hitRate < 0.95 {
+		t.Errorf("warm-start hit rate %.2f (%d/%d) below the 0.95 floor",
+			hitRate, warm.StoreHits, len(fns))
+	}
+	if fmt.Sprint(cold.Counts) != fmt.Sprint(warm.Counts) {
+		t.Errorf("class counts diverged: cold %v, warm %v", cold.Counts, warm.Counts)
+	}
+	// Local equivalence: the same corpus validated in-process (same
+	// deterministic budget, no daemon) must produce the same classes.
+	local := harness.Run(harness.Config{
+		Profile: corpus.GCCLike(figure6Corpus),
+		Budget:  fig6ParallelBudget,
+		Workers: workers,
+	})
+	if fmt.Sprint(local.ClassCounts()) != fmt.Sprint(cold.Counts) {
+		t.Errorf("daemon classes diverged from a local run: local %v, daemon %v",
+			local.ClassCounts(), cold.Counts)
+	}
+
+	// The warm batch's store-served artifacts must verify from scratch.
+	proofDir := t.TempDir()
+	if err := tvd.MaterializeProofs(proofDir, warmRes); err != nil {
+		t.Fatal(err)
+	}
+	report, err := proof.CheckDir(proofDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Rejections) != 0 {
+		t.Fatalf("store-backed proofs rejected (%d), first: %s",
+			len(report.Rejections), report.Rejections[0])
+	}
+
+	artifact := struct {
+		Benchmark     string       `json:"benchmark"`
+		Corpus        int          `json:"corpus_functions"`
+		Workers       int          `json:"workers"`
+		Cold          configResult `json:"cold"`
+		Warm          configResult `json:"warm"`
+		WallRatio     float64      `json:"wall_ratio_cold_over_warm"`
+		HitRate       float64      `json:"warm_store_hit_rate"`
+		HitRateFloor  float64      `json:"warm_store_hit_rate_floor"`
+		CheckQueries  int          `json:"proofcheck_queries"`
+		CheckWitness  int          `json:"proofcheck_witnesses"`
+		CheckRejected int          `json:"proofcheck_rejections"`
+	}{
+		Benchmark:    "Figure6-daemon-store",
+		Corpus:       figure6Corpus,
+		Workers:      workers,
+		Cold:         cold,
+		Warm:         warm,
+		WallRatio:    cold.WallSeconds / warm.WallSeconds,
+		HitRate:      hitRate,
+		HitRateFloor: 0.95,
+		CheckQueries: report.Queries,
+		CheckWitness: report.Witnesses,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR8.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_PR8.json: cold %.2fs, warm %.2fs (%.1fx), %d/%d store hits, proofcheck %d queries 0 rejections",
+		cold.WallSeconds, warm.WallSeconds, artifact.WallRatio, warm.StoreHits, len(fns), report.Queries)
 }
 
 // TestBenchPR6JSON writes the solver-acceleration artifact BENCH_PR6.json

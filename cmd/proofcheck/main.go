@@ -14,6 +14,14 @@
 // Usage:
 //
 //	proofcheck [-v] DIR
+//	proofcheck [-v] -store DIR -key HASH
+//
+// The second form verifies one entry of a tvd result store: the entry's
+// certificate artifacts are materialized into a scratch directory
+// together with a single-row manifest and checked exactly like a tv
+// -emit-proofs directory. Store entries are written self-contained
+// (each job gets a private certificate namespace), so one entry checks
+// in isolation.
 //
 // Exit status 0 when every certificate and witness verifies, 1 when
 // anything is rejected, 2 on usage or I/O errors.
@@ -26,19 +34,86 @@ import (
 	"sort"
 
 	"repro/internal/proof"
+	"repro/internal/store"
 )
 
 func main() {
 	verbose := flag.Bool("v", false, "list every rejection (default: first 20)")
+	storeDir := flag.String("store", "", "verify an entry of this tvd result store instead of a proof directory")
+	keyHex := flag.String("key", "", "content address (64 hex digits) of the store entry to verify")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] DIR")
+
+	var dir, scratch string
+	switch {
+	case *storeDir != "":
+		if flag.NArg() != 0 || *keyHex == "" {
+			fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] -store DIR -key HASH")
+			os.Exit(2)
+		}
+		dir = materializeStoreEntry(*storeDir, *keyHex)
+		scratch = dir
+	case flag.NArg() == 1 && *keyHex == "":
+		dir = flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] DIR | proofcheck [-v] -store DIR -key HASH")
 		os.Exit(2)
 	}
-	report, err := proof.CheckDir(flag.Arg(0))
+	code := checkDir(dir, *verbose)
+	if scratch != "" {
+		os.RemoveAll(scratch)
+	}
+	os.Exit(code)
+}
+
+// materializeStoreEntry extracts one store entry into a scratch proof
+// directory with a single-row manifest, ready for CheckDir.
+func materializeStoreEntry(storeDir, keyHex string) string {
+	k, err := store.KeyFromHex(keyHex)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "proofcheck:", err)
 		os.Exit(2)
+	}
+	st, err := store.Open(storeDir, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofcheck:", err)
+		os.Exit(2)
+	}
+	e, ok := st.Get(k)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "proofcheck: store has no (intact) entry %s\n", keyHex)
+		os.Exit(2)
+	}
+	dir, err := os.MkdirTemp("", "proofcheck-store-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofcheck:", err)
+		os.Exit(2)
+	}
+	err = store.MaterializeEntry(dir, e)
+	if err == nil {
+		err = proof.WriteManifest(dir, &proof.Manifest{
+			Schema: proof.SchemaStreaming,
+			Functions: []proof.ManifestRow{{
+				Name: e.Meta.Function, Class: e.Meta.Class, Certified: e.Meta.Certified,
+			}},
+		})
+	}
+	if err != nil {
+		os.RemoveAll(dir)
+		fmt.Fprintln(os.Stderr, "proofcheck:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("store entry %s: @%s %s (certified=%t)\n",
+		keyHex[:12], e.Meta.Function, e.Meta.Class, e.Meta.Certified)
+	return dir
+}
+
+// checkDir replays dir and renders the report; the return value is the
+// process exit code.
+func checkDir(dir string, verbose bool) int {
+	report, err := proof.CheckDir(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofcheck:", err)
+		return 2
 	}
 
 	kinds := make([]string, 0, len(report.ByKind))
@@ -54,10 +129,10 @@ func main() {
 
 	if len(report.Rejections) == 0 {
 		fmt.Println("OK: all certificates verified")
-		return
+		return 0
 	}
 	limit := len(report.Rejections)
-	if !*verbose && limit > 20 {
+	if !verbose && limit > 20 {
 		limit = 20
 	}
 	for _, r := range report.Rejections[:limit] {
@@ -67,5 +142,5 @@ func main() {
 		fmt.Fprintf(os.Stderr, "... and %d more (use -v)\n", len(report.Rejections)-limit)
 	}
 	fmt.Fprintf(os.Stderr, "proofcheck: %d rejections\n", len(report.Rejections))
-	os.Exit(1)
+	return 1
 }

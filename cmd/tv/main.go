@@ -8,6 +8,15 @@
 //	tv -experiment fig6 [-n 300]    reproduce the Figure 6 outcome table
 //	tv -experiment fig7 [-n 300]    reproduce the Figure 7 distributions
 //	tv -experiment bugs             reproduce the §5.2 bug studies
+//	tv -server host:port ...        run any of the above on a tvd daemon
+//
+// With -server the jobs are validated by a remote tvd daemon (warm
+// solver pool, persistent result store) instead of in-process;
+// -emit-proofs materializes the returned certificate artifacts locally
+// and -trace writes the server-side span trace. -stats-json prints the
+// run summary as one JSON object on stdout — the same struct a daemon
+// embeds in its batch responses, so local and remote runs are
+// field-for-field comparable.
 //
 // The -timeout, -max-nodes and -conflicts flags scale the paper's
 // per-function budgets (3 h / 12 GB) down to interactive sizes. The
@@ -25,6 +34,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -71,10 +81,15 @@ func run() int {
 	phaseReport := flag.Bool("phase-report", false, "print the per-phase time breakdown (and the timeout/OOM tail's)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	server := flag.String("server", "", "validate on a remote tvd daemon at this address instead of locally")
+	statsJSON := flag.Bool("stats-json", false, "print the run summary as one JSON object on stdout")
 	flag.Parse()
 
+	// In server mode the daemon runs the pipeline (ablation flags do not
+	// apply) and returns the span trace in the batch result, so the local
+	// tracer stays off.
 	var tracer *telemetry.Tracer
-	if *traceFile != "" {
+	if *traceFile != "" && *server == "" {
 		tracer = telemetry.NewTracer()
 	}
 
@@ -116,6 +131,10 @@ func run() int {
 			code = 2
 			break
 		}
+		if *server != "" {
+			code = validateFileRemote(flag.Arg(0), *server, budget, *emitProofs, *traceFile, *statsJSON)
+			break
+		}
 		if !*noPortfolio {
 			// Single-file mode has no worker pool: every slot beyond the
 			// one running the pipeline is idle capacity racers may use.
@@ -124,6 +143,34 @@ func run() int {
 		}
 		code = validateFile(flag.Arg(0), copts, budget, *emitProofs, *proofLegacy, *noScratch, tracer, *phaseReport)
 	case "fig6", "fig7", "eval":
+		if *server != "" {
+			// Remote experiment: the daemon validates the same synthetic
+			// corpus; rendering goes through the identical Summary code.
+			fns := corpus.Generate(corpus.GCCLike(*n))
+			var pw io.Writer
+			if *progress {
+				pw = os.Stderr
+			}
+			res, err := remoteBatch(*server, fns, budget, *emitProofs != "", *traceFile != "", pw)
+			check(err)
+			finishRemote(res, *emitProofs, *traceFile)
+			sum := res.Summary()
+			if *experiment == "fig6" || *experiment == "eval" {
+				sum.Figure6(os.Stdout)
+			}
+			if *experiment == "fig7" || *experiment == "eval" {
+				fmt.Println()
+				sum.Figure7(os.Stdout)
+			}
+			if *stats {
+				fmt.Println()
+				sum.RenderStats(os.Stdout)
+			}
+			if *statsJSON {
+				printStatsJSON(res.Stats)
+			}
+			break
+		}
 		cfg := harness.Config{
 			Profile:          corpus.GCCLike(*n),
 			Budget:           budget,
@@ -156,6 +203,9 @@ func run() int {
 		if *phaseReport {
 			fmt.Println()
 			sum.PhaseReport(os.Stdout)
+		}
+		if *statsJSON {
+			printStatsJSON(sum.StatsJSON())
 		}
 	case "bugs":
 		code = runBugs(budget)

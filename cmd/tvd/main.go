@@ -1,0 +1,94 @@
+// Command tvd is the translation-validation daemon: validation as a
+// service. It keeps a warm worker pool (persistent per-worker solver
+// arenas, shared portfolio) and a persistent content-addressed result
+// store, so repeated validation of the same functions — CI runs, bisect
+// loops, repeated local builds — is served from remembered verdicts
+// whose certificates can be independently re-checked (proofcheck
+// -store).
+//
+// Usage:
+//
+//	tvd [-addr :8347] [-store DIR] [-j N] [-queue N] [-tenant-budget N]
+//
+// POST /v1/validate takes a batch of (fn, ir, hints) jobs and streams
+// back one JSONL progress record per function plus a final summary (see
+// internal/tvd for the wire format); tv -server is the reference
+// client. GET /healthz reports liveness (503 once draining) and GET
+// /metricsz the counter/histogram snapshot.
+//
+// On SIGTERM or SIGINT the daemon drains gracefully: the listener
+// stops, admitted batches run to completion (their verdicts land in the
+// store), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/tvd"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	storeDir := flag.String("store", "", "persistent result-store directory (empty = no store)")
+	jobs := flag.Int("j", 0, "validation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "bounded job-queue capacity (0 = 2x workers)")
+	tenantBudget := flag.Int("tenant-budget", 0, "per-tenant admitted-job token budget (0 = 4x workers)")
+	workDir := flag.String("workdir", "", "scratch directory for in-flight proof artifacts (default: system temp)")
+	maxBodyMB := flag.Int64("max-body-mb", 64, "request body size limit in MiB")
+	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight batches on shutdown")
+	flag.Parse()
+
+	workers := *jobs
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	srv, err := tvd.NewServer(tvd.ServerConfig{
+		Workers:      workers,
+		Queue:        *queue,
+		StoreDir:     *storeDir,
+		TenantBudget: *tenantBudget,
+		WorkDir:      *workDir,
+		MaxBodyBytes: *maxBodyMB << 20,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvd:", err)
+		os.Exit(1)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("tvd: listening on %s (%d workers, store=%q)", *addr, workers, *storeDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		log.Printf("tvd: %v: draining", s)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tvd:", err)
+		os.Exit(1)
+	}
+
+	// Drain: refuse new batches, stop the listener once in-flight
+	// requests finish, then join the pool so every admitted verdict is
+	// stored before exit.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("tvd: shutdown: %v", err)
+	}
+	srv.Close()
+	log.Printf("tvd: drained, exiting")
+}

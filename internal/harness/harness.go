@@ -102,6 +102,16 @@ type ResultRow struct {
 	// Err carries the failure detail for non-Succeeded rows, including
 	// recovered panic messages (Class Other).
 	Err error
+	// Submitted, Started, and Finished are the row's queue and execution
+	// timestamps: Submitted is when the job entered the pool queue (zero
+	// when the caller bypassed a Pool), Started is when a worker picked it
+	// up, Finished when the worker was done. Started-Submitted is queue
+	// latency — the number the daemon's admission control is judged by —
+	// and Finished-Started covers validation plus proof emission, a
+	// superset of Duration.
+	Submitted time.Time
+	Started   time.Time
+	Finished  time.Time
 	// Certified reports that proof emission was on and the function's
 	// certificates and bisimulation witness were written successfully.
 	Certified bool
@@ -157,11 +167,6 @@ func Run(cfg Config) *Summary {
 	if workers > len(fns) && len(fns) > 0 {
 		workers = len(fns)
 	}
-	pf := cfg.Checker.Portfolio
-	if pf == nil && !cfg.DisablePortfolio {
-		pf = smt.NewPortfolio(workers)
-		cfg.Checker.Portfolio = pf
-	}
 	sum := &Summary{Total: len(fns), Workers: workers, Rows: make([]ResultRow, len(fns)),
 		Metrics: telemetry.NewMetrics()}
 	var dw *proof.DirWriter
@@ -179,51 +184,49 @@ func Run(cfg Config) *Summary {
 	}
 	start := time.Now()
 
+	// The batch run is a Pool fed as fast as Submit accepts: the same
+	// worker loop the tvd daemon keeps warm across requests.
+	pool := NewPool(PoolConfig{
+		Workers:          workers,
+		Portfolio:        cfg.Checker.Portfolio,
+		DisablePortfolio: cfg.DisablePortfolio,
+		DisableScratch:   cfg.DisableScratch,
+	})
 	var (
 		mu   sync.Mutex // guards sum's aggregates, done, and Progress writes
 		done int
-		wg   sync.WaitGroup
 	)
-	indices := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Each worker owns its scratch: the term-table storage and
-			// literal slabs are reset between functions, never shared.
-			wcfg := cfg
-			if !cfg.DisableScratch {
-				wcfg.Checker.Scratch = smt.NewScratch()
-			}
-			for i := range indices {
-				// Hold this worker's portfolio token for the duration of
-				// the validation: tokens in the pool are idle workers.
-				if pf != nil {
-					pf.Acquire()
-				}
-				row, stats, m := validateOne(wcfg, dw, fns[i], i)
-				if pf != nil {
-					pf.Release()
-				}
-				sum.Rows[i] = row // index-disjoint writes: no lock needed
+	for i := range fns {
+		vopts := vcgen.Options{}
+		if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
+			vopts.CoarseLiveness = true
+		}
+		pool.Submit(Job{
+			Fn:       fns[i],
+			Index:    i,
+			VCGen:    vopts,
+			Checker:  cfg.Checker,
+			Budget:   cfg.Budget,
+			DW:       dw,
+			ProofDir: cfg.ProofDir,
+			Tracer:   cfg.Tracer,
+			Done: func(res JobResult) {
+				sum.Rows[res.Index] = res.Row // index-disjoint writes: no lock needed
 				mu.Lock()
-				sum.SMTStats.Add(stats)
-				sum.Metrics.Merge(m)
-				sum.CPUTime += row.Duration
+				sum.SMTStats.Add(res.Stats)
+				sum.Metrics.Merge(res.Metrics)
+				sum.CPUTime += res.Row.Duration
 				done++
 				if cfg.Progress != nil {
 					fmt.Fprintf(cfg.Progress, "%4d/%d %-8s %-28s %8.2fs size=%d\n",
-						done, len(fns), row.Fn, row.Class, row.Duration.Seconds(), row.CodeSize)
+						done, len(fns), res.Row.Fn, res.Row.Class,
+						res.Row.Duration.Seconds(), res.Row.CodeSize)
 				}
 				mu.Unlock()
-			}
-		}()
+			},
+		})
 	}
-	for i := range fns {
-		indices <- i
-	}
-	close(indices)
-	wg.Wait()
+	pool.Close()
 	sum.WallTime = time.Since(start)
 	if dw != nil {
 		if err := dw.Close(); err != nil && sum.ProofErr == nil {
@@ -261,27 +264,36 @@ func Run(cfg Config) *Summary {
 // validation; tests use it to inject faults (e.g. panics) into the pool.
 var validateHook func(i int, f corpus.Function)
 
-// validateOne runs the full pipeline for one corpus function. Parse
-// failures and panics are contained here: both become a ClassOther row
-// with the cause in Err, so one bad function cannot abort the corpus run.
-// The returned Metrics registry is private to this call — the caller
-// merges it into the run-wide one — so recording it needs no cross-worker
+// validateOne runs the full pipeline for one pool job. Parse failures
+// and panics are contained here: both become a ClassOther row with the
+// cause in Err, so one bad function cannot abort the corpus run. The
+// returned Metrics registry is private to this call — the caller merges
+// it into the run-wide one — so recording it needs no cross-worker
 // synchronization.
-func validateOne(cfg Config, dw *proof.DirWriter, f corpus.Function, i int) (row ResultRow, stats smt.Stats, m *telemetry.Metrics) {
+func validateOne(j Job) (row ResultRow, stats smt.Stats, m *telemetry.Metrics) {
 	m = telemetry.NewMetrics()
+	f := j.Fn
 	start := time.Now()
 	var rec *proof.Recorder
 	var parseDur time.Duration
 	var parseAlloc int64
 	var out *tv.Outcome
-	fnSpan := cfg.Tracer.Start(0, "harness.fn", telemetry.String("fn", f.Name))
+	// Declared first so it runs after every other handler: whatever path
+	// produced the row — success, parse failure, panic — it carries the
+	// queue and execution timestamps.
+	defer func() {
+		row.Submitted = j.Submitted
+		row.Started = start
+		row.Finished = time.Now()
+	}()
+	fnSpan := j.Tracer.Start(0, "harness.fn", telemetry.String("fn", f.Name))
 	if fnSpan != nil {
-		cfg.Checker.Trace = cfg.Tracer
-		cfg.Checker.TraceParent = fnSpan.ID()
+		j.Checker.Trace = j.Tracer
+		j.Checker.TraceParent = fnSpan.ID()
 	}
 	// The solver observes per-query latency into the private registry
 	// whether or not tracing is on; Figure 7 and -stats render from it.
-	cfg.Checker.Metrics = m
+	j.Checker.Metrics = m
 	// Declared before the recover handler so it runs after it: on a panic
 	// the row is already rewritten by the time the metrics are recorded.
 	defer func() {
@@ -309,12 +321,12 @@ func validateOne(cfg Config, dw *proof.DirWriter, f corpus.Function, i int) (row
 				// Certificates recorded before the panic may already back
 				// cache entries other functions reference; keep them.
 				var perr error
-				if dw != nil {
+				if j.DW != nil {
 					var n int64
 					n, perr = rec.Close(false)
 					stats.ProofBytes += n
 				} else {
-					_, perr = proof.WriteCerts(cfg.ProofDir, rec)
+					_, perr = proof.WriteCerts(j.ProofDir, rec)
 				}
 				if perr != nil {
 					row.ProofErr = perr
@@ -323,9 +335,9 @@ func validateOne(cfg Config, dw *proof.DirWriter, f corpus.Function, i int) (row
 		}
 	}()
 	if validateHook != nil {
-		validateHook(i, f)
+		validateHook(j.Index, f)
 	}
-	parseSpan := cfg.Tracer.Start(cfg.Checker.TraceParent, "harness.parse")
+	parseSpan := j.Tracer.Start(j.Checker.TraceParent, "harness.parse")
 	var msBefore runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	mod, err := llvmir.Parse(f.Src)
@@ -342,19 +354,15 @@ func validateOne(cfg Config, dw *proof.DirWriter, f corpus.Function, i int) (row
 			Err:      fmt.Errorf("harness: corpus function %s does not parse: %w", f.Name, err),
 		}, stats, m
 	}
-	if cfg.ProofDir != "" {
-		if dw != nil {
-			rec = dw.NewRecorder(f.Name)
+	if j.ProofDir != "" || j.DW != nil {
+		if j.DW != nil {
+			rec = j.DW.NewRecorder(f.Name)
 		} else {
 			rec = proof.NewRecorder(f.Name)
 		}
-		cfg.Checker.Proof = rec
+		j.Checker.Proof = rec
 	}
-	vopts := vcgen.Options{}
-	if cfg.InadequateEvery > 0 && i%cfg.InadequateEvery == cfg.InadequateEvery-1 {
-		vopts.CoarseLiveness = true
-	}
-	out = tv.Validate(mod, f.Name, isel.Options{}, vopts, cfg.Checker, cfg.Budget)
+	out = tv.Validate(mod, f.Name, j.ISel, j.VCGen, j.Checker, j.Budget)
 	out.Phases.Parse = parseDur
 	out.Mem.Parse = parseAlloc
 	row = ResultRow{Fn: f.Name, Class: out.Class, Duration: out.Duration,
@@ -366,14 +374,14 @@ func validateOne(cfg Config, dw *proof.DirWriter, f corpus.Function, i int) (row
 		// counts what actually landed on disk for this function.
 		var perr error
 		var bytes int64
-		if dw != nil {
+		if j.DW != nil {
 			bytes, perr = rec.Close(out.Class == tv.ClassSucceeded)
 			row.Certified = out.Class == tv.ClassSucceeded && perr == nil
 		} else {
-			bytes, perr = proof.WriteCerts(cfg.ProofDir, rec)
+			bytes, perr = proof.WriteCerts(j.ProofDir, rec)
 			if perr == nil && out.Class == tv.ClassSucceeded {
 				var n int64
-				if n, perr = proof.WriteWitness(cfg.ProofDir, rec); perr == nil {
+				if n, perr = proof.WriteWitness(j.ProofDir, rec); perr == nil {
 					bytes += n
 					row.Certified = true
 				}

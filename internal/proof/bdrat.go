@@ -14,13 +14,16 @@ import (
 // four-byte magic "BDRT" plus one version byte; everything after the
 // header is one DEFLATE stream of records:
 //
-//	's' uvarint(index)          switch the current session. index equal to
-//	                            the number of sessions seen so far opens a
-//	                            new session; a smaller index resumes an
-//	                            existing one. Interleaving is required: a
-//	                            portfolio racer's session is created and
-//	                            written in the middle of the incremental
-//	                            session's trace.
+//	's' uvarint(index)          switch the current session. The first
+//	                            record with an index opens that session;
+//	                            a repeated index resumes it. Indices may
+//	                            first appear in any order: session numbers
+//	                            are assigned when a session is created,
+//	                            but traces are written when a query is
+//	                            decided, and a portfolio racer's session
+//	                            (created later) can flush before the
+//	                            incremental session it raced (created
+//	                            first, flushed lazily) writes anything.
 //	'i'/'l'/'d' uvarint(n) lits step of the current session (input, learnt,
 //	                            deleted clause), n delta-coded literals.
 //
@@ -86,12 +89,12 @@ func (bw *BinWriter) Step(sess int, op byte, lits []int32) error {
 		return bw.err
 	}
 	if sess != bw.cur {
-		if sess < 0 || sess > bw.seen {
-			bw.err = fmt.Errorf("proof: binary drat: session %d out of order (%d seen)", sess, bw.seen)
+		if sess < 0 {
+			bw.err = fmt.Errorf("proof: binary drat: negative session %d", sess)
 			return bw.err
 		}
-		if sess == bw.seen {
-			bw.seen++
+		if sess >= bw.seen {
+			bw.seen = sess + 1
 		}
 		bw.rec = appendUvarint(append(bw.rec[:0], 's'), uint64(sess))
 		if _, err := bw.fw.Write(bw.rec); err != nil {
@@ -194,7 +197,7 @@ func walkBinaryDrat(r io.Reader, fn func(sess int, op byte, lits []int32) error)
 	fr := flate.NewReader(r)
 	defer fr.Close()
 	rd := bufio.NewReaderSize(fr, 1<<15)
-	cur, seen := -1, 0
+	cur := -1
 	var lits []int32
 	for {
 		b, err := rd.ReadByte()
@@ -210,11 +213,10 @@ func walkBinaryDrat(r io.Reader, fn func(sess int, op byte, lits []int32) error)
 			if err != nil {
 				return fmt.Errorf("proof: binary drat: truncated session record")
 			}
-			if u > uint64(seen) {
-				return fmt.Errorf("proof: binary drat: session %d out of order (%d seen)", u, seen)
-			}
-			if u == uint64(seen) {
-				seen++
+			// Sessions may first appear in any order (see the format note
+			// above); only bound the index against absurd values.
+			if u > 1<<30 {
+				return fmt.Errorf("proof: binary drat: implausible session index %d", u)
 			}
 			cur = int(u)
 		case OpInput, OpLearn, OpDelete:
@@ -263,7 +265,7 @@ func walkBinaryDrat(r io.Reader, fn func(sess int, op byte, lits []int32) error)
 // tolerates revisiting an earlier session, making it a superset of the
 // strict append-only files the buffered writer produces.
 func walkTextDrat(br *bufio.Reader, fn func(sess int, op byte, lits []int32) error) error {
-	cur, seen := -1, 0
+	cur := -1
 	lineNo := 0
 	for {
 		line, err := br.ReadString('\n')
@@ -288,11 +290,8 @@ func walkTextDrat(br *bufio.Reader, fn func(sess int, op byte, lits []int32) err
 		switch op {
 		case 's':
 			idx, perr := parseSessionIndex(rest)
-			if perr != nil || idx < 0 || idx > seen {
+			if perr != nil || idx < 0 {
 				return fmt.Errorf("proof: line %d: bad session header %q", lineNo, line)
-			}
-			if idx == seen {
-				seen++
 			}
 			cur = idx
 		case OpInput, OpLearn, OpDelete:

@@ -167,3 +167,59 @@ func TestBinDratTextFallback(t *testing.T) {
 		}
 	}
 }
+
+// TestBinDratOutOfOrderSessions pins the session-numbering fix: session
+// indices are assigned at creation but traces land at decision time, so
+// a later-created session (a winning portfolio racer's) may write before
+// an earlier one (the lazily-flushed incremental session). Both the
+// writer and the walker must accept first appearances in any order.
+func TestBinDratOutOfOrderSessions(t *testing.T) {
+	steps := []dratStep{
+		{2, proof.OpInput, []int32{1, -2}}, // racer session flushes first
+		{0, proof.OpInput, []int32{3}},     // primary session flushes later
+		{2, proof.OpLearn, []int32{-1}},
+		{1, proof.OpInput, []int32{2, 4}},
+	}
+	var buf bytes.Buffer
+	bw := proof.NewBinWriter(&buf)
+	for _, s := range steps {
+		if err := bw.Step(s.sess, s.op, s.lits); err != nil {
+			t.Fatalf("Step(sess=%d): %v", s.sess, err)
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []dratStep
+	err := proof.WalkDrat(bytes.NewReader(buf.Bytes()), func(sess int, op byte, lits []int32) error {
+		got = append(got, dratStep{sess, op, append([]int32(nil), lits...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WalkDrat: %v", err)
+	}
+	if len(got) != len(steps) {
+		t.Fatalf("decoded %d steps, wrote %d", len(got), len(steps))
+	}
+	for i, w := range steps {
+		if got[i].sess != w.sess || got[i].op != w.op {
+			t.Fatalf("step %d: got session %d op %q, want %d %q",
+				i, got[i].sess, got[i].op, w.sess, w.op)
+		}
+	}
+	// The text fallback accepts the same ordering.
+	text := "s 2\ni 1 -2 0\ns 0\ni 3 0\n"
+	var tsess []int
+	if err := proof.WalkDrat(bytes.NewReader([]byte(text)), func(sess int, _ byte, _ []int32) error {
+		tsess = append(tsess, sess)
+		return nil
+	}); err != nil {
+		t.Fatalf("text walk: %v", err)
+	}
+	if len(tsess) != 2 || tsess[0] != 2 || tsess[1] != 0 {
+		t.Fatalf("text sessions = %v, want [2 0]", tsess)
+	}
+	if bw.Step(-1, proof.OpInput, nil) == nil {
+		t.Fatal("negative session accepted")
+	}
+}

@@ -81,10 +81,26 @@ func CheckDir(dir string) (*CheckReport, error) {
 	sort.Strings(certBases)
 
 	report := &CheckReport{ByKind: make(map[string]int)}
-	loader := loadTermSegment(dir, report)
+	// Term segments: a per-function <base>.terms.jsonl wins over the
+	// run-wide TERMS.jsonl, so a directory materialized from
+	// self-contained store entries verifies exactly like a freshly
+	// emitted run (and the two layouts may coexist).
+	shared := loadTermSegmentFile(dir, TermsName, report)
+	perFn := map[string]*termLoader{}
+	loaderFor := func(base string) *termLoader {
+		if l, ok := perFn[base]; ok {
+			return l
+		}
+		l := loadTermSegmentFile(dir, base+TermsSuffix, report)
+		if l == nil {
+			l = shared
+		}
+		perFn[base] = l
+		return l
+	}
 	byFunction := map[string]*fnCerts{}
 	for _, base := range certBases {
-		fc := checkFunctionCerts(dir, base, loader, report)
+		fc := checkFunctionCerts(dir, base, loaderFor(base), report)
 		if fc != nil {
 			byFunction[fc.name] = fc
 		}
@@ -177,8 +193,10 @@ func CheckDir(dir string) (*CheckReport, error) {
 				return terms[i], nil
 			}
 		case SchemaStreaming:
+			loader := loaderFor(base)
 			if loader == nil {
-				report.reject("%s: schema-2 witness but no %s segment", wf.Function, TermsName)
+				report.reject("%s: schema-2 witness but no term segment (%s or %s)",
+					wf.Function, base+TermsSuffix, TermsName)
 				continue
 			}
 			termAt = loader.Term
@@ -241,21 +259,22 @@ func loadJSON(dir, name string, v interface{}, report *CheckReport) bool {
 	return true
 }
 
-// loadTermSegment reads the shared TERMS.jsonl segment of a schema-2
-// directory, if present. Absence is not an error: schema-1 directories
-// have no segment.
-func loadTermSegment(dir string, report *CheckReport) *termLoader {
-	f, err := os.Open(filepath.Join(dir, TermsName))
+// loadTermSegmentFile reads one term-table segment (the shared
+// TERMS.jsonl or a per-function <base>.terms.jsonl), if present.
+// Absence is not an error: schema-1 directories have no segment, and
+// most functions have no per-function one.
+func loadTermSegmentFile(dir, name string, report *CheckReport) *termLoader {
+	f, err := os.Open(filepath.Join(dir, name))
 	if err != nil {
 		if !os.IsNotExist(err) {
-			report.reject("%s: %v", TermsName, err)
+			report.reject("%s: %v", name, err)
 		}
 		return nil
 	}
 	defer f.Close()
 	zr, err := maybeInflate(f)
 	if err != nil {
-		report.reject("%s: %v", TermsName, err)
+		report.reject("%s: %v", name, err)
 		return nil
 	}
 	sc := bufio.NewScanner(zr)
@@ -270,13 +289,13 @@ func loadTermSegment(dir string, report *CheckReport) *termLoader {
 		}
 		var n TNode
 		if err := json.Unmarshal(line, &n); err != nil {
-			report.reject("%s line %d: %v", TermsName, ln, err)
+			report.reject("%s line %d: %v", name, ln, err)
 			return nil
 		}
 		nodes = append(nodes, n)
 	}
 	if err := sc.Err(); err != nil {
-		report.reject("%s: %v", TermsName, err)
+		report.reject("%s: %v", name, err)
 		return nil
 	}
 	return newTermLoader(nodes)

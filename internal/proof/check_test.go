@@ -671,3 +671,71 @@ func TestProofcheckImportConstraint(t *testing.T) {
 		}
 	}
 }
+
+// TestPerFunctionSegmentsVerify pins the self-contained per-function
+// layout result-store entries use: a directory whose term ids resolve
+// against <base>.terms.jsonl segments instead of the shared TERMS.jsonl
+// must verify identically, and the per-function segment must win when
+// both are present.
+func TestPerFunctionSegmentsVerify(t *testing.T) {
+	src, _ := emitProofDir(t)
+	before, err := proof.CheckDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := copyProofDir(t, src)
+	shared, err := os.ReadFile(filepath.Join(dir, proof.TermsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segments := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), proof.CertsSuffix) {
+			continue
+		}
+		base := strings.TrimSuffix(e.Name(), proof.CertsSuffix)
+		// The run-wide segment is a superset of every function's terms,
+		// so it doubles as each function's own segment here.
+		if err := os.WriteFile(filepath.Join(dir, base+proof.TermsSuffix), shared, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		segments++
+	}
+	if segments == 0 {
+		t.Fatal("no certificate files to convert")
+	}
+	if err := os.Remove(filepath.Join(dir, proof.TermsName)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rejections) != 0 {
+		t.Fatalf("per-function layout rejected: %s", after.Rejections[0])
+	}
+	if after.Queries != before.Queries || after.Witnesses != before.Witnesses {
+		t.Errorf("verification differs: shared %d queries/%d witnesses, per-function %d/%d",
+			before.Queries, before.Witnesses, after.Queries, after.Witnesses)
+	}
+
+	// Precedence: restore a shared segment that is present but empty; the
+	// per-function segments must still carry verification.
+	if err := os.WriteFile(filepath.Join(dir, proof.TermsName), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	both, err := proof.CheckDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both.Rejections) != 0 {
+		t.Fatalf("per-function segment did not take precedence: %s", both.Rejections[0])
+	}
+	if both.Queries != before.Queries {
+		t.Errorf("queries differ with empty shared segment present: %d vs %d", both.Queries, before.Queries)
+	}
+}

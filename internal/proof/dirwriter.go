@@ -57,10 +57,25 @@ type DirWriter struct {
 // NewDirWriter creates dir if needed, truncates TERMS.jsonl, and
 // returns a writer for a schema-2 run.
 func NewDirWriter(dir string) (*DirWriter, error) {
+	return newDirWriter(dir, TermsName)
+}
+
+// NewFunctionDirWriter returns a DirWriter whose term segment is the
+// per-function <FileBase(function)>.terms.jsonl instead of the shared
+// TERMS.jsonl. The resulting four-file artifact set (certs, drat,
+// witness, terms) is self-contained — it verifies no matter which other
+// functions' artifacts share the directory — which is what lets a
+// result-store entry hold one function's proof without dragging a
+// run-wide segment along.
+func NewFunctionDirWriter(dir, function string) (*DirWriter, error) {
+	return newDirWriter(dir, FileBase(function)+TermsSuffix)
+}
+
+func newDirWriter(dir, termsFile string) (*DirWriter, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.Create(filepath.Join(dir, TermsName))
+	f, err := os.Create(filepath.Join(dir, termsFile))
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,12 @@ const (
 	DratSuffix    = ".drat"
 	WitnessSuffix = ".witness.json"
 	ManifestName  = "MANIFEST.json"
+	// TermsSuffix names a per-function term segment. A run-wide proof
+	// directory shares one TERMS.jsonl; a self-contained per-function
+	// artifact set (a result-store entry) instead carries
+	// <base>.terms.jsonl, and the checker prefers the per-function
+	// segment when both exist.
+	TermsSuffix = ".terms.jsonl"
 )
 
 // FileBase returns the sanitized per-function artifact base name.

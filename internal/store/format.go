@@ -1,0 +1,189 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk entry format
+//
+//	offset 0: magic "TVST" (4 bytes)
+//	offset 4: version byte
+//	offset 5: version-specific payload
+//
+// Version 1 payload:
+//
+//	uvarint metaLen, metaLen bytes of JSON (entryMetaV1)
+//	artifact bodies, concatenated in table order
+//
+// The JSON header carries the verdict Meta plus an artifact table of
+// (name, size, CRC32-Castagnoli). Bodies are integrity-checked against
+// their CRCs on read, so a bit flip anywhere in a certificate surfaces
+// as a decode error (-> clean miss), never as a trusted verdict.
+//
+// New format generations add a decoder to entryDecoders and bump
+// entryVersion in the writer; old decoders are kept forever, which is
+// what keeps a store written by an old binary loadable (the
+// goloader-style per-version decoder idiom). A version byte with no
+// decoder is errBadVersion — a miss, counted separately from
+// corruption.
+
+const (
+	entryMagic   = "TVST"
+	entryVersion = 1
+
+	manifestMagic   = "TVSM"
+	manifestVersion = 1
+)
+
+// errBadVersion marks an entry (or manifest) whose version byte has no
+// registered decoder — written by a future binary, not damaged.
+var errBadVersion = errors.New("store: unsupported format version")
+
+func isBadVersion(err error) bool { return errors.Is(err, errBadVersion) }
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// entryDecoder decodes one format generation's payload (the bytes after
+// magic+version).
+type entryDecoder func(payload []byte) (*Entry, error)
+
+// entryDecoders maps version byte -> decoder. Old versions stay in the
+// table across format generations; tests exercise the bump by
+// registering a future decoder and re-reading v1 stores.
+var entryDecoders = map[byte]entryDecoder{
+	1: decodeEntryV1,
+}
+
+// artifactHeader is the artifact-table row of the v1 JSON header.
+type artifactHeader struct {
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+	CRC  uint32 `json:"crc"`
+}
+
+// entryMetaV1 is the v1 JSON header.
+type entryMetaV1 struct {
+	Meta      Meta             `json:"meta"`
+	Artifacts []artifactHeader `json:"artifacts,omitempty"`
+}
+
+// encodeEntry serializes e at the current writer version.
+func encodeEntry(e *Entry) ([]byte, error) {
+	hdr := entryMetaV1{Meta: e.Meta}
+	var bodyLen int64
+	for _, a := range e.Artifacts {
+		if !safeArtifactName(a.Name) {
+			return nil, fmt.Errorf("store: unsafe artifact name %q", a.Name)
+		}
+		hdr.Artifacts = append(hdr.Artifacts, artifactHeader{
+			Name: a.Name,
+			Size: int64(len(a.Data)),
+			CRC:  crc32.Checksum(a.Data, crcTable),
+		})
+		bodyLen += int64(len(a.Data))
+	}
+	meta, err := json.Marshal(&hdr)
+	if err != nil {
+		return nil, fmt.Errorf("store: %v", err)
+	}
+	buf := make([]byte, 0, len(entryMagic)+1+binary.MaxVarintLen64+len(meta)+int(bodyLen))
+	buf = append(buf, entryMagic...)
+	buf = append(buf, entryVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	buf = append(buf, meta...)
+	for _, a := range e.Artifacts {
+		buf = append(buf, a.Data...)
+	}
+	return buf, nil
+}
+
+// decodeEntry sniffs magic and version and dispatches to the
+// per-version decoder table.
+func decodeEntry(data []byte) (*Entry, error) {
+	if len(data) < len(entryMagic)+1 {
+		return nil, fmt.Errorf("store: entry truncated before header")
+	}
+	if string(data[:len(entryMagic)]) != entryMagic {
+		return nil, fmt.Errorf("store: bad entry magic %q", data[:len(entryMagic)])
+	}
+	version := data[len(entryMagic)]
+	dec := entryDecoders[version]
+	if dec == nil {
+		return nil, fmt.Errorf("%w: entry version %d", errBadVersion, version)
+	}
+	return dec(data[len(entryMagic)+1:])
+}
+
+func decodeEntryV1(payload []byte) (*Entry, error) {
+	metaLen, n := binary.Uvarint(payload)
+	if n <= 0 || metaLen > uint64(len(payload)-n) {
+		return nil, fmt.Errorf("store: entry truncated in meta header")
+	}
+	var hdr entryMetaV1
+	if err := json.Unmarshal(payload[n:n+int(metaLen)], &hdr); err != nil {
+		return nil, fmt.Errorf("store: bad entry meta: %v", err)
+	}
+	body := payload[n+int(metaLen):]
+	e := &Entry{Meta: hdr.Meta}
+	var off int64
+	for _, ah := range hdr.Artifacts {
+		if ah.Size < 0 || off+ah.Size > int64(len(body)) {
+			return nil, fmt.Errorf("store: entry truncated in artifact %q", ah.Name)
+		}
+		if !safeArtifactName(ah.Name) {
+			return nil, fmt.Errorf("store: unsafe artifact name %q", ah.Name)
+		}
+		data := body[off : off+ah.Size]
+		if crc32.Checksum(data, crcTable) != ah.CRC {
+			return nil, fmt.Errorf("store: artifact %q fails its checksum", ah.Name)
+		}
+		e.Artifacts = append(e.Artifacts, Artifact{Name: ah.Name, Data: data})
+		off += ah.Size
+	}
+	if off != int64(len(body)) {
+		return nil, fmt.Errorf("store: %d trailing bytes after last artifact", int64(len(body))-off)
+	}
+	return e, nil
+}
+
+// manifestBody is the JSON payload of the store manifest.
+type manifestBody struct {
+	Format string `json:"format"`
+	// EntryVersion is the version new entries are written at; readers
+	// decode any version in their table regardless.
+	EntryVersion int `json:"entry_version"`
+}
+
+func encodeManifest() []byte {
+	body, _ := json.Marshal(manifestBody{Format: "tv-result-store", EntryVersion: entryVersion})
+	buf := make([]byte, 0, len(manifestMagic)+1+len(body)+1)
+	buf = append(buf, manifestMagic...)
+	buf = append(buf, manifestVersion)
+	buf = append(buf, body...)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// checkManifest validates an existing manifest. An unknown manifest
+// version is an Open-time error (not a miss): the caller must not write
+// entries into a store whose ground rules it cannot read.
+func checkManifest(data []byte) error {
+	if len(data) < len(manifestMagic)+1 {
+		return fmt.Errorf("store: manifest truncated")
+	}
+	if string(data[:len(manifestMagic)]) != manifestMagic {
+		return fmt.Errorf("store: bad manifest magic %q", data[:len(manifestMagic)])
+	}
+	if v := data[len(manifestMagic)]; v != manifestVersion {
+		return fmt.Errorf("%w: manifest version %d", errBadVersion, v)
+	}
+	var body manifestBody
+	if err := json.Unmarshal(data[len(manifestMagic)+1:], &body); err != nil {
+		return fmt.Errorf("store: bad manifest body: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+// Package store is the persistent half of validation-as-a-service: a
+// disk-backed, content-addressed result store keyed by the same
+// alpha-invariant SHA-256 hashes the VC cache uses (term.CanonKey, which
+// smt.CanonKey aliases). Each entry carries a verdict *with* the
+// certificate artifacts that make it independently re-checkable — the
+// schema-2 certs stream, the binary DRAT trace, the bisimulation witness,
+// and a per-function term segment — so a cross-run hit is something
+// cmd/proofcheck can verify, never something the daemon merely believes.
+//
+// Durability and trust rules:
+//
+//   - Writes are crash-safe: entries land under tmp/ first and are
+//     renamed into place; the store manifest is fsynced on creation.
+//     A crashed writer leaves at worst an ignorable temp file.
+//   - The on-disk format is explicitly versioned (4-byte magic plus a
+//     version byte on every entry and on the manifest) with a
+//     per-version decoder table, so a store written by an old binary
+//     stays loadable after the format moves on.
+//   - Corruption never propagates: a truncated entry, a bit-flipped
+//     artifact body (per-artifact CRC32), or an unknown future version
+//     byte all surface as a clean miss — the caller re-validates — with
+//     a store.corrupt / store.badversion metric bump. The store never
+//     trusts a damaged verdict and never panics on one.
+//
+// The package deliberately imports only the term layer, the telemetry
+// registry, and the standard library — never the SAT/SMT solvers — so
+// cmd/proofcheck can link it for store spot-checks without growing the
+// trusted base (see the import-constraint test in internal/proof).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+	"repro/internal/term"
+)
+
+// Key is the 32-byte content address of an entry — the same SHA-256
+// canonical-hash type the VC cache is keyed by.
+type Key = term.CanonKey
+
+// KeyFromHex parses a 64-digit lowercase hex content address.
+func KeyFromHex(s string) (Key, error) {
+	var k Key
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return k, fmt.Errorf("store: bad key %q: %v", s, err)
+	}
+	if len(b) != len(k) {
+		return k, fmt.Errorf("store: bad key %q: got %d bytes, want %d", s, len(b), len(k))
+	}
+	copy(k[:], b)
+	return k, nil
+}
+
+// FunctionKey derives the content address of a function-level validation
+// job from its semantic inputs (source text, options fingerprint, ...).
+// Parts are length-prefixed before hashing so no two distinct part lists
+// collide by concatenation.
+func FunctionKey(parts ...string) Key {
+	h := sha256.New()
+	var lenBuf [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(p)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Metric names bumped by the store. store.corrupt and store.badversion
+// are the corruption-handling telemetry the operator alerts on.
+const (
+	MetricHit        = "store.hit"
+	MetricMiss       = "store.miss"
+	MetricPut        = "store.put"
+	MetricPutBytes   = "store.put_bytes"
+	MetricCorrupt    = "store.corrupt"
+	MetricBadVersion = "store.badversion"
+)
+
+// Meta is the verdict half of an entry: what the validator concluded,
+// without the evidence.
+type Meta struct {
+	Function string `json:"function"`
+	Class    string `json:"class"`
+	Err      string `json:"err,omitempty"`
+	CodeSize int    `json:"code_size"`
+	Points   int    `json:"points,omitempty"`
+	// Certified reports that the entry carries a verified-witness
+	// artifact set (Succeeded rows only).
+	Certified bool `json:"certified"`
+	// CreatedUnixNS is the wall-clock time the entry was recorded.
+	CreatedUnixNS int64 `json:"created_unix_ns"`
+}
+
+// Artifact is one named certificate file carried by an entry. Names are
+// the exact file names a proof directory uses (<base>.certs.json,
+// <base>.drat, <base>.witness.json, <base>.terms.jsonl), so Materialize
+// is a plain write-out.
+type Artifact struct {
+	Name string
+	Data []byte
+}
+
+// Entry is one stored verdict with its certificates.
+type Entry struct {
+	Meta      Meta
+	Artifacts []Artifact
+}
+
+// Artifact returns the named artifact's bytes (nil when absent).
+func (e *Entry) Artifact(name string) []byte {
+	for _, a := range e.Artifacts {
+		if a.Name == name {
+			return a.Data
+		}
+	}
+	return nil
+}
+
+// Store is a handle on one store directory. It is safe for concurrent
+// use by any number of goroutines (and, for reads, processes): Get reads
+// immutable content-addressed files, Put publishes atomically via
+// rename.
+type Store struct {
+	dir     string
+	metrics *telemetry.Metrics
+	tmpSeq  atomic.Uint64
+}
+
+// Dir layout.
+const (
+	manifestName = "MANIFEST.tvs"
+	objectsDir   = "objects"
+	tmpDir       = "tmp"
+	entrySuffix  = ".tve"
+)
+
+// Open opens (creating if needed) the store at dir. The metrics registry
+// receives the store.* counters; nil drops them.
+func Open(dir string, m *telemetry.Metrics) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, objectsDir), filepath.Join(dir, tmpDir)} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %v", err)
+		}
+	}
+	s := &Store{dir: dir, metrics: m}
+	if err := s.ensureManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// entryPath fans entries out under a two-hex-digit prefix directory so
+// one flat directory never holds the whole corpus.
+func (s *Store) entryPath(k Key) string {
+	hx := k.Hex()
+	return filepath.Join(s.dir, objectsDir, hx[:2], hx+entrySuffix)
+}
+
+// Get returns the entry stored under k. Any defect — missing file,
+// truncation, checksum mismatch, unknown future format version — is a
+// clean miss: the caller re-validates, and the corresponding store.*
+// counter records why.
+func (s *Store) Get(k Key) (*Entry, bool) {
+	data, err := os.ReadFile(s.entryPath(k))
+	if err != nil {
+		s.metrics.Add(MetricMiss, 1)
+		return nil, false
+	}
+	e, err := decodeEntry(data)
+	if err != nil {
+		if isBadVersion(err) {
+			s.metrics.Add(MetricBadVersion, 1)
+		} else {
+			s.metrics.Add(MetricCorrupt, 1)
+		}
+		s.metrics.Add(MetricMiss, 1)
+		return nil, false
+	}
+	s.metrics.Add(MetricHit, 1)
+	return e, true
+}
+
+// Contains reports whether a well-formed entry exists under k, without
+// touching the hit/miss counters.
+func (s *Store) Contains(k Key) bool {
+	data, err := os.ReadFile(s.entryPath(k))
+	if err != nil {
+		return false
+	}
+	_, err = decodeEntry(data)
+	return err == nil
+}
+
+// Put stores e under k, atomically: the encoded entry is written to a
+// private temp file and renamed into place, so concurrent readers see
+// either the old entry or the new one, never a torn write. A crash
+// mid-Put leaves only an ignorable temp file.
+func (s *Store) Put(k Key, e *Entry) error {
+	data, err := encodeEntry(e)
+	if err != nil {
+		return err
+	}
+	dst := s.entryPath(k)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	tmp := filepath.Join(s.dir, tmpDir,
+		fmt.Sprintf("put-%d-%d%s", os.Getpid(), s.tmpSeq.Add(1), entrySuffix))
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %v", err)
+	}
+	s.metrics.Add(MetricPut, 1)
+	s.metrics.Add(MetricPutBytes, int64(len(data)))
+	return nil
+}
+
+// Len walks the object tree and counts entry files (well-formed or not;
+// it is a size gauge, not an integrity pass).
+func (s *Store) Len() int {
+	n := 0
+	_ = filepath.WalkDir(filepath.Join(s.dir, objectsDir), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, entrySuffix) {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Materialize writes the entry's artifacts into dir — the store-backed
+// proof-directory path: together with the artifacts of the other served
+// functions and a MANIFEST.json, the result is a directory
+// cmd/proofcheck verifies exactly like a freshly emitted one.
+func (s *Store) Materialize(dir string, e *Entry) error {
+	return MaterializeEntry(dir, e)
+}
+
+// MaterializeEntry is the Store-independent form of Materialize, usable
+// on an Entry obtained elsewhere.
+func MaterializeEntry(dir string, e *Entry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	for _, a := range e.Artifacts {
+		if !safeArtifactName(a.Name) {
+			return fmt.Errorf("store: refusing to materialize artifact with unsafe name %q", a.Name)
+		}
+		if err := os.WriteFile(filepath.Join(dir, a.Name), a.Data, 0o644); err != nil {
+			return fmt.Errorf("store: %v", err)
+		}
+	}
+	return nil
+}
+
+// safeArtifactName rejects names that could escape the target directory.
+// Entry artifacts are named by this package's own writers, so anything
+// else is corruption or tampering.
+func safeArtifactName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, "/\\\x00")
+}
+
+// ensureManifest validates an existing store manifest or creates one:
+// written to a temp file, fsynced, renamed into place, and the directory
+// fsynced — the durability point of store creation.
+func (s *Store) ensureManifest() error {
+	path := filepath.Join(s.dir, manifestName)
+	if data, err := os.ReadFile(path); err == nil {
+		return checkManifest(data)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("store: %v", err)
+	}
+	data := encodeManifest()
+	tmp := filepath.Join(s.dir, tmpDir, fmt.Sprintf("manifest-%d", os.Getpid()))
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: %v", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %v", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: %v", err)
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

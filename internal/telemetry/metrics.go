@@ -206,6 +206,16 @@ func (m *Metrics) Hist(name string) Histogram {
 	return Histogram{}
 }
 
+// Snapshot returns copies of the registry contents: all counters and
+// all histograms by name. Nil-safe (a nil registry snapshots to nil
+// maps); mutating the returned maps does not affect the registry.
+func (m *Metrics) Snapshot() (map[string]int64, map[string]Histogram) {
+	if m == nil {
+		return nil, nil
+	}
+	return m.snapshot()
+}
+
 // snapshot returns copies of the registry contents.
 func (m *Metrics) snapshot() (map[string]int64, map[string]Histogram) {
 	m.mu.Lock()

@@ -80,6 +80,19 @@ func (c Class) String() string {
 	return "?"
 }
 
+// ParseClass maps a Class.String() rendering back to its Class. The
+// result-store records classes by their stable string form (an int8
+// would silently re-map if the enum were ever reordered); this is the
+// decoding side. The second result is false for unknown strings.
+func ParseClass(s string) (Class, bool) {
+	for c := ClassSucceeded; c <= ClassUnsupported; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return ClassOther, false
+}
+
 // PhaseTimes is the wall-clock breakdown of one validation run. Parse is
 // zero unless the caller (the harness) parsed the module as part of the
 // per-function work. SMT is the portion of Check spent inside solver
