@@ -14,6 +14,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -1106,4 +1107,193 @@ func TestBenchPR6JSON(t *testing.T) {
 	t.Logf("BENCH_PR6.json: full %.2fs, no-inprocess %.2fs, no-portfolio %.2fs, both-off %.2fs; tight tail.smt off %d/%.2fs on %d/%.2fs",
 		full.WallSeconds, noInproc.WallSeconds, noPortfolio.WallSeconds, bothOff.WallSeconds,
 		tailOff.TailSMTCount, tailOff.TailSMTSecs, tailOn.TailSMTCount, tailOn.TailSMTSecs)
+}
+
+// TestBenchPR9JSON writes the cube-and-conquer / adaptive-portfolio
+// artifact BENCH_PR9.json (the `make bench` target). Legs:
+//
+//   - untimed_full: the deterministic no-timeout Fig. 6 run with the whole
+//     solver stack on (inprocessing, portfolio, cube) — class counts must
+//     be byte-identical to the serial baseline, pinning that the
+//     escalation-ladder rewrite changes time only, never verdicts;
+//   - default_budget_adaptive vs default_budget_no_portfolio: the
+//     generous 20s default budget, where PR 6's always-race portfolio
+//     cost wall time (72.0s vs 68.3s no-portfolio). The adaptive gate
+//     keeps probing solo while more than half the budget remains, so the
+//     adaptive wall must come back down to the no-portfolio leg's,
+//     with a timeout-count backstop against gross regressions;
+//   - tight_budget_cube_off vs tight_budget_cube_on: the 2s budget that
+//     manufactures the Timeout tail. The cube leg must escalate, must
+//     decide queries by cubing (cube_unsat_wins + cubes_sat > 0), and
+//     must not grow the tail. Function-level counts are gated for
+//     non-regression rather than strict decrease: the 2s tail on this
+//     corpus is mostly throughput-bound (hundreds of ~3ms queries per
+//     function), so several functions straddle the cutoff and flip
+//     between identical runs; each leg is therefore the median of three
+//     interleaved runs. Cubing converts the monster-query functions and
+//     20-35 individual queries per run, which is the stable signal;
+//   - tight_budget_cube_proofs: the cube-on tight leg re-run with
+//     certificate emission — every cube-composed certificate must verify
+//     with zero proofcheck rejections.
+//
+// Gated behind WRITE_BENCH_JSON like the other artifact writers.
+func TestBenchPR9JSON(t *testing.T) {
+	if os.Getenv("WRITE_BENCH_JSON") == "" {
+		t.Skip("set WRITE_BENCH_JSON=1 to write BENCH_PR9.json")
+	}
+	const workers = 4
+	type configResult struct {
+		WallSeconds     float64        `json:"wall_seconds"`
+		CPUSeconds      float64        `json:"cpu_seconds"`
+		Counts          map[string]int `json:"class_counts"`
+		Races           int64          `json:"races,omitempty"`
+		RacerWins       int64          `json:"racer_wins,omitempty"`
+		WastedConflicts int64          `json:"race_wasted_conflicts,omitempty"`
+		CubeEscalations int64          `json:"cube_escalations,omitempty"`
+		CubesGenerated  int64          `json:"cubes_generated,omitempty"`
+		CubesRefuted    int64          `json:"cubes_refuted,omitempty"`
+		CubesSat        int64          `json:"cubes_sat,omitempty"`
+		CubeUnsatWins   int64          `json:"cube_unsat_wins,omitempty"`
+		CubeSteals      int64          `json:"cube_steals,omitempty"`
+		TailSMTCount    int64          `json:"tail_smt_count"`
+		TailRuns        []int64        `json:"tail_smt_count_runs,omitempty"`
+		TailSMTSecs     float64        `json:"tail_smt_seconds"`
+		Rejections      int            `json:"proofcheck_rejections,omitempty"`
+		Certificates    int64          `json:"certificates,omitempty"`
+	}
+	measure := func(budget tv.Budget, noPortfolio, noCube bool, proofDir string) configResult {
+		cfg := figure6Config(workers, true)
+		cfg.Budget = budget
+		cfg.Checker = core.Options{DisableCube: noCube}
+		cfg.DisablePortfolio = noPortfolio
+		cfg.ProofDir = proofDir
+		start := time.Now()
+		sum := harness.Run(cfg)
+		if sum.ProofErr != nil {
+			t.Fatalf("proof emission failed: %v", sum.ProofErr)
+		}
+		tail := sum.Metrics.Hist("tail.smt")
+		return configResult{
+			WallSeconds:     time.Since(start).Seconds(),
+			CPUSeconds:      sum.CPUTime.Seconds(),
+			Counts:          sum.ClassCounts(),
+			Races:           sum.SMTStats.Races,
+			RacerWins:       sum.SMTStats.RaceRacerWins,
+			WastedConflicts: sum.SMTStats.RaceWastedConflicts,
+			CubeEscalations: sum.SMTStats.CubeEscalations,
+			CubesGenerated:  sum.SMTStats.CubesGenerated,
+			CubesRefuted:    sum.SMTStats.CubesRefuted,
+			CubesSat:        sum.SMTStats.CubesSat,
+			CubeUnsatWins:   sum.Metrics.Counter("cube.unsat"),
+			CubeSteals:      sum.SMTStats.CubeSteals,
+			TailSMTCount:    tail.Count,
+			TailSMTSecs:     time.Duration(tail.Sum).Seconds(),
+			Certificates:    sum.SMTStats.Certificates,
+		}
+	}
+
+	// Deterministic leg: verdict parity under the full stack.
+	untimed := measure(fig6ParallelBudget, false, false, "")
+	if got, base := fmt.Sprint(untimed.Counts), fig6BaselineCounts(); got != base {
+		t.Errorf("untimed full-stack class counts diverged from the serial baseline:\n got %s\nwant %s", got, base)
+	}
+
+	// Generous-budget legs: the adaptive gate must stop the portfolio
+	// from costing wall time.
+	defaultBudget := tv.Budget{Timeout: 20 * time.Second, MaxTermNodes: fig6ParallelBudget.MaxTermNodes}
+	adaptive := measure(defaultBudget, false, false, "")
+	noPf := measure(defaultBudget, true, false, "")
+	// The wall comparison is the gate that matters (PR 6's race-always
+	// stack was 3.7s slower here); the timeout-count backstop only
+	// catches gross regressions, because at 20s the 3-5 tail functions
+	// sit right at the budget boundary and flip between identical runs.
+	if adaptive.TailSMTCount > noPf.TailSMTCount+2 {
+		t.Errorf("adaptive portfolio times out far more than no-portfolio at the default budget: %d vs %d",
+			adaptive.TailSMTCount, noPf.TailSMTCount)
+	}
+	if adaptive.WallSeconds > noPf.WallSeconds*1.05 {
+		t.Errorf("adaptive portfolio still costs wall time at the default budget: %.2fs vs %.2fs no-portfolio",
+			adaptive.WallSeconds, noPf.WallSeconds)
+	}
+
+	// Tight-budget legs: cubing must engage, must decide queries, and
+	// must not grow the timeout tail (see the leg comment above for why
+	// strict function-level decrease is not a stable gate here). The
+	// single-run counts flip ±2 between identical invocations, so each
+	// leg is the tail-count median of three runs, interleaved so machine
+	// drift across the bench lands on both legs alike.
+	tight := tv.Budget{Timeout: 2 * time.Second, MaxTermNodes: fig6ParallelBudget.MaxTermNodes}
+	var offRuns, onRuns []configResult
+	for i := 0; i < 3; i++ {
+		offRuns = append(offRuns, measure(tight, false, true, ""))
+		onRuns = append(onRuns, measure(tight, false, false, ""))
+	}
+	tailMedian := func(rs []configResult) configResult {
+		sorted := append([]configResult(nil), rs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].TailSMTCount < sorted[j].TailSMTCount })
+		med := sorted[1]
+		for _, r := range rs {
+			med.TailRuns = append(med.TailRuns, r.TailSMTCount)
+		}
+		return med
+	}
+	tightOff := tailMedian(offRuns)
+	tightOn := tailMedian(onRuns)
+	if tightOn.CubeEscalations == 0 {
+		t.Errorf("tight-budget cube leg never escalated: the comparison is vacuous")
+	}
+	if tightOn.CubeUnsatWins+tightOn.CubesSat == 0 {
+		t.Errorf("tight-budget cube leg decided no queries by cubing (escalated %d times)",
+			tightOn.CubeEscalations)
+	}
+	if tightOn.TailSMTCount > tightOff.TailSMTCount+1 {
+		t.Errorf("cube grew the timeout tail: on %d, off %d",
+			tightOn.TailSMTCount, tightOff.TailSMTCount)
+	}
+
+	// Certification leg: cube-composed certificates verify from scratch.
+	proofDir := t.TempDir()
+	tightProofs := measure(tight, false, false, proofDir)
+	report, err := proof.CheckDir(proofDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightProofs.Rejections = len(report.Rejections)
+	for _, r := range report.Rejections {
+		t.Errorf("proofcheck rejection: %s", r)
+	}
+
+	artifact := struct {
+		Benchmark   string       `json:"benchmark"`
+		Corpus      int          `json:"corpus_functions"`
+		Workers     int          `json:"workers"`
+		Untimed     configResult `json:"untimed_full"`
+		Adaptive    configResult `json:"default_budget_adaptive"`
+		NoPortfolio configResult `json:"default_budget_no_portfolio"`
+		TightOff    configResult `json:"tight_budget_cube_off"`
+		TightOn     configResult `json:"tight_budget_cube_on"`
+		TightProofs configResult `json:"tight_budget_cube_proofs"`
+	}{
+		Benchmark:   "Figure6-cube-adaptive-portfolio",
+		Corpus:      figure6Corpus,
+		Workers:     workers,
+		Untimed:     untimed,
+		Adaptive:    adaptive,
+		NoPortfolio: noPf,
+		TightOff:    tightOff,
+		TightOn:     tightOn,
+		TightProofs: tightProofs,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_PR9.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_PR9.json: adaptive %.2fs vs no-portfolio %.2fs; tight tail cube-off %d/%.2fs cube-on %d/%.2fs (%d escalations, %d cubes, %d unsat wins); proofs leg %d certs %d rejections",
+		adaptive.WallSeconds, noPf.WallSeconds,
+		tightOff.TailSMTCount, tightOff.TailSMTSecs, tightOn.TailSMTCount, tightOn.TailSMTSecs,
+		tightOn.CubeEscalations, tightOn.CubesGenerated, tightOn.CubeUnsatWins,
+		tightProofs.Certificates, tightProofs.Rejections)
 }

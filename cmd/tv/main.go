@@ -71,6 +71,7 @@ func run() int {
 	noClauseReduce := flag.Bool("no-clause-reduce", false, "ablation: disable LBD learned-clause database reduction")
 	noInprocess := flag.Bool("no-inprocess", false, "ablation: disable SatELite-style SAT inprocessing")
 	noPortfolio := flag.Bool("no-portfolio", false, "ablation: disable portfolio racing across idle workers")
+	noCube := flag.Bool("no-cube", false, "ablation: disable cube-and-conquer escalation for the hardest queries")
 	progress := flag.Bool("progress", false, "print per-function progress")
 	jobs := flag.Int("j", 0, "parallel validation workers for fig6/fig7 (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print run-wide solver and worker-pool statistics")
@@ -121,6 +122,7 @@ func run() int {
 		DisablePositiveForm:      *negForm,
 		DisableClauseDBReduction: *noClauseReduce,
 		DisableInprocess:         *noInprocess,
+		DisableCube:              *noCube,
 	}
 
 	code := 0

@@ -475,8 +475,14 @@ func (s *Summary) RenderStats(w io.Writer) {
 			s.SMTStats.VivifiedClauses, s.SMTStats.EliminatedVars)
 	}
 	if s.SMTStats.Races > 0 {
-		fmt.Fprintf(w, "Portfolio: %d races, %d racer wins, %d idle slots borrowed\n",
-			s.SMTStats.Races, s.SMTStats.RaceRacerWins, s.SMTStats.RaceTokens)
+		fmt.Fprintf(w, "Portfolio: %d races, %d racer wins, %d idle slots borrowed, %d conflicts / %d props wasted by losers\n",
+			s.SMTStats.Races, s.SMTStats.RaceRacerWins, s.SMTStats.RaceTokens,
+			s.SMTStats.RaceWastedConflicts, s.SMTStats.RaceWastedProps)
+	}
+	if s.SMTStats.CubeEscalations > 0 {
+		fmt.Fprintf(w, "Cube: %d escalations, %d cubes (%d refuted, %d sat), %d stolen-slot conquests\n",
+			s.SMTStats.CubeEscalations, s.SMTStats.CubesGenerated,
+			s.SMTStats.CubesRefuted, s.SMTStats.CubesSat, s.SMTStats.CubeSteals)
 	}
 	if h := s.Metrics.Hist("smt.query"); h.Count > 0 {
 		fmt.Fprintf(w, "SMT latency: p50 %s, p90 %s, p99 %s, max %s over %d observed queries\n",

@@ -55,9 +55,17 @@ type SMTStatsJSON struct {
 	VivifiedClauses     int64 `json:"vivified_clauses,omitempty"`
 	EliminatedVars      int64 `json:"eliminated_vars,omitempty"`
 
-	Races         int64 `json:"races,omitempty"`
-	RaceRacerWins int64 `json:"race_racer_wins,omitempty"`
-	RaceTokens    int64 `json:"race_tokens,omitempty"`
+	Races               int64 `json:"races,omitempty"`
+	RaceRacerWins       int64 `json:"race_racer_wins,omitempty"`
+	RaceTokens          int64 `json:"race_tokens,omitempty"`
+	RaceWastedConflicts int64 `json:"race_wasted_conflicts,omitempty"`
+	RaceWastedProps     int64 `json:"race_wasted_props,omitempty"`
+
+	CubeEscalations int64 `json:"cube_escalations,omitempty"`
+	CubesGenerated  int64 `json:"cubes_generated,omitempty"`
+	CubesRefuted    int64 `json:"cubes_refuted,omitempty"`
+	CubesSat        int64 `json:"cubes_sat,omitempty"`
+	CubeSteals      int64 `json:"cube_steals,omitempty"`
 }
 
 // LatencyJSON summarizes one latency histogram in nanoseconds.
@@ -110,9 +118,17 @@ func (s *Summary) StatsJSON() *StatsJSON {
 			VivifiedClauses:     s.SMTStats.VivifiedClauses,
 			EliminatedVars:      s.SMTStats.EliminatedVars,
 
-			Races:         s.SMTStats.Races,
-			RaceRacerWins: s.SMTStats.RaceRacerWins,
-			RaceTokens:    s.SMTStats.RaceTokens,
+			Races:               s.SMTStats.Races,
+			RaceRacerWins:       s.SMTStats.RaceRacerWins,
+			RaceTokens:          s.SMTStats.RaceTokens,
+			RaceWastedConflicts: s.SMTStats.RaceWastedConflicts,
+			RaceWastedProps:     s.SMTStats.RaceWastedProps,
+
+			CubeEscalations: s.SMTStats.CubeEscalations,
+			CubesGenerated:  s.SMTStats.CubesGenerated,
+			CubesRefuted:    s.SMTStats.CubesRefuted,
+			CubesSat:        s.SMTStats.CubesSat,
+			CubeSteals:      s.SMTStats.CubeSteals,
 		},
 		Certified:  s.Certified,
 		CertFailed: s.CertFailed,

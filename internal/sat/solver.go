@@ -299,6 +299,20 @@ func (s *Solver) valueLit(l Lit) lbool {
 // solver is already in an unsatisfiable state (e.g. after adding conflicting
 // unit clauses).
 func (s *Solver) AddClause(lits ...Lit) bool {
+	return s.addClause(lits, false)
+}
+
+// LearnClause adds a clause the caller has derived as a consequence of the
+// current clause database — e.g. the negation of a refuted cube during an
+// in-place cube-and-conquer conquest. Unlike AddClause it is recorded as a
+// learnt step, so the proof checker re-derives it by reverse unit
+// propagation instead of granting it as an axiom; the clause then joins
+// the database like any other and strengthens every later Solve call.
+func (s *Solver) LearnClause(lits ...Lit) bool {
+	return s.addClause(lits, true)
+}
+
+func (s *Solver) addClause(lits []Lit, learnt bool) bool {
 	if !s.ok {
 		return false
 	}
@@ -314,7 +328,11 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	}
 	// Log the clause as given: the proof checker replays the original
 	// formula, so normalization below must not be reflected in the trace.
-	s.logInput(lits)
+	if learnt {
+		s.logLearnt(lits)
+	} else {
+		s.logInput(lits)
+	}
 	// Normalize: sort-free dedup, drop false lits, detect tautology/sat.
 	out := lits[:0:0]
 	for _, l := range lits {

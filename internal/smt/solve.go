@@ -59,6 +59,19 @@ type Stats struct {
 	Races         int64 // queries that outlived the probe budget and raced
 	RaceRacerWins int64 // races decided by a racer rather than the primary
 	RaceTokens    int64 // idle worker slots borrowed across all races
+	// Loser-side race accounting: CPU spent by racers whose result was
+	// discarded (and by the primary's race leg when a racer won). Kept
+	// apart from SATConflicts, which counts only work that produced the
+	// verdicts, so phase reports can show the true cost of racing.
+	RaceWastedConflicts int64
+	RaceWastedProps     int64
+
+	// Cube-and-conquer counters (the escalation tier above racing).
+	CubeEscalations int64 // queries escalated to cube-and-conquer
+	CubesGenerated  int64 // cubes emitted by the lookahead cuber
+	CubesRefuted    int64 // cubes refuted under assumptions
+	CubesSat        int64 // cubes found satisfiable (decides the query)
+	CubeSteals      int64 // cubes drained by stolen idle slots
 }
 
 // Add accumulates o into s. Callers that run many solvers (one per
@@ -83,6 +96,13 @@ func (s *Stats) Add(o Stats) {
 	s.Races += o.Races
 	s.RaceRacerWins += o.RaceRacerWins
 	s.RaceTokens += o.RaceTokens
+	s.RaceWastedConflicts += o.RaceWastedConflicts
+	s.RaceWastedProps += o.RaceWastedProps
+	s.CubeEscalations += o.CubeEscalations
+	s.CubesGenerated += o.CubesGenerated
+	s.CubesRefuted += o.CubesRefuted
+	s.CubesSat += o.CubesSat
+	s.CubeSteals += o.CubeSteals
 }
 
 // Solver decides QF_ABV formulas built in a Context. The zero value is not
@@ -94,6 +114,17 @@ type Solver struct {
 	ConflictBudget int64
 	// Deadline, when non-zero, makes queries return ErrDeadline once passed.
 	Deadline time.Time
+	// Budget is the wall-clock allowance Deadline was derived from. The
+	// adaptive escalation ladder uses it to gate portfolio races on the
+	// remaining-deadline fraction: while more than half the budget is
+	// left the primary keeps probing solo with doubled budgets, so races
+	// fire only for queries that are genuinely running out of time. Zero
+	// (or a zero Deadline) leaves races ungated, the pre-adaptive
+	// behavior.
+	Budget time.Duration
+	// DisableCube turns off the cube-and-conquer escalation tier above
+	// portfolio racing (ablation; see cube.go and sat.BuildCubes).
+	DisableCube bool
 	// Incremental keeps one SAT instance, bit-blaster, and array reducer
 	// alive across queries: shared subterms are encoded once and learned
 	// clauses carry over, the incremental solving the paper's §5.1 names
