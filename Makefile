@@ -19,8 +19,11 @@ fmtcheck:
 		echo "gofmt: the following files need formatting:" >&2; \
 		echo "$$out" >&2; exit 1; fi
 
+# The harness portfolio/proof tests are CPU-bound and can exceed go
+# test's default 10m package timeout under -race on small machines;
+# the raised timeout does not mask races, which fail immediately.
 race:
-	go test -race ./internal/harness ./internal/tv ./internal/telemetry ./internal/smt ./internal/store ./internal/tvd
+	go test -race -timeout 30m ./internal/harness ./internal/tv ./internal/telemetry ./internal/smt ./internal/store ./internal/tvd
 
 # bench reproduces the Figure 6 comparisons — cache on/off, proof
 # emission on/off, tracing on/off, inprocessing/portfolio ablations,

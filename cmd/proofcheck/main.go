@@ -15,6 +15,7 @@
 //
 //	proofcheck [-v] DIR
 //	proofcheck [-v] -store DIR -key HASH
+//	proofcheck [-v] -store DIR -all
 //
 // The second form verifies one entry of a tvd result store: the entry's
 // certificate artifacts are materialized into a scratch directory
@@ -22,6 +23,12 @@
 // -emit-proofs directory. Store entries are written self-contained
 // (each job gets a private certificate namespace), so one entry checks
 // in isolation.
+//
+// The third form is the offline audit mode: every entry in the store is
+// decoded, CRC-checked, and re-verified end to end, with one report
+// line per entry. Reads never refresh access times, so an audit does
+// not distort the store's LRU eviction order; entries written by a
+// future binary are reported as skipped, not failed.
 //
 // Exit status 0 when every certificate and witness verifies, 1 when
 // anything is rejected, 2 on usage or I/O errors.
@@ -41,10 +48,17 @@ func main() {
 	verbose := flag.Bool("v", false, "list every rejection (default: first 20)")
 	storeDir := flag.String("store", "", "verify an entry of this tvd result store instead of a proof directory")
 	keyHex := flag.String("key", "", "content address (64 hex digits) of the store entry to verify")
+	all := flag.Bool("all", false, "with -store: decode, CRC-check, and re-verify every entry in the store")
 	flag.Parse()
 
 	var dir, scratch string
 	switch {
+	case *storeDir != "" && *all:
+		if flag.NArg() != 0 || *keyHex != "" {
+			fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] -store DIR -all")
+			os.Exit(2)
+		}
+		os.Exit(checkWholeStore(*storeDir, *verbose))
 	case *storeDir != "":
 		if flag.NArg() != 0 || *keyHex == "" {
 			fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] -store DIR -key HASH")
@@ -55,7 +69,7 @@ func main() {
 	case flag.NArg() == 1 && *keyHex == "":
 		dir = flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] DIR | proofcheck [-v] -store DIR -key HASH")
+		fmt.Fprintln(os.Stderr, "usage: proofcheck [-v] DIR | proofcheck [-v] -store DIR [-key HASH | -all]")
 		os.Exit(2)
 	}
 	code := checkDir(dir, *verbose)
@@ -63,6 +77,65 @@ func main() {
 		os.RemoveAll(scratch)
 	}
 	os.Exit(code)
+}
+
+// checkWholeStore audits every entry of a result store: decode +
+// per-artifact CRC via Peek (access times untouched), then the same
+// materialize-and-replay verification a single -key run performs. The
+// return value is the process exit code.
+func checkWholeStore(storeDir string, verbose bool) int {
+	st, err := store.Open(storeDir, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "proofcheck:", err)
+		return 2
+	}
+	keys := st.Keys()
+	var verified, skipped int
+	var failures []string
+	for _, k := range keys {
+		e, err := st.Peek(k)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // evicted since the key list was taken
+			}
+			if store.IsBadVersion(err) {
+				skipped++
+				fmt.Printf("skip %s: %v\n", k.Hex()[:12], err)
+				continue
+			}
+			failures = append(failures, fmt.Sprintf("FAIL %s: %v", k.Hex()[:12], err))
+			continue
+		}
+		if err := store.VerifyEntry(e); err != nil {
+			failures = append(failures, fmt.Sprintf("FAIL %s (@%s %s): %v",
+				k.Hex()[:12], e.Meta.Function, e.Meta.Class, err))
+			continue
+		}
+		verified++
+		if verbose {
+			fmt.Printf("ok   %s @%s %s (certified=%t)\n",
+				k.Hex()[:12], e.Meta.Function, e.Meta.Class, e.Meta.Certified)
+		}
+	}
+	fmt.Printf("proofcheck: store %s: %d entries, %d verified, %d skipped (future version), %d failed\n",
+		storeDir, len(keys), verified, skipped, len(failures))
+	if q := st.QuarantineLen(); q > 0 {
+		fmt.Printf("proofcheck: %d previously quarantined entries under quarantine/ (not audited)\n", q)
+	}
+	limit := len(failures)
+	if !verbose && limit > 20 {
+		limit = 20
+	}
+	for _, f := range failures[:limit] {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if limit < len(failures) {
+		fmt.Fprintf(os.Stderr, "... and %d more (use -v)\n", len(failures)-limit)
+	}
+	if len(failures) > 0 {
+		return 1
+	}
+	return 0
 }
 
 // materializeStoreEntry extracts one store entry into a scratch proof

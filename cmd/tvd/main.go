@@ -9,6 +9,19 @@
 // Usage:
 //
 //	tvd [-addr :8347] [-store DIR] [-j N] [-queue N] [-tenant-budget N]
+//	    [-store-max-bytes N] [-scrub-interval D] [-scrub-sample N]
+//	    [-scrub-fraction F]
+//	tvd -store DIR -scrub-once
+//
+// The store has a lifecycle: -store-max-bytes bounds its size (LRU
+// eviction by access time, whole entries only, run synchronously on
+// overflow and periodically in the background), and the background
+// scrubber re-reads a paced sample of entries, CRC-checks them,
+// re-verifies a fraction end to end with the proofcheck core, and
+// quarantines failures (served afterwards as clean misses).
+// -scrub-once is the offline operator mode: scrub every entry end to
+// end once, print the report, and exit (status 1 when anything was
+// quarantined).
 //
 // POST /v1/validate takes a batch of (fn, ir, hints) jobs and streams
 // back one JSONL progress record per function plus a final summary (see
@@ -30,10 +43,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/store"
 	"repro/internal/tvd"
 )
 
@@ -46,19 +61,32 @@ func main() {
 	workDir := flag.String("workdir", "", "scratch directory for in-flight proof artifacts (default: system temp)")
 	maxBodyMB := flag.Int64("max-body-mb", 64, "request body size limit in MiB")
 	drainTimeout := flag.Duration("drain-timeout", time.Minute, "how long to wait for in-flight batches on shutdown")
+	storeMaxBytes := flag.Int64("store-max-bytes", 0, "store byte budget: LRU-evict whole entries past this size (0 = unbounded)")
+	scrubInterval := flag.Duration("scrub-interval", time.Minute, "pause between background scrub rounds (0 disables scrubbing)")
+	scrubSample := flag.Int("scrub-sample", 32, "store entries examined per scrub round")
+	scrubFraction := flag.Float64("scrub-fraction", 0.05, "fraction of scanned entries re-verified end to end (0..1)")
+	scrubOnce := flag.Bool("scrub-once", false, "offline mode: scrub every store entry end to end once, report, exit")
 	flag.Parse()
+
+	if *scrubOnce {
+		os.Exit(runScrubOnce(*storeDir))
+	}
 
 	workers := *jobs
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	srv, err := tvd.NewServer(tvd.ServerConfig{
-		Workers:      workers,
-		Queue:        *queue,
-		StoreDir:     *storeDir,
-		TenantBudget: *tenantBudget,
-		WorkDir:      *workDir,
-		MaxBodyBytes: *maxBodyMB << 20,
+		Workers:       workers,
+		Queue:         *queue,
+		StoreDir:      *storeDir,
+		TenantBudget:  *tenantBudget,
+		WorkDir:       *workDir,
+		MaxBodyBytes:  *maxBodyMB << 20,
+		StoreMaxBytes: *storeMaxBytes,
+		ScrubInterval: *scrubInterval,
+		ScrubSample:   *scrubSample,
+		ScrubFraction: *scrubFraction,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tvd:", err)
@@ -91,4 +119,26 @@ func main() {
 	}
 	srv.Close()
 	log.Printf("tvd: drained, exiting")
+}
+
+// runScrubOnce is the -scrub-once offline mode: one full end-to-end
+// scrub pass over every store entry, with a human-readable report.
+func runScrubOnce(dir string) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "tvd: -scrub-once requires -store DIR")
+		return 2
+	}
+	st, err := store.Open(dir, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tvd:", err)
+		return 2
+	}
+	stats := st.ScrubOnce(store.ScrubConfig{Fraction: 1})
+	fmt.Printf("tvd: scrub: %d entries scanned, %d verified end to end, %d future-version skipped, %d quarantined\n",
+		stats.Scanned, stats.Verified, stats.BadVersion, stats.Quarantined)
+	if stats.Quarantined > 0 {
+		fmt.Printf("tvd: quarantined entries preserved under %s\n", filepath.Join(dir, "quarantine"))
+		return 1
+	}
+	return 0
 }

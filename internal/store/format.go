@@ -45,6 +45,12 @@ var errBadVersion = errors.New("store: unsupported format version")
 
 func isBadVersion(err error) bool { return errors.Is(err, errBadVersion) }
 
+// IsBadVersion reports whether err marks an entry written by a future
+// binary's format version — unreadable by this one, but not damaged.
+// Audit tools (proofcheck -store -all) use it to report such entries as
+// skipped rather than failed.
+func IsBadVersion(err error) bool { return isBadVersion(err) }
+
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // entryDecoder decodes one format generation's payload (the bytes after

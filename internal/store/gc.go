@@ -1,0 +1,121 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// GC metric names. store.gc.evicted_bytes is what capacity dashboards
+// integrate; store.gc.wall is the pass-latency histogram.
+const (
+	MetricGCRuns         = "store.gc.runs"
+	MetricGCEvicted      = "store.gc.evicted"
+	MetricGCEvictedBytes = "store.gc.evicted_bytes"
+	MetricGCWall         = "store.gc.wall"
+)
+
+// GCResult reports one eviction pass.
+type GCResult struct {
+	// BytesBefore/BytesAfter are the exact entry-payload totals around
+	// the pass (BytesAfter <= maxBytes unless removals failed).
+	BytesBefore int64
+	BytesAfter  int64
+	// Evicted counts whole entries dropped; EvictedBytes their payloads.
+	Evicted      int
+	EvictedBytes int64
+}
+
+// gcCandidate is one entry as the collector sees it.
+type gcCandidate struct {
+	path   string // entry file
+	touch  string // access sidecar ("" when absent)
+	size   int64
+	access time.Time
+}
+
+// GC brings the store's total entry bytes under maxBytes by evicting
+// whole entries in LRU order — least recently accessed first, where
+// access time is the touch sidecar's mtime (falling back to the entry
+// file's own mtime for entries that predate access tracking). Eviction
+// is whole-entry by construction: a verdict either keeps its complete
+// certificate set or disappears entirely, so everything the store
+// serves stays independently re-checkable.
+//
+// GC never rewrites immutable objects — it only unlinks them — and is
+// safe to run concurrently with Get/Put from any number of goroutines
+// (concurrent passes serialize on an internal mutex). The walk is the
+// authoritative usage measurement, so a pass also resynchronizes the
+// approximate gauge behind Put's overflow check, including growth
+// written by other processes.
+func (s *Store) GC(maxBytes int64) GCResult {
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	start := time.Now()
+
+	var cands []gcCandidate
+	var total int64
+	root := filepath.Join(s.dir, objectsDir)
+	_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		switch {
+		case strings.HasSuffix(path, entrySuffix):
+			info, ierr := d.Info()
+			if ierr != nil {
+				return nil
+			}
+			c := gcCandidate{path: path, size: info.Size(), access: info.ModTime()}
+			touch := strings.TrimSuffix(path, entrySuffix) + touchSuffix
+			if ti, terr := os.Stat(touch); terr == nil {
+				c.touch = touch
+				c.access = ti.ModTime()
+			}
+			total += c.size
+			cands = append(cands, c)
+		case strings.HasSuffix(path, touchSuffix):
+			// Orphan sidecar (its entry was evicted or never landed):
+			// reclaim it here rather than leaking it forever.
+			if _, err := os.Stat(strings.TrimSuffix(path, touchSuffix) + entrySuffix); os.IsNotExist(err) {
+				os.Remove(path)
+			}
+		}
+		return nil
+	})
+
+	res := GCResult{BytesBefore: total, BytesAfter: total}
+	if total > maxBytes {
+		// Oldest access first; ties (same clock tick) break by path so
+		// the eviction order is deterministic.
+		sort.Slice(cands, func(i, j int) bool {
+			if !cands[i].access.Equal(cands[j].access) {
+				return cands[i].access.Before(cands[j].access)
+			}
+			return cands[i].path < cands[j].path
+		})
+		for _, c := range cands {
+			if res.BytesAfter <= maxBytes {
+				break
+			}
+			if err := os.Remove(c.path); err != nil {
+				continue
+			}
+			if c.touch != "" {
+				os.Remove(c.touch)
+			}
+			res.Evicted++
+			res.EvictedBytes += c.size
+			res.BytesAfter -= c.size
+		}
+	}
+	s.curBytes.Store(res.BytesAfter)
+
+	s.metrics.Add(MetricGCRuns, 1)
+	s.metrics.Add(MetricGCEvicted, int64(res.Evicted))
+	s.metrics.Add(MetricGCEvictedBytes, res.EvictedBytes)
+	s.metrics.Observe(MetricGCWall, time.Since(start))
+	return res
+}

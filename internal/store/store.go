@@ -9,9 +9,11 @@
 //
 // Durability and trust rules:
 //
-//   - Writes are crash-safe: entries land under tmp/ first and are
-//     renamed into place; the store manifest is fsynced on creation.
-//     A crashed writer leaves at worst an ignorable temp file.
+//   - Writes are crash-safe: entries land under tmp/ first, are fsynced,
+//     and are renamed into place with the prefix directory fsynced after
+//     the rename; the store manifest is fsynced on creation. A crashed
+//     writer leaves at worst an ignorable temp file, and a power cut
+//     never surfaces a torn entry.
 //   - The on-disk format is explicitly versioned (4-byte magic plus a
 //     version byte on every entry and on the manifest) with a
 //     per-version decoder table, so a store written by an old binary
@@ -21,11 +23,19 @@
 //     byte all surface as a clean miss — the caller re-validates — with
 //     a store.corrupt / store.badversion metric bump. The store never
 //     trusts a damaged verdict and never panics on one.
+//   - Lifecycle preserves re-checkability: the byte-budgeted GC (gc.go)
+//     evicts whole entries in LRU order by access time — a certificate
+//     set is dropped entirely or kept entirely, never thinned — and the
+//     background scrubber (scrub.go) re-decodes, CRC-checks, and
+//     re-verifies entries, quarantining failures under quarantine/
+//     where they read as clean misses.
 //
-// The package deliberately imports only the term layer, the telemetry
-// registry, and the standard library — never the SAT/SMT solvers — so
-// cmd/proofcheck can link it for store spot-checks without growing the
-// trusted base (see the import-constraint test in internal/proof).
+// The package deliberately imports only the certificate layer
+// (internal/proof, for scrub re-verification), the term layer, the
+// telemetry registry, and the standard library — never the SAT/SMT
+// solvers — so cmd/proofcheck can link it for store spot-checks without
+// growing the trusted base (see the import-constraint test in
+// internal/proof).
 package store
 
 import (
@@ -36,7 +46,9 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/telemetry"
 	"repro/internal/term"
@@ -136,14 +148,29 @@ type Store struct {
 	dir     string
 	metrics *telemetry.Metrics
 	tmpSeq  atomic.Uint64
+
+	// maxBytes, when > 0, is the byte budget Put enforces by running a
+	// synchronous LRU GC on overflow; curBytes is the approximate usage
+	// gauge behind the overflow check (GC re-walks for the exact total).
+	maxBytes atomic.Int64
+	curBytes atomic.Int64
+	// gcMu serializes GC passes (Put-overflow, periodic, explicit).
+	gcMu sync.Mutex
 }
 
-// Dir layout.
+// Dir layout. Entry files are immutable once renamed into place; the
+// per-entry touch file is the one mutable sidecar — a zero-byte file
+// whose mtime is the entry's last access time, so LRU eviction never
+// rewrites (or even reads) the content-addressed objects themselves.
+// Quarantined entries move whole into quarantine/ and are clean misses.
 const (
-	manifestName = "MANIFEST.tvs"
-	objectsDir   = "objects"
-	tmpDir       = "tmp"
-	entrySuffix  = ".tve"
+	manifestName  = "MANIFEST.tvs"
+	objectsDir    = "objects"
+	tmpDir        = "tmp"
+	quarantineDir = "quarantine"
+	entrySuffix   = ".tve"
+	touchSuffix   = ".tvt"
+	reasonSuffix  = ".reason"
 )
 
 // Open opens (creating if needed) the store at dir. The metrics registry
@@ -171,45 +198,75 @@ func (s *Store) entryPath(k Key) string {
 	return filepath.Join(s.dir, objectsDir, hx[:2], hx+entrySuffix)
 }
 
+// touchPath is the entry's access-time sidecar (see the layout comment).
+func (s *Store) touchPath(k Key) string {
+	hx := k.Hex()
+	return filepath.Join(s.dir, objectsDir, hx[:2], hx+touchSuffix)
+}
+
+// touch stamps k's access time to now, best effort: a failed touch
+// costs LRU accuracy, never correctness.
+func (s *Store) touch(k Key) {
+	p := s.touchPath(k)
+	now := time.Now()
+	if err := os.Chtimes(p, now, now); err != nil {
+		_ = os.WriteFile(p, nil, 0o644)
+	}
+}
+
 // Get returns the entry stored under k. Any defect — missing file,
 // truncation, checksum mismatch, unknown future format version — is a
 // clean miss: the caller re-validates, and the corresponding store.*
-// counter records why.
+// counter records why. A hit refreshes the entry's access time (the
+// LRU clock GC evicts by).
 func (s *Store) Get(k Key) (*Entry, bool) {
-	data, err := os.ReadFile(s.entryPath(k))
+	e, err := s.Peek(k)
 	if err != nil {
-		s.metrics.Add(MetricMiss, 1)
-		return nil, false
-	}
-	e, err := decodeEntry(data)
-	if err != nil {
-		if isBadVersion(err) {
-			s.metrics.Add(MetricBadVersion, 1)
-		} else {
-			s.metrics.Add(MetricCorrupt, 1)
+		if !os.IsNotExist(err) {
+			if isBadVersion(err) {
+				s.metrics.Add(MetricBadVersion, 1)
+			} else {
+				s.metrics.Add(MetricCorrupt, 1)
+			}
 		}
 		s.metrics.Add(MetricMiss, 1)
 		return nil, false
 	}
+	s.touch(k)
 	s.metrics.Add(MetricHit, 1)
 	return e, true
 }
 
-// Contains reports whether a well-formed entry exists under k, without
-// touching the hit/miss counters.
-func (s *Store) Contains(k Key) bool {
+// Peek reads and decodes the entry under k without bumping hit/miss
+// counters and without refreshing its access time — the read the
+// scrubber and offline verification use, so integrity passes never
+// distort the LRU order. A missing entry surfaces as os.IsNotExist.
+func (s *Store) Peek(k Key) (*Entry, error) {
 	data, err := os.ReadFile(s.entryPath(k))
 	if err != nil {
-		return false
+		return nil, err
 	}
-	_, err = decodeEntry(data)
+	return decodeEntry(data)
+}
+
+// Contains reports whether a well-formed entry exists under k, without
+// touching the hit/miss counters or the access time.
+func (s *Store) Contains(k Key) bool {
+	_, err := s.Peek(k)
 	return err == nil
 }
 
-// Put stores e under k, atomically: the encoded entry is written to a
-// private temp file and renamed into place, so concurrent readers see
-// either the old entry or the new one, never a torn write. A crash
-// mid-Put leaves only an ignorable temp file.
+// Put stores e under k, atomically and durably: the encoded entry is
+// written to a private temp file, fsynced, and renamed into place, and
+// the prefix directory is fsynced after the rename — so concurrent
+// readers see either the old entry or the new one, never a torn write,
+// and a power cut after Put returns cannot surface a torn entry (the
+// rename is only durable once both the file contents and the directory
+// entry are). A crash mid-Put leaves only an ignorable temp file.
+//
+// When a byte budget is configured (SetMaxBytes) and this Put pushes
+// usage past it, Put runs a synchronous LRU GC before returning, so the
+// store never stays over budget between Puts.
 func (s *Store) Put(k Key, e *Entry) error {
 	data, err := encodeEntry(e)
 	if err != nil {
@@ -221,16 +278,77 @@ func (s *Store) Put(k Key, e *Entry) error {
 	}
 	tmp := filepath.Join(s.dir, tmpDir,
 		fmt.Sprintf("put-%d-%d%s", os.Getpid(), s.tmpSeq.Add(1), entrySuffix))
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("store: %v", err)
 	}
 	if err := os.Rename(tmp, dst); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: %v", err)
 	}
+	syncDir(filepath.Dir(dst))
+	s.touch(k)
 	s.metrics.Add(MetricPut, 1)
 	s.metrics.Add(MetricPutBytes, int64(len(data)))
+	if max := s.maxBytes.Load(); max > 0 && s.curBytes.Add(int64(len(data))) > max {
+		s.GC(max)
+	}
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before returning —
+// the "contents durable before the rename publishes them" half of the
+// crash-safety contract.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a power
+// cut. Best effort: filesystems that cannot sync directories still get
+// the file-content sync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// SetMaxBytes configures the store's byte budget: the total size of
+// entry payloads Put keeps the store under (0 disables the bound). The
+// current usage gauge is initialized by walking the object tree once.
+func (s *Store) SetMaxBytes(n int64) {
+	s.maxBytes.Store(n)
+	if n > 0 {
+		s.curBytes.Store(s.Usage())
+	}
+}
+
+// MaxBytes returns the configured byte budget (0 = unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes.Load() }
+
+// Usage walks the object tree and sums entry payload sizes in bytes.
+// Touch sidecars are zero bytes and do not count against the budget.
+func (s *Store) Usage() int64 {
+	var total int64
+	_ = filepath.WalkDir(filepath.Join(s.dir, objectsDir), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasSuffix(path, entrySuffix) {
+			if info, err := d.Info(); err == nil {
+				total += info.Size()
+			}
+		}
+		return nil
+	})
+	return total
 }
 
 // Len walks the object tree and counts entry files (well-formed or not;

@@ -87,6 +87,11 @@ func (c *Client) ValidateAll(req *BatchRequest, onRow func(telemetry.Record)) (*
 		return c.Validate(req, onRow)
 	}
 	merged := &BatchResult{Stats: &harness.StatsJSON{Classes: map[string]int{}}}
+	// Each batch's records carry span IDs from a fresh per-batch tracer
+	// (1, 2, 3, ...), so concatenating them verbatim would duplicate IDs
+	// and fail tracelint. Every batch's IDs — streamed rows and the
+	// trace in the summary alike — are offset by the running maximum.
+	var maxSpanID telemetry.SpanID
 	for start := 0; start < len(req.Jobs); start += chunk {
 		end := start + chunk
 		if end > len(req.Jobs) {
@@ -95,7 +100,19 @@ func (c *Client) ValidateAll(req *BatchRequest, onRow func(telemetry.Record)) (*
 		sub := *req
 		sub.Jobs = req.Jobs[start:end]
 		offset := start
+		idOffset := maxSpanID
+		var batchMax telemetry.SpanID
+		rebase := func(rec *telemetry.Record) {
+			rec.ID += idOffset
+			if rec.Parent != 0 {
+				rec.Parent += idOffset
+			}
+			if rec.ID > batchMax {
+				batchMax = rec.ID
+			}
+		}
 		res, err := c.Validate(&sub, func(rec telemetry.Record) {
+			rebase(&rec)
 			if onRow == nil {
 				return
 			}
@@ -114,8 +131,14 @@ func (c *Client) ValidateAll(req *BatchRequest, onRow func(telemetry.Record)) (*
 		}
 		merged.StoreHits += res.StoreHits
 		merged.StoreMisses += res.StoreMisses
-		merged.Trace = append(merged.Trace, res.Trace...)
+		for i := range res.Trace {
+			rebase(&res.Trace[i])
+			merged.Trace = append(merged.Trace, res.Trace[i])
+		}
 		mergeStats(merged.Stats, res.Stats)
+		if batchMax > maxSpanID {
+			maxSpanID = batchMax
+		}
 	}
 	return merged, nil
 }
@@ -166,6 +189,13 @@ func mergeStats(dst, src *harness.StatsJSON) {
 	a.Races += b.Races
 	a.RaceRacerWins += b.RaceRacerWins
 	a.RaceTokens += b.RaceTokens
+	a.RaceWastedConflicts += b.RaceWastedConflicts
+	a.RaceWastedProps += b.RaceWastedProps
+	a.CubeEscalations += b.CubeEscalations
+	a.CubesGenerated += b.CubesGenerated
+	a.CubesRefuted += b.CubesRefuted
+	a.CubesSat += b.CubesSat
+	a.CubeSteals += b.CubeSteals
 }
 
 // Validate submits one batch and consumes the streaming response.

@@ -1,0 +1,433 @@
+package tvd
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/proof"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// entryFileFor locates the raw on-disk entry file for a row's content
+// key — the byte-level tampering point for scrub tests.
+func entryFileFor(t *testing.T, storeDir, keyHex string) string {
+	t.Helper()
+	var found string
+	filepath.WalkDir(filepath.Join(storeDir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.HasPrefix(filepath.Base(path), keyHex) &&
+			strings.HasSuffix(path, ".tve") {
+			found = path
+		}
+		return nil
+	})
+	if found == "" {
+		t.Fatalf("no entry file for key %s under %s", keyHex, storeDir)
+	}
+	return found
+}
+
+// TestDaemonStoreLifecycle is the lifecycle e2e: a GC'd store still
+// serves only intact entries with identical verdicts, and a
+// semantically tampered entry (valid CRCs, broken certificates — the
+// rot only end-to-end replay can catch) is quarantined by ScrubOnce and
+// revalidated to the same class afterwards.
+func TestDaemonStoreLifecycle(t *testing.T) {
+	storeDir := t.TempDir()
+	fns := testCorpus(6)
+	req := testBatch(fns)
+
+	// Scrub runs in the background throughout (CRC-only, so it cannot
+	// quarantine intact entries); the end-to-end pass below is explicit.
+	s, hs := newTestServer(t, ServerConfig{
+		Workers: 2, StoreDir: storeDir, WorkDir: t.TempDir(),
+		ScrubInterval: 20 * time.Millisecond, ScrubSample: 64,
+	})
+	defer s.Close()
+	c := NewClient(hs.URL)
+
+	cold, err := c.Validate(req, nil)
+	if err != nil {
+		t.Fatalf("cold batch: %v", err)
+	}
+	coldClasses, _ := json.Marshal(cold.Stats.Classes)
+	if s.store.Len() != len(fns) {
+		t.Fatalf("store holds %d entries after cold run, want %d", s.store.Len(), len(fns))
+	}
+
+	// GC to two thirds of current usage: some entries must go, the rest
+	// must stay whole.
+	budget := s.store.Usage() * 2 / 3
+	res := s.store.GC(budget)
+	if res.Evicted == 0 || res.BytesAfter > budget {
+		t.Fatalf("GC: %+v under budget %d", res, budget)
+	}
+	survivors := s.store.Len()
+	if survivors == 0 || survivors >= len(fns) {
+		t.Fatalf("GC left %d of %d entries; the test needs a partial eviction", survivors, len(fns))
+	}
+
+	// Warm run over the GC'd store: exactly the survivors hit, evicted
+	// keys revalidate, and the class counts are byte-identical.
+	warm, err := c.Validate(req, nil)
+	if err != nil {
+		t.Fatalf("warm batch: %v", err)
+	}
+	if warm.StoreHits != survivors {
+		t.Fatalf("warm run: %d hits, want %d (the GC survivors)", warm.StoreHits, survivors)
+	}
+	if warmClasses, _ := json.Marshal(warm.Stats.Classes); !bytes.Equal(coldClasses, warmClasses) {
+		t.Fatalf("classes diverge after GC: cold %s warm %s", coldClasses, warmClasses)
+	}
+	// The mixed hit/revalidated artifact set still replays with zero
+	// rejections — GC and scrub never trade away re-checkability.
+	proofDir := t.TempDir()
+	if err := MaterializeProofs(proofDir, warm); err != nil {
+		t.Fatalf("MaterializeProofs: %v", err)
+	}
+	report, err := proof.CheckDir(proofDir)
+	if err != nil {
+		t.Fatalf("CheckDir: %v", err)
+	}
+	if len(report.Rejections) != 0 {
+		t.Fatalf("warm-over-GC'd-store proofs rejected (%d), first: %s",
+			len(report.Rejections), report.Rejections[0])
+	}
+
+	// Semantic tamper: re-encode one entry with a corrupted artifact.
+	// The CRCs are freshly computed over the damaged bytes, so Get still
+	// hits — only certificate replay can catch this.
+	keys := s.store.Keys()
+	var tampered store.Key
+	var hadArtifacts bool
+	for _, k := range keys {
+		e, err := s.store.Peek(k)
+		if err != nil || len(e.Artifacts) == 0 {
+			continue
+		}
+		for i := range e.Artifacts {
+			e.Artifacts[i].Data = []byte("certificate rot")
+		}
+		if err := s.store.Put(k, e); err != nil {
+			t.Fatal(err)
+		}
+		tampered, hadArtifacts = k, true
+		break
+	}
+	if !hadArtifacts {
+		t.Fatal("no stored entry carries artifacts; cannot exercise end-to-end scrub")
+	}
+	if _, ok := s.store.Get(tampered); !ok {
+		t.Fatal("semantic tamper must survive the CRC check (that is the point)")
+	}
+	st := s.store.ScrubOnce(store.ScrubConfig{Fraction: 1})
+	if st.Quarantined != 1 {
+		t.Fatalf("ScrubOnce over semantically tampered store: %+v, want 1 quarantined", st)
+	}
+	if _, ok := s.store.Get(tampered); ok {
+		t.Fatal("quarantined entry still served")
+	}
+
+	// The quarantined key revalidates on the next run and the batch ends
+	// at the same verdicts as the cold run.
+	final, err := c.Validate(req, nil)
+	if err != nil {
+		t.Fatalf("post-scrub batch: %v", err)
+	}
+	if finalClasses, _ := json.Marshal(final.Stats.Classes); !bytes.Equal(coldClasses, finalClasses) {
+		t.Fatalf("classes diverge after quarantine: cold %s final %s", coldClasses, finalClasses)
+	}
+	snap, err := c.Metricsz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.StoreQuarantined != 1 || snap.StoreBytes <= 0 {
+		t.Fatalf("metricsz lifecycle gauges: quarantined=%d bytes=%d", snap.StoreQuarantined, snap.StoreBytes)
+	}
+}
+
+// TestDaemonStoreBudget: a daemon with -store-max-bytes keeps the store
+// under budget across batches via synchronous overflow GC.
+func TestDaemonStoreBudget(t *testing.T) {
+	storeDir := t.TempDir()
+	fns := testCorpus(6)
+	req := testBatch(fns)
+
+	// First learn how big the full corpus is on disk.
+	s0, hs0 := newTestServer(t, ServerConfig{Workers: 2, StoreDir: storeDir, WorkDir: t.TempDir()})
+	if _, err := NewClient(hs0.URL).Validate(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := s0.store.Usage()
+	s0.Close()
+
+	// A budgeted daemon over the same directory enforces the bound at
+	// startup and on every overflowing Put.
+	budget := full / 2
+	s, hs := newTestServer(t, ServerConfig{
+		Workers: 2, StoreDir: storeDir, WorkDir: t.TempDir(),
+		StoreMaxBytes: budget, GCInterval: time.Hour, // periodic GC out of the picture
+	})
+	defer s.Close()
+	if u := s.store.Usage(); u > budget {
+		t.Fatalf("startup GC left usage %d over budget %d", u, budget)
+	}
+	if _, err := NewClient(hs.URL).Validate(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	if u := s.store.Usage(); u > budget {
+		t.Fatalf("usage %d over budget %d after a refilling batch", u, budget)
+	}
+	snap, err := NewClient(hs.URL).Metricsz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.StoreMaxBytes != budget || snap.Counters["store.gc.runs"] == 0 {
+		t.Fatalf("lifecycle metrics: max_bytes=%d gc.runs=%d", snap.StoreMaxBytes, snap.Counters["store.gc.runs"])
+	}
+}
+
+// TestDaemonBackgroundScrub: the daemon's background scrubber finds a
+// byte-tampered entry on its own and pulls it from service, and Close
+// stops the scrubber cleanly.
+func TestDaemonBackgroundScrub(t *testing.T) {
+	storeDir := t.TempDir()
+	s, hs := newTestServer(t, ServerConfig{
+		Workers: 2, StoreDir: storeDir, WorkDir: t.TempDir(),
+		ScrubInterval: 2 * time.Millisecond, ScrubSample: 64,
+	})
+	c := NewClient(hs.URL)
+	req := testBatch(testCorpus(4))
+	res, err := c.Validate(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the tail of a stored entry (an artifact body).
+	path := entryFileFor(t, storeDir, res.Rows[0].Key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x20
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.store.QuarantineLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never quarantined the tampered entry")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	snap, err := c.Metricsz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.StoreQuarantined != 1 || snap.Counters["store.scrub.quarantined"] != 1 {
+		t.Fatalf("scrub metrics: gauge=%d counter=%d", snap.StoreQuarantined, snap.Counters["store.scrub.quarantined"])
+	}
+	s.Close() // must stop the scrubber goroutine and return
+
+	k, err := store.KeyFromHex(res.Rows[0].Key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.store.Contains(k) {
+		t.Fatal("tampered key still readable after quarantine")
+	}
+}
+
+// TestProofDirFailure: when per-job proof directories cannot be
+// created, the batch still validates (uncertified) and every row
+// surfaces the creation error in proof_err — the operator-visible
+// signal that certificates are silently missing.
+func TestProofDirFailure(t *testing.T) {
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, hs := newTestServer(t, ServerConfig{Workers: 1, WorkDir: notADir})
+	defer s.Close()
+	fns := testCorpus(2)
+	res, err := NewClient(hs.URL).Validate(testBatch(fns), nil)
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for i, row := range res.Rows {
+		if row.Class == "" {
+			t.Errorf("row %d (%s): no verdict — proof-dir failure must not fail validation", i, row.Fn)
+		}
+		if row.Certified {
+			t.Errorf("row %d (%s): certified without a proof dir", i, row.Fn)
+		}
+		if row.ProofErr == "" {
+			t.Errorf("row %d (%s): proof-dir creation failure not surfaced in proof_err", i, row.Fn)
+		}
+	}
+	if res.Stats.CertFailed != len(fns) {
+		t.Errorf("CertFailed = %d, want %d", res.Stats.CertFailed, len(fns))
+	}
+	snap, err := NewClient(hs.URL).Metricsz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["tvd.proofdir_fail"] != int64(len(fns)) {
+		t.Errorf("tvd.proofdir_fail = %d, want %d", snap.Counters["tvd.proofdir_fail"], len(fns))
+	}
+}
+
+// TestDrainAdmissionRace hammers the Close/admission ordering: every
+// request either completes normally or is refused with 503 — never
+// admitted into a pool that Close already joined. handleValidate
+// registers with the in-flight group before reading the drain flag,
+// which is what makes Close's wait cover late-arriving batches.
+func TestDrainAdmissionRace(t *testing.T) {
+	s, hs := newTestServer(t, ServerConfig{Workers: 2, WorkDir: t.TempDir()})
+	req := testBatch(testCorpus(1))
+	req.Proofs = false
+	done := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := NewClient(hs.URL).Validate(req, nil)
+			done <- err
+		}()
+	}
+	time.Sleep(time.Millisecond)
+	s.Close()
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil && !strings.Contains(err.Error(), "draining") {
+			t.Errorf("request during drain: %v (want success or a draining 503)", err)
+		}
+	}
+}
+
+// TestMergeStatsCoversEverySMTField sets every numeric field of
+// StatsJSON.SMT to a distinct value and checks mergeStats carries each
+// one. Adding a field to SMTStatsJSON without a merge line in client.go
+// (or a mapping in summary.go — same family of bug) fails this test by
+// construction.
+func TestMergeStatsCoversEverySMTField(t *testing.T) {
+	var src harness.StatsJSON
+	sv := reflect.ValueOf(&src.SMT).Elem()
+	st := sv.Type()
+	for i := 0; i < sv.NumField(); i++ {
+		switch f := sv.Field(i); f.Kind() {
+		case reflect.Int64:
+			f.SetInt(int64(1000 + i))
+		case reflect.Float64:
+			f.SetFloat(float64(1000 + i))
+		default:
+			t.Fatalf("SMTStatsJSON.%s has kind %s — teach this test (and mergeStats) about it",
+				st.Field(i).Name, f.Kind())
+		}
+	}
+	dst := &harness.StatsJSON{Classes: map[string]int{}}
+	mergeStats(dst, &src)
+	dv := reflect.ValueOf(dst.SMT)
+	wv := reflect.ValueOf(src.SMT)
+	for i := 0; i < dv.NumField(); i++ {
+		if !reflect.DeepEqual(dv.Field(i).Interface(), wv.Field(i).Interface()) {
+			t.Errorf("mergeStats drops SMTStatsJSON.%s: got %v, want %v — add its merge line in client.go",
+				st.Field(i).Name, dv.Field(i).Interface(), wv.Field(i).Interface())
+		}
+	}
+	// Merging a second chunk must sum, not overwrite.
+	mergeStats(dst, &src)
+	dv = reflect.ValueOf(dst.SMT)
+	for i := 0; i < dv.NumField(); i++ {
+		var want any
+		switch f := wv.Field(i); f.Kind() {
+		case reflect.Int64:
+			want = f.Int() * 2
+			if dv.Field(i).Int() != want {
+				t.Errorf("SMTStatsJSON.%s after two chunks: got %d, want %d (assignment instead of +=?)",
+					st.Field(i).Name, dv.Field(i).Int(), want)
+			}
+		case reflect.Float64:
+			want = f.Float() * 2
+			if dv.Field(i).Float() != want {
+				t.Errorf("SMTStatsJSON.%s after two chunks: got %v, want %v",
+					st.Field(i).Name, dv.Field(i).Float(), want)
+			}
+		}
+	}
+}
+
+// TestChunkedTraceLint: a traced ValidateAll over multiple batches
+// yields one merged trace with globally unique, properly nested span
+// IDs — the concatenation re-bases every batch's IDs. Streamed row
+// records share the re-based ID space and must not collide either.
+func TestChunkedTraceLint(t *testing.T) {
+	s, hs := newTestServer(t, ServerConfig{
+		Workers: 1, Queue: 1, WorkDir: t.TempDir(),
+	}) // MaxBatch = 2 -> 5 jobs = 3 batches
+	defer s.Close()
+	req := testBatch(testCorpus(5))
+	req.Proofs = false
+	req.Trace = true
+
+	seen := map[telemetry.SpanID]bool{}
+	res, err := NewClient(hs.URL).ValidateAll(req, func(rec telemetry.Record) {
+		if seen[rec.ID] {
+			t.Errorf("streamed row span id %d duplicated across batches", rec.ID)
+		}
+		seen[rec.ID] = true
+	})
+	if err != nil {
+		t.Fatalf("ValidateAll: %v", err)
+	}
+	if len(seen) != 5 {
+		t.Errorf("streamed %d distinct row ids, want 5", len(seen))
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("traced chunked run returned no spans")
+	}
+	if err := telemetry.Lint(res.Trace); err != nil {
+		t.Fatalf("merged multi-batch trace fails lint: %v", err)
+	}
+}
+
+// TestMergeStatsChunkParity: merging two half-batches equals the
+// one-batch totals on every summed field, cube/race statistics
+// included.
+func TestMergeStatsChunkParity(t *testing.T) {
+	mk := func(scale int64) *harness.StatsJSON {
+		s := &harness.StatsJSON{
+			Functions: int(scale), WallSeconds: float64(scale), CPUSeconds: float64(2 * scale),
+			Classes:   map[string]int{"Succeeded": int(scale)},
+			Certified: int(scale), CertFailed: 0,
+			Counters: map[string]int64{"tvd.jobs": scale},
+		}
+		sv := reflect.ValueOf(&s.SMT).Elem()
+		for i := 0; i < sv.NumField(); i++ {
+			switch f := sv.Field(i); f.Kind() {
+			case reflect.Int64:
+				f.SetInt(scale * int64(i+1))
+			case reflect.Float64:
+				f.SetFloat(float64(scale * int64(i+1)))
+			}
+		}
+		return s
+	}
+	chunked := &harness.StatsJSON{Classes: map[string]int{}}
+	mergeStats(chunked, mk(3))
+	mergeStats(chunked, mk(4))
+	whole := mk(7)
+	if !reflect.DeepEqual(chunked.SMT, whole.SMT) {
+		t.Fatalf("chunked SMT stats diverge from unchunked:\nchunked: %+v\nwhole:   %+v", chunked.SMT, whole.SMT)
+	}
+	if chunked.Functions != whole.Functions || chunked.Certified != whole.Certified ||
+		chunked.Classes["Succeeded"] != whole.Classes["Succeeded"] ||
+		chunked.Counters["tvd.jobs"] != whole.Counters["tvd.jobs"] {
+		t.Fatalf("chunked batch-level stats diverge: %+v vs %+v", chunked, whole)
+	}
+}

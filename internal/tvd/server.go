@@ -32,6 +32,25 @@ type ServerConfig struct {
 	Queue int
 	// StoreDir, when non-empty, enables the persistent result store.
 	StoreDir string
+	// StoreMaxBytes, when > 0, byte-bounds the store: Put overflow runs
+	// a synchronous LRU GC (oldest access evicted first, whole entries
+	// only) and the daemon re-runs GC every GCInterval as a backstop
+	// against growth the gauge missed (other writers, manual copies).
+	StoreMaxBytes int64
+	// GCInterval paces the periodic GC (default 30s; only used when
+	// StoreMaxBytes > 0).
+	GCInterval time.Duration
+	// ScrubInterval, when > 0, starts the background scrubber: every
+	// interval it samples ScrubSample entries, decode/CRC-checks them,
+	// re-verifies ScrubFraction of them end to end with the proofcheck
+	// core, and quarantines failures (served afterwards as clean
+	// misses). The scrubber stops on Close.
+	ScrubInterval time.Duration
+	// ScrubSample is entries per scrub round (default 32).
+	ScrubSample int
+	// ScrubFraction in [0,1] is the share of scanned entries re-verified
+	// end to end (default 0 = decode/CRC only).
+	ScrubFraction float64
 	// TenantBudget is the per-tenant token budget: the number of jobs a
 	// tenant may have admitted at once (default 4×Workers). A batch
 	// needing more tokens than the tenant has free is refused with 429.
@@ -55,6 +74,13 @@ type Server struct {
 	metrics  *telemetry.Metrics
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// scrubber/gcStop are the store-lifecycle background halves; both
+	// stop before the pool joins in Close.
+	scrubber  *store.Scrubber // nil when scrubbing is off
+	gcStop    chan struct{}   // nil when periodic GC is off
+	gcDone    chan struct{}
+	closeOnce sync.Once
 
 	// inflight is the global admitted-job count, bounded by maxInflight
 	// (workers + queue): the "bounded request queue" half of admission.
@@ -104,6 +130,34 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
+		if cfg.StoreMaxBytes > 0 {
+			st.SetMaxBytes(cfg.StoreMaxBytes)
+			st.GC(cfg.StoreMaxBytes) // enforce the bound over what a prior run left
+			interval := cfg.GCInterval
+			if interval <= 0 {
+				interval = 30 * time.Second
+			}
+			s.gcStop = make(chan struct{})
+			s.gcDone = make(chan struct{})
+			go func() {
+				defer close(s.gcDone)
+				for {
+					select {
+					case <-s.gcStop:
+						return
+					case <-time.After(interval):
+						st.GC(cfg.StoreMaxBytes)
+					}
+				}
+			}()
+		}
+		if cfg.ScrubInterval > 0 {
+			s.scrubber = st.StartScrubber(store.ScrubberConfig{
+				ScrubConfig: store.ScrubConfig{Fraction: cfg.ScrubFraction},
+				Interval:    cfg.ScrubInterval,
+				Sample:      cfg.ScrubSample,
+			})
+		}
 	}
 	s.pool = harness.NewPool(harness.PoolConfig{Workers: cfg.Workers, Queue: cfg.Queue})
 	s.mux = http.NewServeMux()
@@ -134,11 +188,22 @@ func (s *Server) MaxBatch() int {
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Close drains gracefully: no new batches, every admitted job finishes
-// (and lands in the store), the pool joins. Call after the HTTP server
-// stopped accepting connections (http.Server.Shutdown).
+// (and lands in the store), the store-lifecycle goroutines (periodic GC
+// and the background scrubber) stop, and the pool joins. Call after the
+// HTTP server stopped accepting connections (http.Server.Shutdown).
+// Idempotent.
 func (s *Server) Close() {
 	s.BeginDrain()
 	s.active.Wait()
+	s.closeOnce.Do(func() {
+		if s.gcStop != nil {
+			close(s.gcStop)
+			<-s.gcDone
+		}
+		if s.scrubber != nil {
+			s.scrubber.Close()
+		}
+	})
 	s.pool.Close()
 }
 
@@ -178,6 +243,9 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if s.store != nil {
 		snap.StoreLen = s.store.Len()
+		snap.StoreBytes = s.store.Usage()
+		snap.StoreMaxBytes = s.store.MaxBytes()
+		snap.StoreQuarantined = s.store.QuarantineLen()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(&snap)
@@ -250,6 +318,10 @@ type pendingJob struct {
 	// (self-contained per-function artifact set).
 	dir string
 	dw  *proof.DirWriter
+	// proofErr records a proof-dir/writer creation failure so finishJob
+	// can surface it on the row (the job itself still validates,
+	// uncertified).
+	proofErr error
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
@@ -257,12 +329,18 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, 0, "POST only")
 		return
 	}
+	// Register with the in-flight group BEFORE checking the drain flag:
+	// Close sets the flag and then waits on the group, so a batch that
+	// registered first is waited for, and a batch that registered after
+	// the flag flipped sees it here and refuses. Checking before Add
+	// left a window where Close's active.Wait() could return while a
+	// batch between the check and the Add proceeded into a closed pool.
+	s.active.Add(1)
+	defer s.active.Done()
 	if s.draining.Load() {
 		httpError(w, http.StatusServiceUnavailable, 0, "draining")
 		return
 	}
-	s.active.Add(1)
-	defer s.active.Done()
 
 	var req BatchRequest
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -379,9 +457,10 @@ func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
 		}
 		if err != nil {
 			// Degrade to uncertified validation rather than failing the
-			// batch: the row will carry the proof error.
+			// batch; finishJob surfaces the recorded error on the row.
 			s.metrics.Add("tvd.proofdir_fail", 1)
 			pj.dw = nil
+			pj.proofErr = err
 		}
 		pending[i] = pj
 		s.pool.Submit(harness.Job{
@@ -504,6 +583,9 @@ func (s *Server) finishJob(pj *pendingJob, res harness.JobResult, withArtifacts 
 	}
 	if res.Row.ProofErr != nil {
 		row.ProofErr = res.Row.ProofErr.Error()
+	}
+	if pj.proofErr != nil && row.ProofErr == "" {
+		row.ProofErr = pj.proofErr.Error()
 	}
 	if pj.dw != nil {
 		if err := pj.dw.Close(); err != nil && row.ProofErr == "" {

@@ -53,9 +53,17 @@ func (r *BatchResult) Summary() *harness.Summary {
 			VivifiedClauses:     s.SMT.VivifiedClauses,
 			EliminatedVars:      s.SMT.EliminatedVars,
 
-			Races:         s.SMT.Races,
-			RaceRacerWins: s.SMT.RaceRacerWins,
-			RaceTokens:    s.SMT.RaceTokens,
+			Races:               s.SMT.Races,
+			RaceRacerWins:       s.SMT.RaceRacerWins,
+			RaceTokens:          s.SMT.RaceTokens,
+			RaceWastedConflicts: s.SMT.RaceWastedConflicts,
+			RaceWastedProps:     s.SMT.RaceWastedProps,
+
+			CubeEscalations: s.SMT.CubeEscalations,
+			CubesGenerated:  s.SMT.CubesGenerated,
+			CubesRefuted:    s.SMT.CubesRefuted,
+			CubesSat:        s.SMT.CubesSat,
+			CubeSteals:      s.SMT.CubeSteals,
 		}
 	}
 	return sum

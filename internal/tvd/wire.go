@@ -143,9 +143,15 @@ type MetricsSnapshot struct {
 	Counters map[string]int64                `json:"counters"`
 	Hists    map[string]*harness.LatencyJSON `json:"hists"`
 	// StoreLen is the number of entries in the result store (-1 without
-	// a store).
-	StoreLen int  `json:"store_len"`
-	Draining bool `json:"draining"`
+	// a store). StoreBytes is the total entry-payload size and
+	// StoreMaxBytes the configured GC budget (0 = unbounded);
+	// StoreQuarantined counts entries the scrubber has moved into
+	// quarantine/ (served as clean misses).
+	StoreLen         int   `json:"store_len"`
+	StoreBytes       int64 `json:"store_bytes,omitempty"`
+	StoreMaxBytes    int64 `json:"store_max_bytes,omitempty"`
+	StoreQuarantined int   `json:"store_quarantined,omitempty"`
+	Draining         bool  `json:"draining"`
 	// Workers is the validation pool size; MaxBatch is the largest batch
 	// admission can ever accept (min of queue capacity and tenant
 	// budget). Clients with more jobs than MaxBatch split them into
